@@ -1,0 +1,80 @@
+//! E5: the §V query catalog — paper-reported vs. achieved selectivity on
+//! the calibrated synthetic datasets.
+
+use pdc_bench::*;
+use pdc_types::Interval;
+use pdc_workloads::{
+    boss_flux_catalog, multi_object_catalog, single_object_catalog, BossData, VpicData,
+};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("# E5 — query catalog: paper targets vs. achieved selectivities\n");
+    println!("{} particles, seed {:#x}\n", scale.particles, scale.seed);
+    let data = generate_vpic(&scale);
+    let n = data.len() as f64;
+
+    println!("## Single-object queries (Fig. 3's 15 windows)\n");
+    let mut t = Table::new(&["query", "paper", "achieved", "nhits", "ratio"]);
+    for spec in single_object_catalog() {
+        let iv = Interval::open(spec.lo as f64, spec.hi as f64);
+        let achieved = VpicData::exact_selectivity(&data.energy, &iv);
+        let ratio = if spec.paper_selectivity > 0.0 { achieved / spec.paper_selectivity } else { f64::NAN };
+        t.row(vec![
+            format!("{}<E<{}", spec.lo, spec.hi),
+            fmt_sel(spec.paper_selectivity),
+            fmt_sel(achieved),
+            format!("{}", (achieved * n) as u64),
+            format!("{ratio:.2}"),
+        ]);
+    }
+    t.print();
+
+    println!("\n## Multi-object queries (Fig. 4's 6 conjunctions)\n");
+    let mut t = Table::new(&["query", "paper", "achieved", "nhits"]);
+    for (i, spec) in multi_object_catalog().iter().enumerate() {
+        let hits = (0..data.len())
+            .filter(|&k| {
+                data.energy[k] > spec.energy_gt
+                    && data.x[k] > spec.x_lo
+                    && data.x[k] < spec.x_hi
+                    && data.y[k] > spec.y_lo
+                    && data.y[k] < spec.y_hi
+                    && data.z[k] > spec.z_lo
+                    && data.z[k] < spec.z_hi
+            })
+            .count();
+        let paper = if spec.paper_selectivity.is_nan() {
+            "(unstated)".to_string()
+        } else {
+            fmt_sel(spec.paper_selectivity)
+        };
+        t.row(vec![
+            format!(
+                "Q{}: E>{} ∧ {}<x<{} ∧ {}<y<{} ∧ {}<z<{}",
+                i + 1,
+                spec.energy_gt,
+                spec.x_lo,
+                spec.x_hi,
+                spec.y_lo,
+                spec.y_hi,
+                spec.z_lo,
+                spec.z_hi
+            ),
+            paper,
+            fmt_sel(hits as f64 / n),
+            hits.to_string(),
+        ]);
+    }
+    t.print();
+
+    println!("\n## BOSS flux sweep (Fig. 5's data conditions)\n");
+    let mut t = Table::new(&["target selectivity", "flux bound"]);
+    for spec in boss_flux_catalog() {
+        t.row(vec![
+            fmt_sel(spec.selectivity),
+            format!("0 < flux < {:.3}", BossData::flux_bound_for_selectivity(spec.selectivity)),
+        ]);
+    }
+    t.print();
+}

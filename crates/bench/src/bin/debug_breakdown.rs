@@ -1,0 +1,34 @@
+//! Developer utility: print the cost breakdown of one query under each
+//! strategy (not part of the figure set; handy when calibrating).
+
+use pdc_bench::*;
+use pdc_query::{PdcQuery, Strategy};
+
+fn main() {
+    let scale = Scale::from_env();
+    let data = generate_vpic(&scale);
+    let world = import_vpic(&data, 16 << 10, false);
+    for strategy in [Strategy::FullScan, Strategy::Histogram, Strategy::HistogramIndex, Strategy::SortedHistogram] {
+        let eng = engine(&world, strategy, &scale);
+        let q = PdcQuery::range_open(world.objects.energy, 2.1f32, 2.2f32);
+        for pass in 0..2 {
+            let out = eng.run(&q).expect("query");
+            let slowest = out.per_server.iter().max().unwrap();
+            println!(
+                "{strategy} pass{pass}: elapsed={} slowest_server={} nhits={} runs={} pfs={}B/{}req cache_hits={} scanned={} bins={} io={} cpu={} net={}",
+                out.elapsed,
+                slowest,
+                out.nhits,
+                out.selection.num_runs(),
+                out.io.pfs_bytes_read,
+                out.io.pfs_read_requests,
+                out.io.cache_hits,
+                out.work.elements_scanned,
+                out.work.histogram_bins,
+                out.breakdown.io,
+                out.breakdown.cpu,
+                out.breakdown.net,
+            );
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Fig. 3(a–f): single-object (Energy) query performance vs. selectivity,
+//! across region sizes and strategies.
+//!
+//! For each region size the harness imports the energy object, then runs
+//! the 15-query catalog **sequentially** (caching effects included, as in
+//! the paper) under each strategy, reporting per-query `query time` and
+//! `get data time`. `HDF5-F` and `PDC-F` report amortized full-scan time
+//! ("[total read time / number of queries] + full scan time").
+
+use pdc_baseline::Hdf5Baseline;
+use pdc_bench::*;
+use pdc_query::{PdcQuery, Strategy};
+use pdc_storage::SimDuration;
+use pdc_workloads::single_object_catalog;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("# Fig. 3 — single-object (Energy) queries, {} particles, {} servers\n", scale.particles, scale.servers);
+    let data = generate_vpic(&scale);
+    let catalog = single_object_catalog();
+
+    // HDF5-F is layout-dependent, not region-size dependent: compute once.
+    let baseline = Hdf5Baseline::new(scale.cost(), scale.servers);
+
+    for (region_bytes, paper_label) in REGION_SWEEP {
+        println!(
+            "\n## Region size {} (paper: {})\n",
+            fmt_bytes(region_bytes),
+            paper_label
+        );
+        let world = import_vpic(&data, region_bytes, false);
+
+        // --- Full-scan rows (amortized over the 15 queries) ---
+        // HDF5-F: read the whole object once, scan per query.
+        let any_iv = pdc_types::Interval::open(2.1, 2.2);
+        let h5 = baseline.full_scan_conjunction(&[(&data.energy, any_iv)]);
+        let h5_amortized = h5.read_elapsed / catalog.len() as u64 + h5.scan_elapsed;
+
+        // PDC-F: sequential query series against one engine; the first
+        // query pays the (aggregated) read, later ones hit the cache.
+        let f_engine = engine(&world, Strategy::FullScan, &scale);
+        let mut f_total = SimDuration::ZERO;
+        for spec in &catalog {
+            let q = PdcQuery::range_open(world.objects.energy, spec.lo, spec.hi);
+            f_total += f_engine.run(&q).expect("PDC-F query").elapsed;
+        }
+        let f_amortized = f_total / catalog.len() as u64;
+
+        // --- Optimized strategies: per-query rows ---
+        // The paper reports the best of >=5 runs (warm caches); we run the
+        // series once to warm up, then report the second pass.
+        let mut table = Table::new(&[
+            "query",
+            "selectivity",
+            "nhits",
+            "PDC-H query",
+            "PDC-H get",
+            "PDC-HI query",
+            "PDC-HI get",
+            "PDC-SH query",
+            "PDC-SH get",
+        ]);
+        let engines = [
+            engine(&world, Strategy::Histogram, &scale),
+            engine(&world, Strategy::HistogramIndex, &scale),
+            engine(&world, Strategy::SortedHistogram, &scale),
+        ];
+        // Warm-up pass.
+        for spec in &catalog {
+            let q = PdcQuery::range_open(world.objects.energy, spec.lo, spec.hi);
+            for eng in &engines {
+                let out = eng.run(&q).expect("warm-up query");
+                eng.get_data(&out, world.objects.energy).expect("warm-up get_data");
+            }
+        }
+        // Reported pass.
+        let mut sums = [[SimDuration::ZERO; 2]; 3];
+        for spec in &catalog {
+            let q = PdcQuery::range_open(world.objects.energy, spec.lo, spec.hi);
+            let mut cells = vec![
+                format!("{}<E<{}", spec.lo, spec.hi),
+                fmt_sel(spec.paper_selectivity),
+            ];
+            for (i, eng) in engines.iter().enumerate() {
+                let out = eng.run(&q).expect("query");
+                let get = eng.get_data(&out, world.objects.energy).expect("get_data");
+                if i == 0 {
+                    cells.push(out.nhits.to_string());
+                }
+                cells.push(fmt_dur(out.elapsed));
+                cells.push(fmt_dur(get.elapsed));
+                sums[i][0] += out.elapsed;
+                sums[i][1] += get.elapsed;
+            }
+            table.row(cells);
+        }
+        println!("HDF5-F amortized query time: {}  (read {} / 15 + scan {})",
+            fmt_dur(h5_amortized), fmt_dur(h5.read_elapsed), fmt_dur(h5.scan_elapsed));
+        println!("PDC-F  amortized query time: {}\n", fmt_dur(f_amortized));
+        table.print();
+
+        // Shape assertions the paper reports for this figure.
+        let mean = |i: usize| sums[i][0] / catalog.len() as u64;
+        println!("\nshape: PDC-F/HDF5-F speedup {:.2}x (paper: up to 2x)", speedup(h5_amortized, f_amortized));
+        println!("shape: PDC-H  mean speedup over PDC-F: {:.1}x (paper: 2-3x)", speedup(f_amortized, mean(0)));
+        println!("shape: PDC-HI mean speedup over PDC-F: {:.1}x (paper: 4-14x)", speedup(f_amortized, mean(1)));
+        println!("shape: PDC-SH mean speedup over PDC-F: {:.1}x (paper: best, up to 1000x at 0.0004%)", speedup(f_amortized, mean(2)));
+    }
+}

@@ -1,0 +1,88 @@
+//! E6: storage overheads of the acceleration structures, vs. the paper's
+//! reported numbers — "The Fastbit index file takes 500-600 GB (15 % to
+//! 17 % of the total data size) of storage space with different region
+//! sizes, and the sorted copy requires a full copy of the data."
+
+use pdc_bench::*;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("# E6 — acceleration-structure storage overheads\n");
+    println!("{} particles per variable, 7 variables\n", scale.particles);
+    let data = generate_vpic(&scale);
+
+    println!("## Index + sorted sizes across region sizes (all 7 variables indexed)\n");
+    let mut t = Table::new(&[
+        "region size",
+        "paper",
+        "data",
+        "index",
+        "index %",
+        "sorted (energy)",
+        "sorted %",
+        "histogram metadata",
+    ]);
+    for (region_bytes, paper_label) in REGION_SWEEP {
+        let world = import_vpic(&data, region_bytes, true);
+        let hist_bytes: u64 = {
+            let meta = world.odms.meta();
+            [
+                world.objects.energy,
+                world.objects.x,
+                world.objects.y,
+                world.objects.z,
+                world.objects.ux,
+                world.objects.uy,
+                world.objects.uz,
+            ]
+            .iter()
+            .map(|&o| meta.histogram_metadata_bytes(o))
+            .sum()
+        };
+        let energy_bytes = scale.particles as u64 * 4;
+        t.row(vec![
+            fmt_bytes(region_bytes),
+            paper_label.to_string(),
+            fmt_bytes(world.data_bytes),
+            fmt_bytes(world.index_bytes),
+            format!("{:.1}%", 100.0 * world.index_bytes as f64 / world.data_bytes as f64),
+            fmt_bytes(world.sorted_bytes),
+            format!("{:.1}%", 100.0 * world.sorted_bytes as f64 / energy_bytes as f64),
+            fmt_bytes(hist_bytes),
+        ]);
+    }
+    t.print();
+    println!(
+        "\npaper: index = 15-17% of total data size; sorted copy = a full copy of the object \
+         (ours also stores the original-coordinate permutation, hence >100% of the energy \
+         object)."
+    );
+
+    println!("\n## Per-variable index compressibility (at the best region size)\n");
+    let world = import_vpic(&data, BEST_REGION.0, true);
+    let mut t = Table::new(&["variable", "index bytes", "% of variable data"]);
+    let meta = world.odms.meta();
+    for (name, obj) in [
+        ("Energy", world.objects.energy),
+        ("x", world.objects.x),
+        ("y", world.objects.y),
+        ("z", world.objects.z),
+        ("Ux", world.objects.ux),
+        ("Uy", world.objects.uy),
+        ("Uz", world.objects.uz),
+    ] {
+        let sizes = meta.index_sizes(obj).expect("index sizes");
+        let total: u64 = sizes.iter().sum();
+        let var_bytes = scale.particles as u64 * 4;
+        t.row(vec![
+            name.to_string(),
+            fmt_bytes(total),
+            format!("{:.1}%", 100.0 * total as f64 / var_bytes as f64),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nsmooth, cell-ordered variables (positions) compress far better than thermal \
+         (momentum) variables — the mix determines the aggregate index fraction."
+    );
+}

@@ -1,0 +1,365 @@
+//! # pdc-cli
+//!
+//! The `pdc` command-line tool: generate a calibrated VPIC dataset,
+//! import it, and run textual queries against it under any evaluation
+//! strategy — a hands-on way to explore the reproduced system.
+//!
+//! ```text
+//! pdc query "Energy > 2.0 AND 100 < x < 200" --strategy HI --servers 16
+//! pdc demo --particles 500000
+//! pdc help
+//! ```
+
+use pdc_odms::{ImportOptions, Odms};
+use pdc_query::{parse_query, EngineConfig, QueryEngine, Strategy};
+use pdc_storage::CostModel;
+use pdc_workloads::{VpicConfig, VpicData};
+use std::sync::Arc;
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Run one textual query.
+    Query {
+        /// The query expression.
+        expr: String,
+        /// Common options.
+        opts: CommonOpts,
+        /// Also fetch the named variable's values for the matches.
+        get_data: Option<String>,
+    },
+    /// Compare all four strategies on a few standard queries.
+    Demo {
+        /// Common options.
+        opts: CommonOpts,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// Options shared by the subcommands.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommonOpts {
+    /// Particles per variable.
+    pub particles: usize,
+    /// Logical PDC servers.
+    pub servers: u32,
+    /// Region size in bytes.
+    pub region_bytes: u64,
+    /// Evaluation strategy.
+    pub strategy: Strategy,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CommonOpts {
+    fn default() -> Self {
+        Self {
+            particles: 500_000,
+            servers: 16,
+            region_bytes: 64 << 10,
+            strategy: Strategy::Histogram,
+            seed: 0x5EED_201C,
+        }
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+pdc — the PDC-Query reproduction CLI
+
+USAGE:
+  pdc query \"<expr>\" [options] [--get-data <var>]
+  pdc demo [options]
+  pdc help
+
+The dataset is a calibrated synthetic VPIC plasma: variables Energy, x,
+y, z, Ux, Uy, Uz. Example expressions:
+  \"Energy > 2.0\"
+  \"2.1 < Energy < 2.2\"
+  \"Energy > 2.0 AND 100 < x < 200 AND -90 < y < 0 AND 0 < z < 66\"
+
+OPTIONS:
+  --particles <N>    particles per variable   (default 500000)
+  --servers <N>      logical PDC servers      (default 16)
+  --region-kb <N>    region size in KiB       (default 64)
+  --strategy <S>     F | H | HI | SH          (default H)
+  --seed <N>         RNG seed
+  --get-data <var>   fetch that variable's values for the matches (query only)
+";
+
+/// Parse `argv[1..]` into a command.
+pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, String> {
+    let mut args = args.into_iter().peekable();
+    let sub = match args.next() {
+        None => return Ok(Command::Help),
+        Some(s) => s,
+    };
+    match sub.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "query" => {
+            let expr = args.next().ok_or("query requires an expression".to_string())?;
+            let mut opts = CommonOpts::default();
+            let mut get_data = None;
+            parse_options(args, &mut opts, Some(&mut get_data))?;
+            Ok(Command::Query { expr, opts, get_data })
+        }
+        "demo" => {
+            let mut opts = CommonOpts::default();
+            parse_options(args, &mut opts, None)?;
+            Ok(Command::Demo { opts })
+        }
+        other => Err(format!("unknown subcommand '{other}' (try 'pdc help')")),
+    }
+}
+
+fn parse_options<I: Iterator<Item = String>>(
+    mut args: std::iter::Peekable<I>,
+    opts: &mut CommonOpts,
+    mut get_data: Option<&mut Option<String>>,
+) -> Result<(), String> {
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next().ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--particles" => {
+                opts.particles =
+                    value("--particles")?.parse().map_err(|e| format!("--particles: {e}"))?;
+            }
+            "--servers" => {
+                opts.servers =
+                    value("--servers")?.parse().map_err(|e| format!("--servers: {e}"))?;
+            }
+            "--region-kb" => {
+                let kb: u64 =
+                    value("--region-kb")?.parse().map_err(|e| format!("--region-kb: {e}"))?;
+                opts.region_bytes = kb << 10;
+            }
+            "--seed" => {
+                opts.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--strategy" => {
+                opts.strategy = parse_strategy(&value("--strategy")?)?;
+            }
+            "--get-data" => match get_data.as_deref_mut() {
+                Some(slot) => *slot = Some(value("--get-data")?),
+                None => return Err("--get-data is only valid for 'pdc query'".to_string()),
+            },
+            other => return Err(format!("unknown option '{other}'")),
+        }
+    }
+    Ok(())
+}
+
+/// Parse a strategy name (paper label or long form, case-insensitive).
+pub fn parse_strategy(s: &str) -> Result<Strategy, String> {
+    match s.to_ascii_uppercase().as_str() {
+        "F" | "PDC-F" | "FULLSCAN" => Ok(Strategy::FullScan),
+        "H" | "PDC-H" | "HISTOGRAM" => Ok(Strategy::Histogram),
+        "HI" | "PDC-HI" | "INDEX" | "HISTOGRAMINDEX" => Ok(Strategy::HistogramIndex),
+        "SH" | "PDC-SH" | "SORTED" | "SORTEDHISTOGRAM" => Ok(Strategy::SortedHistogram),
+        other => Err(format!("unknown strategy '{other}' (use F, H, HI, or SH)")),
+    }
+}
+
+/// Stand up a world per the options: generate, import all 7 variables
+/// (index everywhere, sorted replica on Energy), return the system.
+pub fn build_world(opts: &CommonOpts) -> (Arc<Odms>, VpicData) {
+    let data = VpicData::generate(&VpicConfig { particles: opts.particles, seed: opts.seed });
+    let odms = Arc::new(Odms::new(64));
+    let container = odms.create_container("cli");
+    let import = ImportOptions {
+        region_bytes: opts.region_bytes,
+        build_index: true,
+        build_sorted: true,
+        ..Default::default()
+    };
+    data.import_all(&odms, container, &import).expect("import");
+    (odms, data)
+}
+
+/// An engine per the options, with the scale-appropriate cost model.
+pub fn build_engine(odms: &Arc<Odms>, opts: &CommonOpts) -> QueryEngine {
+    let f = 125e9 / opts.particles as f64;
+    QueryEngine::new(
+        Arc::clone(odms),
+        EngineConfig {
+            strategy: opts.strategy,
+            num_servers: opts.servers,
+            cache_bytes_per_server: 1 << 30,
+            cost: CostModel::scaled(f, f * opts.servers as f64 / 64.0, 256.0),
+            order_by_selectivity: true,
+        },
+    )
+}
+
+/// Execute a parsed command; returns the text to print.
+pub fn run(cmd: Command) -> Result<String, String> {
+    match cmd {
+        Command::Help => Ok(USAGE.to_string()),
+        Command::Query { expr, opts, get_data } => {
+            let mut out = String::new();
+            let (odms, _data) = build_world(&opts);
+            let engine = build_engine(&odms, &opts);
+            let query = parse_query(&expr, &odms).map_err(|e| e.to_string())?;
+            out.push_str(&format!("query: {query}\n"));
+            let outcome = engine.run(&query).map_err(|e| e.to_string())?;
+            out.push_str(&format!(
+                "{}: {} hits ({} runs) in simulated {} — PFS {} B / {} requests, scanned {}\n",
+                opts.strategy,
+                outcome.nhits,
+                outcome.selection.num_runs(),
+                outcome.elapsed,
+                outcome.io.pfs_bytes_read,
+                outcome.io.pfs_read_requests,
+                outcome.work.elements_scanned,
+            ));
+            if let Some(var) = get_data {
+                let meta = odms.meta().lookup_name(&var).map_err(|e| e.to_string())?;
+                let data = engine.get_data(&outcome, meta.id).map_err(|e| e.to_string())?;
+                let preview: Vec<String> = (0..data.data.len().min(8))
+                    .map(|i| format!("{}", data.data.get_value(i)))
+                    .collect();
+                out.push_str(&format!(
+                    "get_data({var}): {} values from {} servers in {} — first: [{}]\n",
+                    data.data.len(),
+                    data.servers_involved,
+                    data.elapsed,
+                    preview.join(", ")
+                ));
+            }
+            Ok(out)
+        }
+        Command::Demo { opts } => {
+            let mut out = String::new();
+            let (odms, _data) = build_world(&opts);
+            out.push_str(&format!(
+                "dataset: {} particles x 7 variables, {} regions of {} KiB, {} servers\n\n",
+                opts.particles,
+                odms.meta().lookup_name("Energy").unwrap().num_regions(),
+                opts.region_bytes >> 10,
+                opts.servers,
+            ));
+            let queries = [
+                "2.1 < Energy < 2.2",
+                "3.5 < Energy < 3.6",
+                "Energy > 2.0 AND 100 < x < 200 AND -90 < y < 0 AND 0 < z < 66",
+            ];
+            for expr in queries {
+                out.push_str(&format!("query: {expr}\n"));
+                let query = parse_query(expr, &odms).map_err(|e| e.to_string())?;
+                for strategy in [
+                    Strategy::FullScan,
+                    Strategy::Histogram,
+                    Strategy::HistogramIndex,
+                    Strategy::SortedHistogram,
+                ] {
+                    let engine =
+                        build_engine(&odms, &CommonOpts { strategy, ..opts.clone() });
+                    engine.run(&query).map_err(|e| e.to_string())?; // warm
+                    let outcome = engine.run(&query).map_err(|e| e.to_string())?;
+                    out.push_str(&format!(
+                        "  {:>7}: {:>8} hits, simulated {:>12}\n",
+                        strategy.label(),
+                        outcome.nhits,
+                        outcome.elapsed.to_string(),
+                    ));
+                }
+            }
+            Ok(out)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|w| w.to_string()).collect()
+    }
+
+    #[test]
+    fn no_args_is_help() {
+        assert_eq!(parse_args(argv("")).unwrap(), Command::Help);
+        assert_eq!(parse_args(argv("help")).unwrap(), Command::Help);
+        assert_eq!(parse_args(argv("--help")).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn query_args_parse() {
+        let cmd = parse_args(vec![
+            "query".to_string(),
+            "Energy > 2.0".to_string(),
+            "--strategy".to_string(),
+            "HI".to_string(),
+            "--particles".to_string(),
+            "1000".to_string(),
+            "--get-data".to_string(),
+            "x".to_string(),
+        ])
+        .unwrap();
+        match cmd {
+            Command::Query { expr, opts, get_data } => {
+                assert_eq!(expr, "Energy > 2.0");
+                assert_eq!(opts.strategy, Strategy::HistogramIndex);
+                assert_eq!(opts.particles, 1000);
+                assert_eq!(get_data.as_deref(), Some("x"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn demo_rejects_get_data() {
+        let err = parse_args(argv("demo --get-data x")).unwrap_err();
+        assert!(err.contains("--get-data"));
+    }
+
+    #[test]
+    fn strategy_aliases() {
+        assert_eq!(parse_strategy("f").unwrap(), Strategy::FullScan);
+        assert_eq!(parse_strategy("PDC-SH").unwrap(), Strategy::SortedHistogram);
+        assert_eq!(parse_strategy("index").unwrap(), Strategy::HistogramIndex);
+        assert!(parse_strategy("zzz").is_err());
+    }
+
+    #[test]
+    fn bad_args_error() {
+        assert!(parse_args(argv("query")).is_err());
+        assert!(parse_args(argv("frobnicate")).is_err());
+        assert!(parse_args(argv("demo --particles notanumber")).is_err());
+        assert!(parse_args(argv("demo --servers")).is_err());
+    }
+
+    #[test]
+    fn end_to_end_query_command() {
+        let cmd = parse_args(vec![
+            "query".to_string(),
+            "2.1 < Energy < 2.2".to_string(),
+            "--particles".to_string(),
+            "50000".to_string(),
+            "--servers".to_string(),
+            "4".to_string(),
+            "--get-data".to_string(),
+            "Energy".to_string(),
+        ])
+        .unwrap();
+        let out = run(cmd).unwrap();
+        assert!(out.contains("hits"), "{out}");
+        assert!(out.contains("get_data(Energy)"), "{out}");
+    }
+
+    #[test]
+    fn parse_errors_propagate() {
+        let cmd = parse_args(vec![
+            "query".to_string(),
+            "NoSuchVar > 1".to_string(),
+            "--particles".to_string(),
+            "10000".to_string(),
+        ])
+        .unwrap();
+        assert!(run(cmd).is_err());
+    }
+}

@@ -1,0 +1,13 @@
+//! The `pdc` binary — see [`pdc_cli`] for the command set.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match pdc_cli::parse_args(args).and_then(pdc_cli::run) {
+        Ok(output) => print!("{output}"),
+        Err(err) => {
+            eprintln!("error: {err}");
+            eprintln!("{}", pdc_cli::USAGE);
+            std::process::exit(2);
+        }
+    }
+}

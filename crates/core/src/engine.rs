@@ -1,0 +1,511 @@
+//! The query engine: broadcast, parallel evaluation, aggregation, and the
+//! `PDCquery_get_*` result API of Fig. 1.
+
+use crate::ast::PdcQuery;
+use crate::exec::{eval_plan, EvalCtx};
+use crate::plan::{PlanNode, QueryPlan};
+use crate::state::ServerState;
+use pdc_histogram::Histogram;
+use pdc_odms::Odms;
+use pdc_server::ServerPool;
+use pdc_storage::{
+    CostBreakdown, CostModel, IoCounters, SimDuration, WorkCounters,
+};
+use pdc_types::{ObjectId, PdcResult, PdcType, Run, Selection, TypedVec};
+use std::sync::Arc;
+
+/// The evaluation strategy (paper §VI: `PDC-F`, `PDC-H`, `PDC-HI`,
+/// `PDC-SH`). "Each can be activated by the user through the setting of an
+/// environment variable before running the PDC servers. The histogram only
+/// approach is selected by default."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// `PDC-F`: pre-load all data of the queried objects, scan everything.
+    FullScan,
+    /// `PDC-H`: histogram-based region elimination + scan (the default).
+    Histogram,
+    /// `PDC-HI`: histograms + per-region bitmap indexes.
+    HistogramIndex,
+    /// `PDC-SH`: histograms + the value-sorted replica of the primary
+    /// object.
+    SortedHistogram,
+}
+
+impl Strategy {
+    /// The paper's plot label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Strategy::FullScan => "PDC-F",
+            Strategy::Histogram => "PDC-H",
+            Strategy::HistogramIndex => "PDC-HI",
+            Strategy::SortedHistogram => "PDC-SH",
+        }
+    }
+}
+
+impl std::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Evaluation strategy.
+    pub strategy: Strategy,
+    /// Number of logical PDC servers.
+    pub num_servers: u32,
+    /// Per-server memory budget for the region cache (the paper uses
+    /// 64 GB on 128 GB nodes).
+    pub cache_bytes_per_server: u64,
+    /// The storage/CPU/network cost model.
+    pub cost: CostModel,
+    /// Order multi-object evaluation by estimated selectivity (the
+    /// paper's planner behaviour); disable only for ablation E7.
+    pub order_by_selectivity: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            strategy: Strategy::Histogram,
+            num_servers: 4,
+            cache_bytes_per_server: 256 << 20,
+            cost: CostModel::cori_like(),
+            order_by_selectivity: true,
+        }
+    }
+}
+
+/// The result of one query evaluation (`PDCquery_get_nhits` +
+/// `PDCquery_get_selection`).
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// Number of matching elements.
+    pub nhits: u64,
+    /// Locations of all matching elements (global coordinates).
+    pub selection: Selection,
+    /// End-to-end simulated elapsed time (broadcast + slowest server +
+    /// result return + client merge).
+    pub elapsed: SimDuration,
+    /// Per-server evaluation time.
+    pub per_server: Vec<SimDuration>,
+    /// Aggregated I/O counters for this query.
+    pub io: IoCounters,
+    /// Aggregated work counters for this query.
+    pub work: WorkCounters,
+    /// Decomposition of `elapsed`.
+    pub breakdown: CostBreakdown,
+    /// When the sorted strategy answered the primary constraint, the sort
+    /// key object and its matching sorted span (lets `get_data` serve the
+    /// values straight from the replica).
+    pub sorted_hint: Option<(ObjectId, Run)>,
+}
+
+/// The result of a `PDCquery_get_data` call.
+#[derive(Debug, Clone)]
+pub struct GetDataOutcome {
+    /// The matching elements' values, in ascending coordinate order.
+    pub data: TypedVec,
+    /// Simulated elapsed time.
+    pub elapsed: SimDuration,
+    /// Aggregated I/O counters.
+    pub io: IoCounters,
+    /// Bytes shipped server→client.
+    pub bytes_transferred: u64,
+    /// Number of servers that actually held and sent data.
+    pub servers_involved: u32,
+}
+
+/// The parallel query service.
+pub struct QueryEngine {
+    odms: Arc<Odms>,
+    pool: ServerPool<ServerState>,
+    cfg: EngineConfig,
+}
+
+pub(crate) fn diff_io(after: &IoCounters, before: &IoCounters) -> IoCounters {
+    IoCounters {
+        pfs_bytes_read: after.pfs_bytes_read - before.pfs_bytes_read,
+        pfs_read_requests: after.pfs_read_requests - before.pfs_read_requests,
+        cache_bytes_read: after.cache_bytes_read - before.cache_bytes_read,
+        cache_hits: after.cache_hits - before.cache_hits,
+        cache_misses: after.cache_misses - before.cache_misses,
+        bytes_written: after.bytes_written - before.bytes_written,
+        write_requests: after.write_requests - before.write_requests,
+    }
+}
+
+fn diff_work(after: &WorkCounters, before: &WorkCounters) -> WorkCounters {
+    WorkCounters {
+        elements_scanned: after.elements_scanned - before.elements_scanned,
+        bitmap_words: after.bitmap_words - before.bitmap_words,
+        sorted_probes: after.sorted_probes - before.sorted_probes,
+        histogram_bins: after.histogram_bins - before.histogram_bins,
+        elements_gathered: after.elements_gathered - before.elements_gathered,
+    }
+}
+
+impl QueryEngine {
+    /// Start a query service over an ODMS.
+    pub fn new(odms: Arc<Odms>, cfg: EngineConfig) -> Self {
+        let cache = cfg.cache_bytes_per_server;
+        let pool = ServerPool::new(cfg.num_servers, |_| ServerState::new(cache));
+        Self { odms, pool, cfg }
+    }
+
+    /// The underlying data management system.
+    pub fn odms(&self) -> &Arc<Odms> {
+        &self.odms
+    }
+
+    /// The active strategy.
+    pub fn strategy(&self) -> Strategy {
+        self.cfg.strategy
+    }
+
+    /// The engine's cost model (crate-internal).
+    pub(crate) fn config_cost(&self) -> CostModel {
+        self.cfg.cost
+    }
+
+    /// Broadcast a handler across the pool (crate-internal).
+    pub(crate) fn pool_broadcast<R: Send>(
+        &self,
+        f: impl Fn(pdc_types::ServerId, &mut ServerState) -> R + Sync,
+    ) -> Vec<R> {
+        self.pool.broadcast(f)
+    }
+
+    /// Number of logical servers.
+    pub fn num_servers(&self) -> u32 {
+        self.cfg.num_servers
+    }
+
+    /// `PDCquery_get_histogram`: the object's global histogram, generated
+    /// automatically at import.
+    pub fn get_histogram(&self, object: ObjectId) -> PdcResult<Arc<Histogram>> {
+        self.odms.meta().global_histogram(object)
+    }
+
+    /// Reset all per-server state (caches, clocks, counters) — used
+    /// between experiment configurations.
+    pub fn reset_state(&self) {
+        let bytes = self.cfg.cache_bytes_per_server;
+        self.pool.for_each_server(|_, st| *st = ServerState::new(bytes));
+    }
+
+    /// `PDCquery_get_nhits`: evaluate and return the number of matches.
+    pub fn get_nhits(&self, query: &PdcQuery) -> PdcResult<u64> {
+        Ok(self.run(query)?.nhits)
+    }
+
+    /// `PDCquery_get_selection`: evaluate and return hit locations (plus
+    /// the full outcome with timings).
+    pub fn get_selection(&self, query: &PdcQuery) -> PdcResult<QueryOutcome> {
+        self.run(query)
+    }
+
+    /// Evaluate a query end to end.
+    pub fn run(&self, query: &PdcQuery) -> PdcResult<QueryOutcome> {
+        let plan = QueryPlan::build_with_ordering(query, &self.odms, self.cfg.order_by_selectivity)?;
+        let n = self.cfg.num_servers;
+        let cost = self.cfg.cost;
+
+        // PDC-F pre-loads all data of every queried object.
+        if self.cfg.strategy == Strategy::FullScan {
+            self.preload_objects(&plan)?;
+        }
+
+        // Client serializes the query tree and broadcasts it.
+        let broadcast = cost.net.broadcast_cost(query.wire_size_bytes(), n);
+
+        let odms = Arc::clone(&self.odms);
+        let strategy = self.cfg.strategy;
+        let results: Vec<PdcResult<(Selection, SimDuration, IoCounters, WorkCounters)>> =
+            self.pool.broadcast(|id, st| {
+                let ctx = EvalCtx {
+                    odms: &odms,
+                    cost: &cost,
+                    strategy,
+                    n_servers: n,
+                    server: id.raw(),
+                };
+                let t0 = st.clock.now();
+                let io0 = st.io;
+                let w0 = st.work;
+                let sel = eval_plan(&ctx, st, &plan)?;
+                Ok((sel, st.elapsed_since(t0), diff_io(&st.io, &io0), diff_work(&st.work, &w0)))
+            });
+
+        let mut selection = Selection::empty();
+        let mut per_server = Vec::with_capacity(results.len());
+        let mut io = IoCounters::default();
+        let mut work = WorkCounters::default();
+        let mut slowest = SimDuration::ZERO;
+        for r in results {
+            let (sel, elapsed, io_d, work_d) = r?;
+            // Result return: each server ships its partial selection back.
+            let ret = cost.net.transfer_cost(sel.wire_size_bytes());
+            let total = elapsed + ret;
+            if total > slowest {
+                slowest = total;
+            }
+            per_server.push(total);
+            io.merge(&io_d);
+            work.merge(&work_d);
+            // "Remove the duplicates with a merge sort" on the client.
+            selection = selection.union(&sel);
+        }
+        // Client-side aggregation cost (background thread merging runs).
+        let merge_cpu =
+            SimDuration::from_secs_f64(selection.num_runs() as f64 * 20.0 / 1e9);
+
+        let elapsed = broadcast + slowest + merge_cpu;
+        let breakdown = CostBreakdown {
+            io: cost.pfs.read_cost(
+                io.pfs_bytes_read,
+                io.pfs_read_requests,
+                n,
+                pdc_storage::ReadPattern::Aggregated,
+            ),
+            cpu: cost.cpu.work_cost(&work),
+            net: broadcast + merge_cpu,
+        };
+
+        let sorted_hint = self.sorted_hint(&plan);
+        Ok(QueryOutcome {
+            nhits: selection.count(),
+            selection,
+            elapsed,
+            per_server,
+            io,
+            work,
+            breakdown,
+            sorted_hint,
+        })
+    }
+
+    /// When SortedHistogram answered the primary constraint from the
+    /// replica, report the sort object and the matching sorted span.
+    fn sorted_hint(&self, plan: &QueryPlan) -> Option<(ObjectId, Run)> {
+        if self.cfg.strategy != Strategy::SortedHistogram {
+            return None;
+        }
+        let PlanNode::Conj(cs) = &plan.root else { return None };
+        let primary = cs.first()?;
+        let meta = self.odms.meta().get(primary.object).ok()?;
+        if !meta.has_sorted_replica {
+            return None;
+        }
+        let replica = self.odms.meta().sorted_replica(primary.object).ok()?;
+        Some((primary.object, replica.matching_span(&primary.interval)))
+    }
+
+    /// PDC-F's pre-load: read every region of every queried object into
+    /// the server caches ("pre-load all the data of queried objects").
+    fn preload_objects(&self, plan: &QueryPlan) -> PdcResult<()> {
+        let mut objects = Vec::new();
+        plan.root.objects(&mut objects);
+        objects.sort_unstable();
+        objects.dedup();
+        let n = self.cfg.num_servers;
+        let cost = self.cfg.cost;
+        let odms = Arc::clone(&self.odms);
+        let results: Vec<PdcResult<()>> = self.pool.broadcast(|id, st| {
+            for &obj in &objects {
+                let meta = odms.meta().get(obj)?;
+                for r in 0..meta.num_regions() {
+                    if r % n != id.raw() {
+                        continue;
+                    }
+                    st.read_data_region(
+                        &odms,
+                        &cost,
+                        pdc_types::RegionId::new(obj, r),
+                        n,
+                    )?;
+                }
+            }
+            Ok(())
+        });
+        results.into_iter().collect::<PdcResult<Vec<()>>>()?;
+        Ok(())
+    }
+
+    /// `PDCquery_get_data`: load the values of the matching elements of
+    /// `object` into memory, in coordinate order.
+    pub fn get_data(&self, outcome: &QueryOutcome, object: ObjectId) -> PdcResult<GetDataOutcome> {
+        self.get_data_for_selection(&outcome.selection, object, outcome.sorted_hint.as_ref())
+    }
+
+    /// `PDCquery_get_data_batch`: retrieve the data in batches of at most
+    /// `batch_elems` elements ("when the resulting data size is too large
+    /// and cannot fit in memory at one time"). Returns the per-batch
+    /// outcomes; concatenating the batch data reproduces `get_data`.
+    pub fn get_data_batch(
+        &self,
+        outcome: &QueryOutcome,
+        object: ObjectId,
+        batch_elems: u64,
+    ) -> PdcResult<Vec<GetDataOutcome>> {
+        assert!(batch_elems > 0, "batch size must be positive");
+        let mut batches = Vec::new();
+        let mut chunk: Vec<Run> = Vec::new();
+        let mut chunk_len = 0u64;
+        let flush =
+            |chunk: &mut Vec<Run>, chunk_len: &mut u64, batches: &mut Vec<Selection>| {
+                if !chunk.is_empty() {
+                    batches.push(Selection::from_canonical_runs(std::mem::take(chunk)));
+                    *chunk_len = 0;
+                }
+            };
+        let mut parts: Vec<Selection> = Vec::new();
+        for run in outcome.selection.runs() {
+            let mut start = run.start;
+            let mut remaining = run.len;
+            while remaining > 0 {
+                let take = remaining.min(batch_elems - chunk_len);
+                chunk.push(Run::new(start, take));
+                chunk_len += take;
+                start += take;
+                remaining -= take;
+                if chunk_len == batch_elems {
+                    flush(&mut chunk, &mut chunk_len, &mut parts);
+                }
+            }
+        }
+        flush(&mut chunk, &mut chunk_len, &mut parts);
+        for sel in &parts {
+            batches.push(self.get_data_for_selection(sel, object, outcome.sorted_hint.as_ref())?);
+        }
+        Ok(batches)
+    }
+
+    fn get_data_for_selection(
+        &self,
+        selection: &Selection,
+        object: ObjectId,
+        sorted_hint: Option<&(ObjectId, Run)>,
+    ) -> PdcResult<GetDataOutcome> {
+        let meta = self.odms.meta().get(object)?;
+        let ty = meta.pdc_type;
+        let n = self.cfg.num_servers;
+        let cost = self.cfg.cost;
+        let odms = Arc::clone(&self.odms);
+        let elem_bytes = ty.size_bytes();
+
+        let use_sorted = matches!(sorted_hint, Some((o, _)) if *o == object);
+        let span_hint = sorted_hint.map(|(_, s)| *s);
+
+        type GatherResult = PdcResult<(Vec<(u64, f64)>, SimDuration, IoCounters)>;
+        let results: Vec<GatherResult> =
+            self.pool.broadcast(|id, st| {
+                let t0 = st.clock.now();
+                let io0 = st.io;
+                let w0 = st.work;
+                let mut pairs: Vec<(u64, f64)> = Vec::new();
+                if use_sorted {
+                    // Serve straight from the sorted replica: this server
+                    // walks its share of the matching sorted band; values
+                    // are already resident from the evaluation.
+                    let replica = odms.meta().sorted_replica(object)?;
+                    let span = span_hint.unwrap();
+                    let sorted_obj = ObjectId(object.raw() | 1 << 63);
+                    for (i, sr) in replica.regions_of_span(&span).iter().enumerate() {
+                        if i as u32 % n != id.raw() {
+                            continue;
+                        }
+                        let region_start = *sr as u64 * replica.region_len();
+                        let region_end =
+                            (region_start + replica.region_len()).min(replica.len());
+                        let bytes = (region_end - region_start) * (elem_bytes + 8);
+                        st.touch_sorted_region(
+                            &cost,
+                            pdc_types::RegionId::new(sorted_obj, *sr),
+                            bytes,
+                            n,
+                        );
+                        let lo = span.start.max(region_start);
+                        let hi = span.end().min(region_end);
+                        for s in lo..hi {
+                            let coord = replica.perm()[s as usize];
+                            if selection.contains(coord) {
+                                st.work.elements_gathered += 1;
+                                pairs.push((coord, replica.keys()[s as usize]));
+                            }
+                        }
+                    }
+                } else {
+                    // Coordinate path: this server gathers from its
+                    // round-robin share of the regions holding hits.
+                    for r in 0..meta.num_regions() {
+                        if r % n != id.raw() {
+                            continue;
+                        }
+                        let span = meta.region_span(r);
+                        let local = selection.restrict_to_span(span.offset, span.len);
+                        if local.is_empty() {
+                            continue;
+                        }
+                        let payload = st.read_data_region_uncached(
+                            &odms,
+                            &cost,
+                            pdc_types::RegionId::new(object, r),
+                            n,
+                        )?;
+                        for c in local.iter_coords() {
+                            st.work.elements_gathered += 1;
+                            pairs.push((c, payload.get_f64((c - span.offset) as usize)));
+                        }
+                    }
+                }
+                st.settle_cpu(&cost, &w0);
+                Ok((pairs, st.elapsed_since(t0), diff_io(&st.io, &io0)))
+            });
+
+        let mut all_pairs: Vec<(u64, f64)> = Vec::new();
+        let mut io = IoCounters::default();
+        let mut slowest = SimDuration::ZERO;
+        let mut bytes_transferred = 0;
+        let mut servers_involved = 0;
+        for r in results {
+            let (pairs, elapsed, io_d) = r?;
+            let bytes = pairs.len() as u64 * (8 + elem_bytes);
+            let total = elapsed + cost.net.transfer_cost(bytes);
+            if !pairs.is_empty() {
+                servers_involved += 1;
+                bytes_transferred += bytes;
+            }
+            if total > slowest {
+                slowest = total;
+            }
+            io.merge(&io_d);
+            all_pairs.extend(pairs);
+        }
+        all_pairs.sort_unstable_by_key(|&(c, _)| c);
+        let data = typed_from_f64(ty, all_pairs.iter().map(|&(_, v)| v));
+
+        Ok(GetDataOutcome {
+            data,
+            elapsed: slowest,
+            io,
+            bytes_transferred,
+            servers_involved,
+        })
+    }
+}
+
+/// Rebuild a typed array from f64 values (exact for values that came from
+/// the same type).
+fn typed_from_f64(ty: PdcType, values: impl Iterator<Item = f64>) -> TypedVec {
+    match ty {
+        PdcType::Float => TypedVec::Float(values.map(|v| v as f32).collect()),
+        PdcType::Double => TypedVec::Double(values.collect()),
+        PdcType::Int32 => TypedVec::Int32(values.map(|v| v as i32).collect()),
+        PdcType::UInt32 => TypedVec::UInt32(values.map(|v| v as u32).collect()),
+        PdcType::Int64 => TypedVec::Int64(values.map(|v| v as i64).collect()),
+        PdcType::UInt64 => TypedVec::UInt64(values.map(|v| v as u64).collect()),
+    }
+}

@@ -1,0 +1,397 @@
+//! Per-server query evaluation (paper §III-C, §III-D).
+//!
+//! Each logical server evaluates the plan over the regions assigned to it
+//! (round-robin on the shared region grid; for the sorted strategy, on the
+//! sorted replica's value-partitioned regions). The four strategies:
+//!
+//! * **FullScan** (`PDC-F`) — read every assigned region, scan every
+//!   element.
+//! * **Histogram** (`PDC-H`) — skip regions whose histogram min/max cannot
+//!   contain matches, scan the surviving regions.
+//! * **HistogramIndex** (`PDC-HI`) — like `PDC-H`, but surviving regions
+//!   are answered from the bitmap index (reading the index file instead of
+//!   the data); raw data is read only for candidate boundary bins.
+//! * **SortedHistogram** (`PDC-SH`) — the primary constraint is answered
+//!   from the value-sorted replica: only the contiguous band of sorted
+//!   regions overlapping the interval is touched.
+//!
+//! Conjunctions evaluate the most-selective constraint first and
+//! point-check the remaining constraints only at already-matching
+//! locations; disjunctions union their children with duplicate removal
+//! (paper §III-C).
+
+use crate::engine::Strategy;
+use crate::plan::{ObjConstraint, PlanNode, QueryPlan};
+use crate::state::ServerState;
+use pdc_odms::Odms;
+use pdc_storage::CostModel;
+use pdc_types::{Interval, NdRegion, ObjectId, PdcResult, RegionId, Run, Selection};
+
+/// Everything a server needs to evaluate a plan.
+pub struct EvalCtx<'a> {
+    /// The data management system.
+    pub odms: &'a Odms,
+    /// The cost model.
+    pub cost: &'a CostModel,
+    /// The evaluation strategy.
+    pub strategy: Strategy,
+    /// Number of servers participating (= read concurrency).
+    pub n_servers: u32,
+    /// This server's index.
+    pub server: u32,
+}
+
+/// Evaluate the full plan on this server; returns the server's partial
+/// selection in global coordinates.
+pub fn eval_plan(ctx: &EvalCtx, state: &mut ServerState, plan: &QueryPlan) -> PdcResult<Selection> {
+    // Metadata distribution: each server fetches the metadata (offsets,
+    // sizes, histograms) of its assigned regions for every object in the
+    // query; cached for the server's lifetime afterwards.
+    let mut objects = Vec::new();
+    plan.root.objects(&mut objects);
+    objects.sort_unstable();
+    objects.dedup();
+    for obj in objects {
+        let meta = ctx.odms.meta().get(obj)?;
+        let assigned = u64::from(meta.num_regions()).div_ceil(u64::from(ctx.n_servers));
+        state.charge_metadata_distribution(ctx.cost, obj, assigned);
+    }
+    eval_node(ctx, state, &plan.root, plan.region.as_ref(), None)
+}
+
+fn eval_node(
+    ctx: &EvalCtx,
+    state: &mut ServerState,
+    node: &PlanNode,
+    region: Option<&NdRegion>,
+    candidates: Option<&Selection>,
+) -> PdcResult<Selection> {
+    match node {
+        PlanNode::Conj(constraints) => eval_conj(ctx, state, constraints, region, candidates),
+        PlanNode::Or(children) => {
+            // Union with duplicate removal ("merge sort" in the paper).
+            let mut acc = Selection::empty();
+            for child in children {
+                let sel = eval_node(ctx, state, child, region, candidates)?;
+                acc = acc.union(&sel);
+            }
+            Ok(acc)
+        }
+        PlanNode::And(children) => {
+            // Children are selectivity-ordered; the first evaluates with
+            // its primary strategy, the rest run in candidate mode over
+            // the shrinking selection. Short-circuit on empty (the
+            // paper's special case).
+            let mut current: Option<Selection> = candidates.cloned();
+            for child in children {
+                let sel = eval_node(ctx, state, child, region, current.as_ref())?;
+                if sel.is_empty() {
+                    return Ok(Selection::empty());
+                }
+                current = Some(sel);
+            }
+            Ok(current.unwrap_or_else(Selection::empty))
+        }
+    }
+}
+
+fn eval_conj(
+    ctx: &EvalCtx,
+    state: &mut ServerState,
+    constraints: &[ObjConstraint],
+    region: Option<&NdRegion>,
+    candidates: Option<&Selection>,
+) -> PdcResult<Selection> {
+    if constraints.iter().any(|c| c.interval.is_empty()) {
+        return Ok(Selection::empty());
+    }
+    let mut sel = match candidates {
+        // Candidate mode: every constraint point-checks the incoming
+        // selection — no primary evaluation.
+        Some(cand) => {
+            let mut sel = cand.clone();
+            for c in constraints {
+                if sel.is_empty() {
+                    break;
+                }
+                sel = point_check(ctx, state, c.object, &c.interval, &sel)?;
+            }
+            sel
+        }
+        None => {
+            let primary = &constraints[0];
+            let mut sel = eval_primary(ctx, state, primary, region)?;
+            for c in &constraints[1..] {
+                if sel.is_empty() {
+                    break; // "no need to evaluate the remainder"
+                }
+                sel = point_check(ctx, state, c.object, &c.interval, &sel)?;
+            }
+            sel
+        }
+    };
+    // Spatial constraint: exact filter (the primary pass already narrowed
+    // the regions for 1-D constraints; this handles the boundaries and
+    // the N-dimensional case).
+    if let Some(r) = region {
+        sel = apply_region_filter(ctx, sel, constraints[0].object, r)?;
+    }
+    Ok(sel)
+}
+
+/// Evaluate the primary (most selective) constraint with the configured
+/// strategy over this server's assigned regions.
+fn eval_primary(
+    ctx: &EvalCtx,
+    state: &mut ServerState,
+    c: &ObjConstraint,
+    region: Option<&NdRegion>,
+) -> PdcResult<Selection> {
+    if ctx.strategy == Strategy::SortedHistogram
+        && ctx.odms.meta().get(c.object)?.has_sorted_replica
+    {
+        return eval_primary_sorted(ctx, state, c);
+    }
+    let meta = ctx.odms.meta().get(c.object)?;
+    // 1-D spatial constraints narrow the candidate region set up front.
+    let span_limit = region.and_then(|r| r.as_1d_span());
+    let hists = match ctx.strategy {
+        Strategy::FullScan => None,
+        _ => Some(ctx.odms.meta().region_histograms(c.object)?),
+    };
+
+    let mut out: Vec<Run> = Vec::new();
+    for r in 0..meta.num_regions() {
+        if r % ctx.n_servers != ctx.server {
+            continue; // load-balanced round-robin assignment
+        }
+        let span = meta.region_span(r);
+        if let Some(limit) = span_limit {
+            if span.intersect(&pdc_types::RegionSpec::new(limit.offset, limit.len)).is_none() {
+                continue;
+            }
+        }
+        // Histogram-based region elimination. The paper uses the
+        // histogram's min/max; we use the full histogram (upper-bound
+        // estimate = 0 ⇒ no possible hit), which subsumes the min/max
+        // test and additionally prunes regions whose occupied bins all
+        // miss the interval — see DESIGN.md §6.
+        if let Some(hs) = &hists {
+            let h = &hs[r as usize];
+            state.work.histogram_bins += h.num_bins() as u64;
+            if h.estimate_hits(&c.interval).upper == 0 {
+                continue;
+            }
+        }
+        let region_sel = match ctx.strategy {
+            Strategy::HistogramIndex => {
+                eval_region_indexed(ctx, state, c.object, r, span, &c.interval)?
+            }
+            _ => eval_region_scan(ctx, state, c.object, r, span, &c.interval)?,
+        };
+        out.extend_from_slice(region_sel.runs());
+    }
+    Ok(Selection::from_runs(out))
+}
+
+/// Scan one region's data (FullScan / Histogram strategies).
+fn eval_region_scan(
+    ctx: &EvalCtx,
+    state: &mut ServerState,
+    object: ObjectId,
+    region: u32,
+    span: pdc_types::RegionSpec,
+    interval: &Interval,
+) -> PdcResult<Selection> {
+    let before = state.work;
+    let payload = state.read_data_region(ctx.odms, ctx.cost, RegionId::new(object, region), ctx.n_servers)?;
+    state.work.elements_scanned += payload.len() as u64;
+    let mut runs: Vec<Run> = Vec::new();
+    let mut open: Option<Run> = None;
+    for i in 0..payload.len() {
+        if interval.contains(payload.get_f64(i)) {
+            match &mut open {
+                Some(r) => r.len += 1,
+                None => open = Some(Run::new(span.offset + i as u64, 1)),
+            }
+        } else if let Some(r) = open.take() {
+            runs.push(r);
+        }
+    }
+    if let Some(r) = open {
+        runs.push(r);
+    }
+    state.settle_cpu(ctx.cost, &before);
+    Ok(Selection::from_canonical_runs(runs))
+}
+
+/// Answer one region from its bitmap index (HistogramIndex strategy); the
+/// raw data is read only when boundary bins need a candidate check.
+fn eval_region_indexed(
+    ctx: &EvalCtx,
+    state: &mut ServerState,
+    object: ObjectId,
+    region: u32,
+    span: pdc_types::RegionSpec,
+    interval: &Interval,
+) -> PdcResult<Selection> {
+    let before = state.work;
+    let idx = state.read_index_region(ctx.odms, ctx.cost, object, region, ctx.n_servers)?;
+    state.work.bitmap_words += idx.size_bytes_serialized() / 4;
+    let ans = idx.query(interval);
+    let local = if ans.needs_candidate_check() {
+        // Boundary bins: read the region's data and verify candidates.
+        let payload =
+            state.read_data_region(ctx.odms, ctx.cost, RegionId::new(object, region), ctx.n_servers)?;
+        state.work.elements_scanned += ans.candidates.count();
+        ans.resolve(interval, |i| payload.get_f64(i as usize))
+    } else {
+        ans.sure
+    };
+    state.settle_cpu(ctx.cost, &before);
+    Ok(local.shifted(span.offset))
+}
+
+/// Answer the primary constraint from the value-sorted replica
+/// (SortedHistogram strategy).
+fn eval_primary_sorted(
+    ctx: &EvalCtx,
+    state: &mut ServerState,
+    c: &ObjConstraint,
+) -> PdcResult<Selection> {
+    let before = state.work;
+    let meta = ctx.odms.meta().get(c.object)?;
+    let replica = ctx.odms.meta().sorted_replica(c.object)?;
+    let elem_bytes = meta.pdc_type.size_bytes();
+    // The global histogram narrows the span; two binary searches find it
+    // exactly.
+    state.work.sorted_probes += 2 * (replica.len().max(2) as f64).log2().ceil() as u64;
+    let span = replica.matching_span(&c.interval);
+    let touched = replica.regions_of_span(&span);
+
+    // Sorted regions are value-partitioned; distribute the touched band
+    // round-robin across servers. (A pseudo object id derived from the
+    // data object keys the residency set.)
+    let sorted_obj = ObjectId(c.object.raw() | 1 << 63);
+    let mut coords: Vec<u64> = Vec::new();
+    for (i, &sr) in touched.iter().enumerate() {
+        if i as u32 % ctx.n_servers != ctx.server {
+            continue;
+        }
+        let region_start = sr as u64 * replica.region_len();
+        let region_end = (region_start + replica.region_len()).min(replica.len());
+        // Reading a sorted region brings in keys + permutation.
+        let bytes = (region_end - region_start) * (elem_bytes + 8);
+        state.touch_sorted_region(ctx.cost, RegionId::new(sorted_obj, sr), bytes, ctx.n_servers);
+        // The matching slice inside this region is contiguous.
+        let lo = span.start.max(region_start);
+        let hi = span.end().min(region_end);
+        if lo < hi {
+            state.work.elements_scanned += hi - lo;
+            coords.extend_from_slice(&replica.perm()[lo as usize..hi as usize]);
+        }
+    }
+    state.settle_cpu(ctx.cost, &before);
+    Ok(Selection::from_unsorted_coords(coords))
+}
+
+/// Check `interval` on `object` only at already-selected locations:
+/// the paper's AND optimization. Regions are the unit of I/O — a touched
+/// region is read wholly (and cached); untouched regions cost nothing,
+/// which is why evaluating the most selective constraint first wins.
+pub fn point_check(
+    ctx: &EvalCtx,
+    state: &mut ServerState,
+    object: ObjectId,
+    interval: &Interval,
+    candidates: &Selection,
+) -> PdcResult<Selection> {
+    let meta = ctx.odms.meta().get(object)?;
+    let hists = ctx.odms.meta().region_histograms(object).ok();
+    let before = state.work;
+    let mut out: Vec<Run> = Vec::new();
+    // Group candidate coordinates by region.
+    let mut r = 0u32;
+    let num_regions = meta.num_regions();
+    let mut pending: Vec<Run> = candidates.runs().to_vec();
+    while r < num_regions && !pending.is_empty() {
+        let span = meta.region_span(r);
+        // Runs intersecting this region.
+        let mut in_region: Vec<Run> = Vec::new();
+        let mut rest: Vec<Run> = Vec::new();
+        for run in pending.drain(..) {
+            if run.start >= span.end() {
+                rest.push(run);
+                continue;
+            }
+            let lo = run.start.max(span.offset);
+            let hi = run.end().min(span.end());
+            if lo < hi {
+                in_region.push(Run::new(lo, hi - lo));
+            }
+            if run.end() > span.end() {
+                rest.push(Run::new(span.end(), run.end() - span.end()));
+            }
+        }
+        pending = rest;
+        if !in_region.is_empty() {
+            // Histogram pruning also applies to point checks (strategies
+            // other than full scan): a region whose min/max cannot match
+            // rejects all its candidates without a read.
+            let prunable = ctx.strategy != Strategy::FullScan
+                && hists
+                    .as_ref()
+                    .map(|hs| {
+                        let h = &hs[r as usize];
+                        state.work.histogram_bins += h.num_bins() as u64;
+                        h.estimate_hits(interval).upper == 0
+                    })
+                    .unwrap_or(false);
+            if !prunable {
+                let payload = state.read_data_region(
+                    ctx.odms,
+                    ctx.cost,
+                    RegionId::new(object, r),
+                    ctx.n_servers,
+                )?;
+                for run in &in_region {
+                    state.work.elements_scanned += run.len;
+                    let mut open: Option<Run> = None;
+                    for c in run.start..run.end() {
+                        let v = payload.get_f64((c - span.offset) as usize);
+                        if interval.contains(v) {
+                            match &mut open {
+                                Some(r) => r.len += 1,
+                                None => open = Some(Run::new(c, 1)),
+                            }
+                        } else if let Some(r) = open.take() {
+                            out.push(r);
+                        }
+                    }
+                    if let Some(r) = open {
+                        out.push(r);
+                    }
+                }
+            }
+        }
+        r += 1;
+    }
+    state.settle_cpu(ctx.cost, &before);
+    Ok(Selection::from_runs(out))
+}
+
+/// Exact spatial filtering for `PDCquery_set_region`.
+fn apply_region_filter(
+    ctx: &EvalCtx,
+    sel: Selection,
+    object: ObjectId,
+    region: &NdRegion,
+) -> PdcResult<Selection> {
+    let meta = ctx.odms.meta().get(object)?;
+    if let Some(span) = region.as_1d_span() {
+        Ok(sel.restrict_to_span(span.offset, span.len))
+    } else {
+        let shape = meta.shape.clone();
+        Ok(sel.filter_coords(|c| region.contains_linear(&shape, c)))
+    }
+}

@@ -1,0 +1,37 @@
+//! # pdc-query
+//!
+//! **The paper's core contribution**: a parallel query service for
+//! object-centric data management systems.
+//!
+//! * [`ast`] — the user-facing query construction API mirroring the C API
+//!   of Fig. 1: [`PdcQuery::create`] (`PDCquery_create`),
+//!   [`PdcQuery::and`] / [`PdcQuery::or`], [`PdcQuery::set_region`].
+//!   Queries serialize for the client→server broadcast.
+//! * [`plan`] — normalization of the query tree into per-object value
+//!   intervals plus the **selectivity-ordered** evaluation plan driven by
+//!   global histograms (§III-D2).
+//! * [`exec`] — the per-server evaluators for the four strategies of §VI:
+//!   full scan (`PDC-F`), histogram-only (`PDC-H`), histogram + bitmap
+//!   index (`PDC-HI`), and sorted + histogram (`PDC-SH`).
+//! * [`state`] — per-logical-server state: region cache, index cache,
+//!   resident sorted regions, simulated clock and counters.
+//! * [`engine`] — the [`QueryEngine`]: broadcast, load-balanced region
+//!   assignment, result aggregation, `get_nhits` / `get_selection` /
+//!   `get_data` / `get_data_batch` / `get_histogram`.
+//! * [`multi`] — combined metadata + data queries over many small objects
+//!   (the H5BOSS scenario of §VI-C).
+
+pub mod ast;
+pub mod engine;
+pub mod exec;
+pub mod multi;
+pub mod parse;
+pub mod plan;
+pub mod state;
+
+pub use ast::PdcQuery;
+pub use parse::parse_query;
+pub use engine::{EngineConfig, GetDataOutcome, QueryEngine, QueryOutcome, Strategy};
+pub use multi::MetaDataQueryOutcome;
+pub use plan::QueryPlan;
+pub use state::ServerState;

@@ -1,0 +1,161 @@
+//! Combined metadata + data queries over many small objects
+//! (the H5BOSS scenario, paper §VI-C).
+//!
+//! "Scientists are often interested in the data values of a small number
+//! of objects that are associated with specific metadata, such as the
+//! number of values that are within a range of objects that have a common
+//! metadata key-value pair."
+//!
+//! The flow: the metadata service instantly resolves the tag conditions
+//! (e.g. `RADEG = 153.17 AND DECDEG = 23.06`) to a set of objects; the
+//! selected objects are distributed across the servers; each server
+//! evaluates the value condition on its objects with the configured
+//! strategy ("due to the small size of the BOSS objects, each object has
+//! one region only").
+
+use crate::engine::{QueryEngine, Strategy};
+use crate::state::ServerState;
+use pdc_odms::MetaValue;
+use pdc_storage::{IoCounters, SimDuration};
+use pdc_types::{Interval, ObjectId, PdcResult, RegionId};
+use std::sync::Arc;
+
+/// Outcome of a metadata + data query.
+#[derive(Debug, Clone)]
+pub struct MetaDataQueryOutcome {
+    /// Objects selected by the metadata conditions.
+    pub objects_matched: u64,
+    /// Total number of data values matching the interval across all
+    /// selected objects.
+    pub nhits: u64,
+    /// Per-object hit counts (object id, hits), for callers that need
+    /// them.
+    pub per_object_hits: Vec<(ObjectId, u64)>,
+    /// Simulated elapsed time: metadata resolution + slowest server.
+    pub elapsed: SimDuration,
+    /// Time spent in the metadata lookup alone.
+    pub metadata_elapsed: SimDuration,
+    /// Aggregated I/O.
+    pub io: IoCounters,
+}
+
+impl QueryEngine {
+    /// `PDCquery_tag`: resolve metadata key/value conditions to the
+    /// matching object ids, with the simulated lookup time (an in-memory
+    /// inverted-index intersection on the owner server).
+    pub fn query_tag(
+        &self,
+        conds: &[(&str, MetaValue)],
+    ) -> (Vec<ObjectId>, SimDuration) {
+        let objects = self.odms().meta().query_tags(conds);
+        let elapsed = self.config_cost().net.transfer_cost(64)
+            + SimDuration::from_nanos(200 * (objects.len() as u64 + 1));
+        (objects, elapsed)
+    }
+
+    /// Evaluate `interval` on the values of every object matching all the
+    /// metadata `conds`, returning total hits (the H5BOSS query shape).
+    pub fn metadata_data_query(
+        &self,
+        conds: &[(&str, MetaValue)],
+        interval: &Interval,
+    ) -> PdcResult<MetaDataQueryOutcome> {
+        let cost = self.config_cost();
+        let n = self.num_servers();
+
+        // Metadata resolution: an in-memory inverted-index lookup on the
+        // owner server — "it can locate the 1000 objects instantly".
+        let objects = self.odms().meta().query_tags(conds);
+        let metadata_elapsed = cost.net.transfer_cost(64)
+            + SimDuration::from_nanos(200 * (objects.len() as u64 + 1));
+
+        let odms = Arc::clone(self.odms());
+        let strategy = self.strategy();
+        let iv = *interval;
+        let objects_arc: Arc<Vec<ObjectId>> = Arc::new(objects);
+        let objects_for_eval = Arc::clone(&objects_arc);
+
+        type ObjectHitsResult = PdcResult<(Vec<(ObjectId, u64)>, SimDuration, IoCounters)>;
+        let results: Vec<ObjectHitsResult> = self
+            .pool_broadcast(move |id, st: &mut ServerState| {
+                let t0 = st.clock.now();
+                let io0 = st.io;
+                let w0 = st.work;
+                let mut hits: Vec<(ObjectId, u64)> = Vec::new();
+                for (i, &obj) in objects_for_eval.iter().enumerate() {
+                    if i as u32 % n != id.raw() {
+                        continue;
+                    }
+                    let meta = odms.meta().get(obj)?;
+                    let mut obj_hits = 0u64;
+                    for r in 0..meta.num_regions() {
+                        // Histogram pruning applies per region.
+                        if strategy != Strategy::FullScan {
+                            if let Ok(hs) = odms.meta().region_histograms(obj) {
+                                let h = &hs[r as usize];
+                                st.work.histogram_bins += h.num_bins() as u64;
+                                if h.estimate_hits(&iv).upper == 0 {
+                                    continue;
+                                }
+                            }
+                        }
+                        obj_hits += match strategy {
+                            Strategy::HistogramIndex if meta.index_object.is_some() => {
+                                let idx = st.read_index_region(&odms, &cost, obj, r, n)?;
+                                st.work.bitmap_words += idx.size_bytes_serialized() / 4;
+                                let ans = idx.query(&iv);
+                                if ans.needs_candidate_check() {
+                                    let payload = st.read_data_region(
+                                        &odms,
+                                        &cost,
+                                        RegionId::new(obj, r),
+                                        n,
+                                    )?;
+                                    st.work.elements_scanned += ans.candidates.count();
+                                    ans.resolve(&iv, |i| payload.get_f64(i as usize)).count()
+                                } else {
+                                    ans.sure.count()
+                                }
+                            }
+                            _ => {
+                                let payload =
+                                    st.read_data_region(&odms, &cost, RegionId::new(obj, r), n)?;
+                                st.work.elements_scanned += payload.len() as u64;
+                                (0..payload.len())
+                                    .filter(|&i| iv.contains(payload.get_f64(i)))
+                                    .count() as u64
+                            }
+                        };
+                    }
+                    hits.push((obj, obj_hits));
+                }
+                st.settle_cpu(&cost, &w0);
+                Ok((hits, st.elapsed_since(t0), crate::engine::diff_io(&st.io, &io0)))
+            });
+
+        let mut per_object_hits: Vec<(ObjectId, u64)> = Vec::new();
+        let mut io = IoCounters::default();
+        let mut slowest = SimDuration::ZERO;
+        for r in results {
+            let (hits, elapsed, io_d) = r?;
+            let bytes = hits.len() as u64 * 16;
+            let total = elapsed + cost.net.transfer_cost(bytes);
+            if total > slowest {
+                slowest = total;
+            }
+            io.merge(&io_d);
+            per_object_hits.extend(hits);
+        }
+        per_object_hits.sort_unstable_by_key(|&(o, _)| o);
+        let nhits = per_object_hits.iter().map(|&(_, h)| h).sum();
+
+        Ok(MetaDataQueryOutcome {
+            objects_matched: objects_arc.len() as u64,
+            nhits,
+            per_object_hits,
+            elapsed: metadata_elapsed + slowest,
+            metadata_elapsed,
+            io,
+        })
+    }
+}

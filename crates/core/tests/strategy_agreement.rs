@@ -1,0 +1,319 @@
+//! The central correctness invariant of the reproduction: **every
+//! evaluation strategy returns exactly the same hits** as a naive filter
+//! over the raw data — full scan, histogram pruning, bitmap index, and
+//! sorted replica are pure optimizations.
+
+use pdc_odms::{ImportOptions, Odms};
+use pdc_query::{EngineConfig, PdcQuery, QueryEngine, Strategy};
+use pdc_types::{Interval, NdRegion, ObjectId, QueryOp, TypedVec};
+use std::sync::Arc;
+
+const ALL_STRATEGIES: [Strategy; 4] = [
+    Strategy::FullScan,
+    Strategy::Histogram,
+    Strategy::HistogramIndex,
+    Strategy::SortedHistogram,
+];
+
+/// A small VPIC-flavoured dataset: energy has a bulk plus a clustered
+/// tail; x/y/z are spatial coordinates with smooth variation.
+struct TestWorld {
+    odms: Arc<Odms>,
+    energy: ObjectId,
+    x: ObjectId,
+    raw_energy: Vec<f32>,
+    raw_x: Vec<f32>,
+}
+
+fn build_world(n: usize, region_bytes: u64) -> TestWorld {
+    let odms = Arc::new(Odms::new(8));
+    let c = odms.create_container("vpic");
+    let energy: Vec<f32> = (0..n)
+        .map(|i| {
+            let base = ((i as f32 * 0.37).sin() + 1.0) * 0.9; // smooth [0, 1.8]
+            if (3000..3400).contains(&(i % 8000)) {
+                2.0 + ((i * 31) % 160) as f32 / 100.0 // clustered tail [2.0, 3.6)
+            } else {
+                base
+            }
+        })
+        .collect();
+    let x: Vec<f32> = (0..n).map(|i| ((i as f32 * 0.011).cos() + 1.0) * 166.0).collect();
+    let opts = ImportOptions {
+        region_bytes,
+        build_index: true,
+        build_sorted: true,
+        ..Default::default()
+    };
+    let e = odms.import_array(c, "energy", TypedVec::Float(energy.clone()), &opts).unwrap().object;
+    let xo = odms.import_array(c, "x", TypedVec::Float(x.clone()), &opts).unwrap().object;
+    TestWorld { odms, energy: e, x: xo, raw_energy: energy, raw_x: x }
+}
+
+fn engine(world: &TestWorld, strategy: Strategy, servers: u32) -> QueryEngine {
+    QueryEngine::new(
+        Arc::clone(&world.odms),
+        EngineConfig { strategy, num_servers: servers, ..Default::default() },
+    )
+}
+
+fn naive_hits(world: &TestWorld, e_iv: Option<&Interval>, x_iv: Option<&Interval>) -> Vec<u64> {
+    (0..world.raw_energy.len() as u64)
+        .filter(|&i| {
+            e_iv.is_none_or(|iv| iv.contains(world.raw_energy[i as usize] as f64))
+                && x_iv.is_none_or(|iv| iv.contains(world.raw_x[i as usize] as f64))
+        })
+        .collect()
+}
+
+#[test]
+fn single_object_range_query_all_strategies_agree() {
+    let world = build_world(40_000, 8192);
+    let expect = naive_hits(&world, Some(&Interval::open(2.1, 2.2)), None);
+    assert!(!expect.is_empty(), "test data must produce hits");
+    for strategy in ALL_STRATEGIES {
+        let eng = engine(&world, strategy, 4);
+        let q = PdcQuery::range_open(world.energy, 2.1f32, 2.2f32);
+        let out = eng.run(&q).unwrap();
+        assert_eq!(
+            out.selection.iter_coords().collect::<Vec<_>>(),
+            expect,
+            "strategy {strategy} disagrees"
+        );
+        assert_eq!(out.nhits, expect.len() as u64);
+    }
+}
+
+#[test]
+fn one_sided_queries_all_strategies_agree() {
+    let world = build_world(20_000, 4096);
+    for (op, v) in [
+        (QueryOp::Gt, 2.0f32),
+        (QueryOp::Gte, 2.0),
+        (QueryOp::Lt, 0.5),
+        (QueryOp::Lte, 0.5),
+    ] {
+        let iv = Interval::from_op(op, v as f64);
+        let expect = naive_hits(&world, Some(&iv), None);
+        for strategy in ALL_STRATEGIES {
+            let eng = engine(&world, strategy, 3);
+            let out = eng.run(&PdcQuery::create(world.energy, op, v)).unwrap();
+            assert_eq!(
+                out.selection.iter_coords().collect::<Vec<_>>(),
+                expect,
+                "{strategy} on {op:?} {v}"
+            );
+        }
+    }
+}
+
+#[test]
+fn multi_object_conjunction_all_strategies_agree() {
+    let world = build_world(30_000, 8192);
+    let e_iv = Interval::from_op(QueryOp::Gt, 2.0);
+    let x_iv = Interval::open(100.0, 200.0);
+    let expect = naive_hits(&world, Some(&e_iv), Some(&x_iv));
+    assert!(!expect.is_empty());
+    for strategy in ALL_STRATEGIES {
+        let eng = engine(&world, strategy, 4);
+        let q = PdcQuery::create(world.energy, QueryOp::Gt, 2.0f32)
+            .and(PdcQuery::range_open(world.x, 100.0f32, 200.0f32));
+        let out = eng.run(&q).unwrap();
+        assert_eq!(
+            out.selection.iter_coords().collect::<Vec<_>>(),
+            expect,
+            "strategy {strategy}"
+        );
+    }
+}
+
+#[test]
+fn disjunction_all_strategies_agree() {
+    let world = build_world(20_000, 8192);
+    let lo = Interval::from_op(QueryOp::Lt, 0.1);
+    let hi = Interval::from_op(QueryOp::Gt, 3.0);
+    let mut expect = naive_hits(&world, Some(&lo), None);
+    expect.extend(naive_hits(&world, Some(&hi), None));
+    expect.sort_unstable();
+    expect.dedup();
+    for strategy in ALL_STRATEGIES {
+        let eng = engine(&world, strategy, 4);
+        let q = PdcQuery::create(world.energy, QueryOp::Lt, 0.1f32)
+            .or(PdcQuery::create(world.energy, QueryOp::Gt, 3.0f32));
+        let out = eng.run(&q).unwrap();
+        assert_eq!(out.selection.iter_coords().collect::<Vec<_>>(), expect, "{strategy}");
+    }
+}
+
+#[test]
+fn and_over_or_all_strategies_agree() {
+    let world = build_world(20_000, 8192);
+    // (energy < 0.1 OR energy > 3.0) AND 100 < x < 250
+    let x_iv = Interval::open(100.0, 250.0);
+    let expect: Vec<u64> = (0..world.raw_energy.len() as u64)
+        .filter(|&i| {
+            let e = world.raw_energy[i as usize] as f64;
+            let x = world.raw_x[i as usize] as f64;
+            !(0.1..=3.0).contains(&e) && x_iv.contains(x)
+        })
+        .collect();
+    for strategy in ALL_STRATEGIES {
+        let eng = engine(&world, strategy, 4);
+        let q = (PdcQuery::create(world.energy, QueryOp::Lt, 0.1f32)
+            .or(PdcQuery::create(world.energy, QueryOp::Gt, 3.0f32)))
+        .and(PdcQuery::range_open(world.x, 100.0f32, 250.0f32));
+        let out = eng.run(&q).unwrap();
+        assert_eq!(out.selection.iter_coords().collect::<Vec<_>>(), expect, "{strategy}");
+    }
+}
+
+#[test]
+fn spatial_region_constraint_all_strategies_agree() {
+    let world = build_world(20_000, 4096);
+    let e_iv = Interval::from_op(QueryOp::Gt, 2.0);
+    let expect: Vec<u64> = naive_hits(&world, Some(&e_iv), None)
+        .into_iter()
+        .filter(|&c| (5_000..12_000).contains(&c))
+        .collect();
+    for strategy in ALL_STRATEGIES {
+        let eng = engine(&world, strategy, 4);
+        let q = PdcQuery::create(world.energy, QueryOp::Gt, 2.0f32)
+            .set_region(NdRegion::one_d(5_000, 7_000));
+        let out = eng.run(&q).unwrap();
+        assert_eq!(out.selection.iter_coords().collect::<Vec<_>>(), expect, "{strategy}");
+    }
+}
+
+#[test]
+fn results_independent_of_server_count() {
+    let world = build_world(30_000, 4096);
+    let q = PdcQuery::create(world.energy, QueryOp::Gt, 2.0f32)
+        .and(PdcQuery::range_open(world.x, 100.0f32, 200.0f32));
+    let reference = engine(&world, Strategy::Histogram, 1).run(&q).unwrap();
+    for servers in [2, 3, 7, 16, 64] {
+        for strategy in ALL_STRATEGIES {
+            let eng = engine(&world, strategy, servers);
+            let out = eng.run(&q).unwrap();
+            assert_eq!(
+                out.selection, reference.selection,
+                "{strategy} with {servers} servers"
+            );
+        }
+    }
+}
+
+#[test]
+fn repeated_queries_get_faster_with_caching() {
+    let world = build_world(40_000, 4096);
+    let eng = engine(&world, Strategy::Histogram, 4);
+    let q = PdcQuery::range_open(world.energy, 2.1f32, 2.2f32);
+    let first = eng.run(&q).unwrap();
+    let second = eng.run(&q).unwrap();
+    assert_eq!(first.selection, second.selection);
+    assert!(
+        second.elapsed < first.elapsed,
+        "cached run {} should beat cold run {}",
+        second.elapsed,
+        first.elapsed
+    );
+    assert_eq!(second.io.pfs_bytes_read, 0, "second run must be fully cached");
+}
+
+#[test]
+fn get_data_returns_exact_values_all_strategies() {
+    let world = build_world(20_000, 8192);
+    let q = PdcQuery::range_open(world.energy, 2.1f32, 2.2f32);
+    let expect_coords = naive_hits(&world, Some(&Interval::open(2.1, 2.2)), None);
+    let expect_values: Vec<f32> =
+        expect_coords.iter().map(|&c| world.raw_energy[c as usize]).collect();
+    for strategy in ALL_STRATEGIES {
+        let eng = engine(&world, strategy, 4);
+        let out = eng.run(&q).unwrap();
+        let data = eng.get_data(&out, world.energy).unwrap();
+        match &data.data {
+            TypedVec::Float(vs) => assert_eq!(vs, &expect_values, "{strategy}"),
+            other => panic!("wrong type {other:?}"),
+        }
+        assert!(data.servers_involved > 0);
+    }
+}
+
+#[test]
+fn get_data_on_other_object_than_queried() {
+    // "The memory objects may have the same or different data structures
+    // from those in the query condition" — query energy, fetch x.
+    let world = build_world(20_000, 8192);
+    let q = PdcQuery::range_open(world.energy, 2.1f32, 2.2f32);
+    let expect_coords = naive_hits(&world, Some(&Interval::open(2.1, 2.2)), None);
+    let expect_values: Vec<f32> =
+        expect_coords.iter().map(|&c| world.raw_x[c as usize]).collect();
+    for strategy in ALL_STRATEGIES {
+        let eng = engine(&world, strategy, 4);
+        let out = eng.run(&q).unwrap();
+        let data = eng.get_data(&out, world.x).unwrap();
+        match &data.data {
+            TypedVec::Float(vs) => assert_eq!(vs, &expect_values, "{strategy}"),
+            other => panic!("wrong type {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn get_data_batch_concatenates_to_get_data() {
+    let world = build_world(20_000, 8192);
+    let eng = engine(&world, Strategy::Histogram, 4);
+    let q = PdcQuery::create(world.energy, QueryOp::Gt, 2.0f32);
+    let out = eng.run(&q).unwrap();
+    assert!(out.nhits > 100);
+    let whole = eng.get_data(&out, world.energy).unwrap();
+    let batches = eng.get_data_batch(&out, world.energy, 64).unwrap();
+    assert!(batches.len() > 1, "should need multiple batches");
+    let mut concat: Vec<f32> = Vec::new();
+    for b in &batches {
+        match &b.data {
+            TypedVec::Float(vs) => concat.extend_from_slice(vs),
+            other => panic!("wrong type {other:?}"),
+        }
+    }
+    match &whole.data {
+        TypedVec::Float(vs) => assert_eq!(&concat, vs),
+        other => panic!("wrong type {other:?}"),
+    }
+}
+
+#[test]
+fn empty_result_short_circuits() {
+    let world = build_world(10_000, 4096);
+    for strategy in ALL_STRATEGIES {
+        let eng = engine(&world, strategy, 4);
+        let q = PdcQuery::create(world.energy, QueryOp::Gt, 100.0f32)
+            .and(PdcQuery::range_open(world.x, 100.0f32, 200.0f32));
+        let out = eng.run(&q).unwrap();
+        assert_eq!(out.nhits, 0, "{strategy}");
+        assert!(out.selection.is_empty());
+    }
+}
+
+#[test]
+fn equality_query_on_integers() {
+    let odms = Arc::new(Odms::new(4));
+    let c = odms.create_container("ints");
+    let data: Vec<i32> = (0..10_000).map(|i| i % 37).collect();
+    let opts = ImportOptions {
+        region_bytes: 4096,
+        build_index: true,
+        build_sorted: true,
+        ..Default::default()
+    };
+    let obj = odms.import_array(c, "ids", TypedVec::Int32(data.clone()), &opts).unwrap().object;
+    let expect: Vec<u64> = (0..10_000u64).filter(|&i| data[i as usize] == 17).collect();
+    for strategy in ALL_STRATEGIES {
+        let eng = QueryEngine::new(
+            Arc::clone(&odms),
+            EngineConfig { strategy, num_servers: 4, ..Default::default() },
+        );
+        let q = PdcQuery::create(obj, QueryOp::Eq, 17i32);
+        let out = eng.run(&q).unwrap();
+        assert_eq!(out.selection.iter_coords().collect::<Vec<_>>(), expect, "{strategy}");
+    }
+}

@@ -1,0 +1,31 @@
+//! # pdc-histogram
+//!
+//! Mergeable histograms — the core data structure of the PDC-Query paper
+//! (§III-D2 and §IV, Algorithm 1).
+//!
+//! PDC automatically generates a **local histogram** for every region when
+//! data is produced or imported. Local histograms serve two purposes:
+//!
+//! 1. **Region elimination**: a histogram carries the min/max of its
+//!    region, so regions that cannot contain any matching value are never
+//!    read from storage.
+//! 2. **Selectivity estimation**: summing the counts of bins overlapping a
+//!    query interval gives cheap lower/upper bounds on the number of hits,
+//!    which the planner uses to order the evaluation of multi-object
+//!    queries.
+//!
+//! The paper's key trick (Algorithm 1) is to build local histograms whose
+//! bin widths are **powers of two** and whose bin boundaries are aligned to
+//! multiples of the bin width (all boundaries fall in ℕ ± n·2^x). Any two
+//! such histograms are *mergeable*: the coarser width is a multiple of the
+//! finer, and the boundary grids nest, so local histograms can be folded
+//! into a **global histogram** of an entire object in O(bins) without
+//! touching the data again.
+
+pub mod algorithm1;
+pub mod estimate;
+pub mod merge;
+
+pub use algorithm1::{Histogram, HistogramConfig};
+pub use estimate::HitBounds;
+pub use merge::merge_all;

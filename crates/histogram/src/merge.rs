@@ -1,0 +1,208 @@
+//! Merging local histograms into a global histogram (paper §IV).
+//!
+//! "First identify the histogram with the largest bin width, which becomes
+//! the bin width for the resulting global histogram, and then iterate over
+//! each bin of all other histograms, and aggregate the bin count into the
+//! aggregated histogram. The merged histogram can have more bins than any
+//! of the existing ones if there are non-overlapping bin boundaries. The
+//! time complexity of merging histograms is also O(N)."
+//!
+//! Correctness rests on Algorithm 1's invariants: every bin width is a
+//! power of two and every boundary sits on the grid of multiples of that
+//! width, so a finer histogram's bin never straddles a coarser bin
+//! boundary.
+
+use crate::algorithm1::Histogram;
+
+impl Histogram {
+    /// Fold `other` into `self`, re-gridding `self` to the coarser of the
+    /// two bin widths and extending the boundary range as needed.
+    pub fn merge_in_place(&mut self, other: &Histogram) {
+        if other.total() == 0 {
+            return;
+        }
+        if self.total() == 0 {
+            *self = other.clone();
+            return;
+        }
+        let width = self.bin_width().max(other.bin_width());
+        // New aligned range covering both nominal ranges.
+        let self_last = self.first_edge() + self.num_bins() as f64 * self.bin_width();
+        let other_last = other.first_edge() + other.num_bins() as f64 * other.bin_width();
+        let first = (self.first_edge().min(other.first_edge()) / width).floor() * width;
+        let last = (self_last.max(other_last) / width).ceil() * width;
+        let nbins = (((last - first) / width).round() as usize).max(1);
+
+        let mut counts = vec![0u64; nbins];
+        let mut fold = |h: &Histogram| {
+            for k in 0..h.num_bins() {
+                let c = h.counts()[k];
+                if c == 0 {
+                    continue;
+                }
+                // Bin center identifies the containing coarse bin; by the
+                // nesting invariant the whole fine bin lands in it.
+                let (lo, hi) = h.bin_bounds(k);
+                let center = (lo + hi) / 2.0;
+                let idx = (((center - first) / width).floor() as isize)
+                    .clamp(0, nbins as isize - 1) as usize;
+                counts[idx] += c;
+            }
+        };
+        fold(self);
+        fold(other);
+
+        let max_bins = self.max_bins().max(other.max_bins());
+        let mut merged = Histogram::from_parts(
+            width,
+            first,
+            counts,
+            self.min().min(other.min()),
+            self.max().max(other.max()),
+            self.total() + other.total(),
+            max_bins,
+        );
+        while merged.num_bins() > max_bins {
+            merged.coarsen();
+        }
+        *self = merged;
+    }
+
+    /// Merged copy of `self` and `other`.
+    pub fn merged(&self, other: &Histogram) -> Histogram {
+        let mut out = self.clone();
+        out.merge_in_place(other);
+        out
+    }
+}
+
+/// Merge an iterator of histograms into a single global histogram.
+///
+/// Returns `None` when the iterator is empty. This is what the PDC servers
+/// run after the metadata distribution step: all of an object's region
+/// histograms fold into one **global histogram**, cached on every server
+/// and reused across a series of queries at very low access latency.
+pub fn merge_all<'a, I: IntoIterator<Item = &'a Histogram>>(hists: I) -> Option<Histogram> {
+    let mut it = hists.into_iter();
+    let first = it.next()?;
+    let mut acc = first.clone();
+    for h in it {
+        acc.merge_in_place(h);
+    }
+    Some(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm1::HistogramConfig;
+    use pdc_types::Interval;
+
+    fn build(data: &[f64]) -> Histogram {
+        Histogram::build(data, &HistogramConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn merge_preserves_total_min_max() {
+        let a = build(&(0..5_000).map(|i| i as f64 * 0.01).collect::<Vec<_>>()); // [0, 50)
+        let b = build(&(0..3_000).map(|i| 40.0 + i as f64 * 0.05).collect::<Vec<_>>()); // [40, 190)
+        let g = a.merged(&b);
+        assert_eq!(g.total(), 8_000);
+        assert_eq!(g.counts().iter().sum::<u64>(), 8_000);
+        assert_eq!(g.min(), 0.0);
+        assert!((g.max() - b.max()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merged_width_is_coarser_of_the_two() {
+        // Narrow-range region -> small width; wide-range region -> big width.
+        let narrow = build(&(0..4_000).map(|i| 1.0 + i as f64 * 1e-4).collect::<Vec<_>>());
+        let wide = build(&(0..4_000).map(|i| i as f64).collect::<Vec<_>>());
+        assert!(narrow.bin_width() < wide.bin_width());
+        let g = narrow.merged(&wide);
+        assert_eq!(g.bin_width(), wide.bin_width());
+        // still a power of two
+        let exp = g.bin_width().log2();
+        assert!((exp - exp.round()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_is_commutative_on_totals_and_estimates() {
+        let a = build(&(0..6_000).map(|i| (i % 100) as f64 * 0.37).collect::<Vec<_>>());
+        let b = build(&(0..6_000).map(|i| 10.0 + (i % 77) as f64 * 0.53).collect::<Vec<_>>());
+        let ab = a.merged(&b);
+        let ba = b.merged(&a);
+        assert_eq!(ab.total(), ba.total());
+        assert_eq!(ab.min(), ba.min());
+        assert_eq!(ab.max(), ba.max());
+        for iv in [Interval::open(5.0, 15.0), Interval::closed(0.0, 40.0)] {
+            let x = ab.estimate_hits(&iv);
+            let y = ba.estimate_hits(&iv);
+            assert_eq!(x.upper, y.upper, "{iv}");
+        }
+    }
+
+    #[test]
+    fn global_bounds_bracket_exact_across_regions() {
+        // Simulate 8 regions with different distributions, merge their
+        // local histograms, and verify the global bounds bracket the exact
+        // global count — the property the planner depends on.
+        let mut all: Vec<f64> = Vec::new();
+        let mut hists = Vec::new();
+        for r in 0..8 {
+            let base = r as f64 * 3.0;
+            let region: Vec<f64> =
+                (0..10_000).map(|i| base + ((i * 7 + r) % 1000) as f64 / 333.0).collect();
+            hists.push(build(&region));
+            all.extend_from_slice(&region);
+        }
+        let global = merge_all(hists.iter()).unwrap();
+        assert_eq!(global.total(), all.len() as u64);
+        for iv in [
+            Interval::open(2.1, 2.2),
+            Interval::open(0.0, 12.0),
+            Interval::closed(20.0, 30.0),
+            Interval::open(23.9, 24.0),
+        ] {
+            let exact = all.iter().filter(|&&v| iv.contains(v)).count() as u64;
+            let hb = global.estimate_hits(&iv);
+            assert!(hb.lower <= exact && exact <= hb.upper, "{iv}: {hb:?} vs exact {exact}");
+        }
+    }
+
+    #[test]
+    fn merge_all_empty_is_none() {
+        assert!(merge_all(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn merge_all_single_is_identity() {
+        let a = build(&[1.0, 2.0, 3.0, 2.5, 1.5]);
+        let g = merge_all(std::iter::once(&a)).unwrap();
+        assert_eq!(g, a);
+    }
+
+    #[test]
+    fn merging_many_regions_keeps_bin_count_bounded() {
+        // The global histogram may have more bins than any local one, but
+        // merging same-scale regions should not blow up the bin count.
+        let hists: Vec<Histogram> = (0..64)
+            .map(|r| {
+                build(
+                    &(0..2_000)
+                        .map(|i| r as f64 * 0.1 + (i % 500) as f64 / 100.0)
+                        .collect::<Vec<_>>(),
+                )
+            })
+            .collect();
+        let g = merge_all(hists.iter()).unwrap();
+        let max_local = hists.iter().map(|h| h.num_bins()).max().unwrap();
+        assert!(
+            g.num_bins() <= max_local * 8,
+            "global bins {} vs max local {}",
+            g.num_bins(),
+            max_local
+        );
+        assert_eq!(g.total(), 64 * 2_000);
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests for Algorithm 1 histograms: structural invariants,
+//! estimation bracketing, and merge correctness on arbitrary data.
+
+use pdc_histogram::{merge_all, Histogram, HistogramConfig};
+use pdc_types::Interval;
+use proptest::prelude::*;
+
+fn data_strategy() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1000.0f64..1000.0, 1..800)
+}
+
+fn cfg() -> HistogramConfig {
+    HistogramConfig { nbins_lower_bound: 32, sample_fraction: 0.2, seed: 7, max_bins: 1024 }
+}
+
+proptest! {
+    #[test]
+    fn width_is_power_of_two_and_edge_on_grid(data in data_strategy()) {
+        let h = Histogram::build(&data, &cfg()).unwrap();
+        let exp = h.bin_width().log2();
+        prop_assert!((exp - exp.round()).abs() < 1e-12, "width {}", h.bin_width());
+        let ratio = h.first_edge() / h.bin_width();
+        prop_assert!((ratio - ratio.round()).abs() < 1e-6, "edge {} width {}", h.first_edge(), h.bin_width());
+    }
+
+    #[test]
+    fn total_and_minmax_exact(data in data_strategy()) {
+        let h = Histogram::build(&data, &cfg()).unwrap();
+        prop_assert_eq!(h.total(), data.len() as u64);
+        prop_assert_eq!(h.counts().iter().sum::<u64>(), data.len() as u64);
+        let exact_min = data.iter().cloned().fold(f64::INFINITY, f64::min);
+        let exact_max = data.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(h.min(), exact_min);
+        prop_assert_eq!(h.max(), exact_max);
+    }
+
+    #[test]
+    fn estimate_brackets_exact(data in data_strategy(), lo in -1100.0f64..1100.0, w in 0.0f64..500.0) {
+        let h = Histogram::build(&data, &cfg()).unwrap();
+        let iv = Interval::closed(lo, lo + w);
+        let exact = data.iter().filter(|&&v| iv.contains(v)).count() as u64;
+        let hb = h.estimate_hits(&iv);
+        prop_assert!(hb.lower <= exact, "lower {} > exact {}", hb.lower, exact);
+        prop_assert!(hb.upper >= exact, "upper {} < exact {}", hb.upper, exact);
+    }
+
+    #[test]
+    fn pruning_never_discards_hits(data in data_strategy(), lo in -1100.0f64..1100.0, w in 0.0f64..500.0) {
+        let h = Histogram::build(&data, &cfg()).unwrap();
+        let iv = Interval::open(lo, lo + w);
+        let exact = data.iter().filter(|&&v| iv.contains(v)).count() as u64;
+        if exact > 0 {
+            prop_assert!(h.overlaps(&iv), "pruned a region with {} hits", exact);
+        }
+    }
+
+    #[test]
+    fn merge_matches_monolithic_bracketing(
+        a in data_strategy(),
+        b in data_strategy(),
+        c in data_strategy(),
+        lo in -1100.0f64..1100.0,
+        w in 0.0f64..800.0,
+    ) {
+        let ha = Histogram::build(&a, &cfg()).unwrap();
+        let hb = Histogram::build(&b, &cfg()).unwrap();
+        let hc = Histogram::build(&c, &cfg()).unwrap();
+        let g = merge_all([&ha, &hb, &hc]).unwrap();
+
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        all.extend_from_slice(&c);
+
+        prop_assert_eq!(g.total(), all.len() as u64);
+        let exact_min = all.iter().cloned().fold(f64::INFINITY, f64::min);
+        let exact_max = all.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(g.min(), exact_min);
+        prop_assert_eq!(g.max(), exact_max);
+
+        let iv = Interval::closed(lo, lo + w);
+        let exact = all.iter().filter(|&&v| iv.contains(v)).count() as u64;
+        let est = g.estimate_hits(&iv);
+        prop_assert!(est.lower <= exact && exact <= est.upper,
+            "global bounds {:?} do not bracket exact {}", est, exact);
+    }
+
+    #[test]
+    fn merge_associativity_on_aggregates(a in data_strategy(), b in data_strategy(), c in data_strategy()) {
+        let ha = Histogram::build(&a, &cfg()).unwrap();
+        let hb = Histogram::build(&b, &cfg()).unwrap();
+        let hc = Histogram::build(&c, &cfg()).unwrap();
+        let left = ha.merged(&hb).merged(&hc);
+        let right = ha.merged(&hb.merged(&hc));
+        prop_assert_eq!(left.total(), right.total());
+        prop_assert_eq!(left.min(), right.min());
+        prop_assert_eq!(left.max(), right.max());
+    }
+}

@@ -1,0 +1,351 @@
+//! The metadata service.
+//!
+//! In PDC, "a metadata object is managed by only one server to guarantee
+//! consistency"; metadata is small, pre-loaded, and served from memory.
+//! This service holds the object registry, the attribute (tag) inverted
+//! index used by `PDCquery_tag`-style metadata queries, the per-region
+//! local histograms, the merged **global histograms**, and the registries
+//! of derived artifacts (bitmap-index objects, sorted replicas).
+
+use crate::meta::{MetaValue, ObjectMeta};
+use parking_lot::RwLock;
+use pdc_histogram::{merge_all, Histogram};
+use pdc_sorted::SortedReplica;
+use pdc_types::{ContainerId, ObjectId, PdcError, PdcResult, ServerId};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// In-memory metadata service.
+#[derive(Debug, Default)]
+pub struct MetadataService {
+    next_id: AtomicU64,
+    objects: RwLock<HashMap<ObjectId, Arc<ObjectMeta>>>,
+    by_name: RwLock<HashMap<String, ObjectId>>,
+    containers: RwLock<HashMap<ContainerId, String>>,
+    /// Inverted attribute index: key -> value -> object ids.
+    attr_index: RwLock<HashMap<String, HashMap<MetaValue, Vec<ObjectId>>>>,
+    /// Per-object, per-region local histograms.
+    region_hists: RwLock<HashMap<ObjectId, Arc<Vec<Histogram>>>>,
+    /// Per-object merged global histogram.
+    global_hists: RwLock<HashMap<ObjectId, Arc<Histogram>>>,
+    /// Per-object sorted replica.
+    sorted: RwLock<HashMap<ObjectId, Arc<SortedReplica>>>,
+    /// Per-object serialized index region sizes (bytes per region).
+    index_sizes: RwLock<HashMap<ObjectId, Arc<Vec<u64>>>>,
+}
+
+impl MetadataService {
+    /// A fresh service.
+    pub fn new() -> Self {
+        Self { next_id: AtomicU64::new(1), ..Default::default() }
+    }
+
+    /// Allocate a new unique id.
+    pub fn alloc_id(&self) -> ObjectId {
+        ObjectId(self.next_id.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Create a container.
+    pub fn create_container(&self, name: &str) -> ContainerId {
+        let id = ContainerId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        self.containers.write().insert(id, name.to_string());
+        id
+    }
+
+    /// Container name lookup.
+    pub fn container_name(&self, id: ContainerId) -> Option<String> {
+        self.containers.read().get(&id).cloned()
+    }
+
+    /// Register an object's metadata (also indexes its attributes).
+    pub fn register_object(&self, meta: ObjectMeta) -> Arc<ObjectMeta> {
+        let meta = Arc::new(meta);
+        self.by_name.write().insert(meta.name.clone(), meta.id);
+        {
+            let mut idx = self.attr_index.write();
+            for (k, v) in &meta.attrs {
+                idx.entry(k.clone()).or_default().entry(v.clone()).or_default().push(meta.id);
+            }
+        }
+        self.objects.write().insert(meta.id, Arc::clone(&meta));
+        meta
+    }
+
+    /// Fetch an object's metadata.
+    pub fn get(&self, id: ObjectId) -> PdcResult<Arc<ObjectMeta>> {
+        self.objects.read().get(&id).cloned().ok_or(PdcError::NoSuchObject(id))
+    }
+
+    /// Look an object up by name.
+    pub fn lookup_name(&self, name: &str) -> PdcResult<Arc<ObjectMeta>> {
+        let id = self
+            .by_name
+            .read()
+            .get(name)
+            .copied()
+            .ok_or_else(|| PdcError::NotFound(format!("object '{name}'")))?;
+        self.get(id)
+    }
+
+    /// Number of registered objects.
+    pub fn num_objects(&self) -> usize {
+        self.objects.read().len()
+    }
+
+    /// All object metadata records (cloned), ordered by id — the
+    /// persistence path's view of the registry.
+    pub fn all_objects(&self) -> Vec<ObjectMeta> {
+        let mut out: Vec<ObjectMeta> =
+            self.objects.read().values().map(|m| (**m).clone()).collect();
+        out.sort_by_key(|m| m.id);
+        out
+    }
+
+    /// All containers as `(raw id, name)`, ordered by id.
+    pub fn all_containers(&self) -> Vec<(u64, String)> {
+        let mut out: Vec<(u64, String)> =
+            self.containers.read().iter().map(|(id, n)| (id.raw(), n.clone())).collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// The next-id watermark (for persistence).
+    pub fn next_id_watermark(&self) -> u64 {
+        self.next_id.load(Ordering::Relaxed)
+    }
+
+    /// Raise the id allocator to at least `watermark` (restore path).
+    pub fn bump_next_id(&self, watermark: u64) {
+        self.next_id.fetch_max(watermark, Ordering::Relaxed);
+    }
+
+    /// Re-register a container under its original id (restore path).
+    pub fn restore_container(&self, id: ContainerId, name: &str) {
+        self.containers.write().insert(id, name.to_string());
+    }
+
+    /// The owner server of a metadata object: consistent hashing over
+    /// `num_servers` ("a metadata object is managed by only one server").
+    pub fn owner(&self, id: ObjectId, num_servers: u32) -> ServerId {
+        // Fibonacci hashing spreads sequential ids evenly.
+        let h = id.raw().wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        ServerId((h >> 32) as u32 % num_servers.max(1))
+    }
+
+    /// Metadata (tag) query: objects whose attributes match **all** the
+    /// given key/value conditions. This is the `PDCquery_tag` path used by
+    /// the H5BOSS experiment ("RADEG=153.17 AND DECDEG=23.06").
+    pub fn query_tags(&self, conds: &[(&str, MetaValue)]) -> Vec<ObjectId> {
+        if conds.is_empty() {
+            return Vec::new();
+        }
+        let idx = self.attr_index.read();
+        // Start from the rarest condition to keep the intersection cheap.
+        let mut lists: Vec<&Vec<ObjectId>> = Vec::with_capacity(conds.len());
+        for (k, v) in conds {
+            match idx.get(*k).and_then(|m| m.get(v)) {
+                Some(list) => lists.push(list),
+                None => return Vec::new(),
+            }
+        }
+        lists.sort_by_key(|l| l.len());
+        let mut result: Vec<ObjectId> = lists[0].clone();
+        for list in &lists[1..] {
+            let set: std::collections::HashSet<ObjectId> = list.iter().copied().collect();
+            result.retain(|id| set.contains(id));
+        }
+        result.sort_unstable();
+        result
+    }
+
+    /// Record the per-region local histograms of an object and merge them
+    /// into the object's global histogram.
+    pub fn set_region_histograms(&self, id: ObjectId, hists: Vec<Histogram>) {
+        let global = merge_all(hists.iter());
+        self.region_hists.write().insert(id, Arc::new(hists));
+        if let Some(g) = global {
+            self.global_hists.write().insert(id, Arc::new(g));
+        }
+    }
+
+    /// The local histograms of an object's regions.
+    pub fn region_histograms(&self, id: ObjectId) -> PdcResult<Arc<Vec<Histogram>>> {
+        self.region_hists
+            .read()
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| PdcError::MissingPrerequisite(format!("histograms of {id}")))
+    }
+
+    /// The merged global histogram of an object (`PDCquery_get_histogram`):
+    /// "automatically generated by the PDC system at no additional cost".
+    pub fn global_histogram(&self, id: ObjectId) -> PdcResult<Arc<Histogram>> {
+        self.global_hists
+            .read()
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| PdcError::MissingPrerequisite(format!("global histogram of {id}")))
+    }
+
+    /// Register a sorted replica for an object.
+    pub fn set_sorted_replica(&self, id: ObjectId, replica: SortedReplica) {
+        self.sorted.write().insert(id, Arc::new(replica));
+    }
+
+    /// The sorted replica of an object, if built.
+    pub fn sorted_replica(&self, id: ObjectId) -> PdcResult<Arc<SortedReplica>> {
+        self.sorted
+            .read()
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| PdcError::MissingPrerequisite(format!("sorted replica of {id}")))
+    }
+
+    /// Record the serialized per-region index sizes of an object's bitmap
+    /// index (used for I/O accounting and the E6 overhead experiment).
+    pub fn set_index_sizes(&self, data_object: ObjectId, sizes: Vec<u64>) {
+        self.index_sizes.write().insert(data_object, Arc::new(sizes));
+    }
+
+    /// Serialized per-region index sizes.
+    pub fn index_sizes(&self, data_object: ObjectId) -> PdcResult<Arc<Vec<u64>>> {
+        self.index_sizes
+            .read()
+            .get(&data_object)
+            .cloned()
+            .ok_or_else(|| PdcError::MissingPrerequisite(format!("index of {data_object}")))
+    }
+
+    /// Total in-memory metadata footprint of the histograms (bytes) — the
+    /// metadata-overhead side of the region-size trade-off.
+    pub fn histogram_metadata_bytes(&self, id: ObjectId) -> u64 {
+        let mut total = 0;
+        if let Some(hs) = self.region_hists.read().get(&id) {
+            total += hs.iter().map(|h| h.size_bytes()).sum::<u64>();
+        }
+        if let Some(g) = self.global_hists.read().get(&id) {
+            total += g.size_bytes();
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdc_histogram::HistogramConfig;
+    use pdc_types::{PdcType, Shape};
+    use std::collections::BTreeMap;
+
+    fn svc_with_objects(n: usize) -> (MetadataService, Vec<ObjectId>) {
+        let svc = MetadataService::new();
+        let c = svc.create_container("cont");
+        let mut ids = Vec::new();
+        for i in 0..n {
+            let id = svc.alloc_id();
+            let mut attrs = BTreeMap::new();
+            attrs.insert("plate".to_string(), MetaValue::from((i % 10) as i64));
+            attrs.insert("ra".to_string(), MetaValue::from((i % 4) as f64 * 10.0));
+            svc.register_object(ObjectMeta {
+                id,
+                container: c,
+                name: format!("obj{i}"),
+                pdc_type: PdcType::Float,
+                shape: Shape::one_d(100),
+                region_elems: 50,
+                attrs,
+                index_object: None,
+                has_sorted_replica: false,
+            });
+            ids.push(id);
+        }
+        (svc, ids)
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let (svc, ids) = svc_with_objects(5);
+        assert_eq!(svc.num_objects(), 5);
+        let m = svc.get(ids[2]).unwrap();
+        assert_eq!(m.name, "obj2");
+        assert_eq!(svc.lookup_name("obj4").unwrap().id, ids[4]);
+        assert!(svc.lookup_name("missing").is_err());
+        assert!(svc.get(ObjectId(999)).is_err());
+    }
+
+    #[test]
+    fn container_name_roundtrip() {
+        let svc = MetadataService::new();
+        let c = svc.create_container("vpic-run-7");
+        assert_eq!(svc.container_name(c).unwrap(), "vpic-run-7");
+    }
+
+    #[test]
+    fn tag_query_intersects_conditions() {
+        let (svc, _ids) = svc_with_objects(40);
+        // plate = 3 matches i = 3, 13, 23, 33 -> 4 objects
+        let hits = svc.query_tags(&[("plate", MetaValue::from(3i64))]);
+        assert_eq!(hits.len(), 4);
+        // plate = 3 AND ra = 30.0 matches i%10==3 && i%4==3 -> i=3,23
+        let hits = svc.query_tags(&[
+            ("plate", MetaValue::from(3i64)),
+            ("ra", MetaValue::from(30.0)),
+        ]);
+        assert_eq!(hits.len(), 2);
+        // no such value
+        assert!(svc.query_tags(&[("plate", MetaValue::from(99i64))]).is_empty());
+        // no such key
+        assert!(svc.query_tags(&[("nope", MetaValue::from(1i64))]).is_empty());
+        // empty conditions
+        assert!(svc.query_tags(&[]).is_empty());
+    }
+
+    #[test]
+    fn owner_assignment_is_stable_and_spread() {
+        let (svc, ids) = svc_with_objects(1000);
+        let mut counts = [0u32; 8];
+        for &id in &ids {
+            let s = svc.owner(id, 8);
+            assert_eq!(s, svc.owner(id, 8), "stable");
+            counts[s.raw() as usize] += 1;
+        }
+        // roughly balanced: no server owns more than 2.5x the fair share
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(c < 1000 / 8 * 5 / 2, "server {i} owns {c}");
+            assert!(c > 0, "server {i} owns nothing");
+        }
+    }
+
+    #[test]
+    fn histograms_global_merge_and_lookup() {
+        let (svc, ids) = svc_with_objects(1);
+        let id = ids[0];
+        let cfg = HistogramConfig::default();
+        let h1 = Histogram::build(&[1.0, 2.0, 3.0], &cfg).unwrap();
+        let h2 = Histogram::build(&[10.0, 20.0], &cfg).unwrap();
+        svc.set_region_histograms(id, vec![h1, h2]);
+        let g = svc.global_histogram(id).unwrap();
+        assert_eq!(g.total(), 5);
+        assert_eq!(svc.region_histograms(id).unwrap().len(), 2);
+        assert!(svc.histogram_metadata_bytes(id) > 0);
+        assert!(svc.global_histogram(ObjectId(777)).is_err());
+    }
+
+    #[test]
+    fn sorted_replica_registry() {
+        let (svc, ids) = svc_with_objects(1);
+        assert!(svc.sorted_replica(ids[0]).is_err());
+        svc.set_sorted_replica(ids[0], SortedReplica::build(&[3.0, 1.0, 2.0], 2));
+        let r = svc.sorted_replica(ids[0]).unwrap();
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn index_sizes_registry() {
+        let (svc, ids) = svc_with_objects(1);
+        assert!(svc.index_sizes(ids[0]).is_err());
+        svc.set_index_sizes(ids[0], vec![100, 200]);
+        assert_eq!(*svc.index_sizes(ids[0]).unwrap(), vec![100, 200]);
+    }
+}

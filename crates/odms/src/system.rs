@@ -1,0 +1,336 @@
+//! The [`Odms`] facade: the assembled PDC substrate.
+//!
+//! Importing an array object performs PDC's ingest pipeline:
+//!
+//! 1. partition the array into regions of the configured size (§III-B);
+//! 2. write each region's payload to the parallel-file-system tier;
+//! 3. build each region's **local histogram** automatically ("a 'local'
+//!    histogram is automatically generated for each data region when data
+//!    is either produced within PDC or imported from an outside dataset")
+//!    and fold them into the object's global histogram;
+//! 4. optionally build the per-region **bitmap index** (serialized next to
+//!    the data, like FastBit index files);
+//! 5. optionally build the value-**sorted replica** ("we provide users the
+//!    option to specify hints on how data should be organized").
+
+use crate::meta::{MetaValue, ObjectMeta};
+use crate::service::MetadataService;
+use pdc_bitmap::{BinnedBitmapIndex, BinningConfig};
+use pdc_bitmap::index::ValueDomain;
+use pdc_histogram::{Histogram, HistogramConfig};
+use pdc_sorted::SortedReplica;
+use pdc_storage::{ObjectStore, StorageTier, StoredPayload};
+use pdc_types::{ContainerId, ObjectId, PdcResult, RegionId, TypedVec};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Options controlling an import.
+#[derive(Debug, Clone)]
+pub struct ImportOptions {
+    /// Region size in bytes (the paper sweeps 4 MB – 128 MB).
+    pub region_bytes: u64,
+    /// Histogram construction parameters.
+    pub histogram: HistogramConfig,
+    /// Build a per-region bitmap index?
+    pub build_index: bool,
+    /// Bitmap binning parameters.
+    pub binning: BinningConfig,
+    /// Build a value-sorted replica?
+    pub build_sorted: bool,
+    /// User attributes to attach.
+    pub attrs: BTreeMap<String, MetaValue>,
+}
+
+impl Default for ImportOptions {
+    fn default() -> Self {
+        Self {
+            region_bytes: 1 << 20,
+            histogram: HistogramConfig::default(),
+            build_index: false,
+            binning: BinningConfig::default(),
+            build_sorted: false,
+            attrs: BTreeMap::new(),
+        }
+    }
+}
+
+/// What an import produced (sizes feed the E6 overhead experiment).
+#[derive(Debug, Clone, Default)]
+pub struct ImportReport {
+    /// The new object's id.
+    pub object: ObjectId,
+    /// Number of regions created.
+    pub regions: u32,
+    /// Data bytes written.
+    pub data_bytes: u64,
+    /// Serialized index bytes written (0 when no index).
+    pub index_bytes: u64,
+    /// Sorted-replica bytes (0 when none).
+    pub sorted_bytes: u64,
+    /// Histogram metadata bytes.
+    pub histogram_bytes: u64,
+}
+
+/// The assembled object-centric data management system.
+#[derive(Debug)]
+pub struct Odms {
+    store: Arc<ObjectStore>,
+    meta: Arc<MetadataService>,
+}
+
+impl Odms {
+    /// A new system with `num_osts` simulated storage targets.
+    pub fn new(num_osts: u32) -> Self {
+        Self { store: Arc::new(ObjectStore::new(num_osts)), meta: Arc::new(MetadataService::new()) }
+    }
+
+    /// The object store.
+    pub fn store(&self) -> &Arc<ObjectStore> {
+        &self.store
+    }
+
+    /// The metadata service.
+    pub fn meta(&self) -> &Arc<MetadataService> {
+        &self.meta
+    }
+
+    /// Create a container.
+    pub fn create_container(&self, name: &str) -> ContainerId {
+        self.meta.create_container(name)
+    }
+
+    /// Import a 1-D array as a new object (the PDC ingest pipeline).
+    pub fn import_array(
+        &self,
+        container: ContainerId,
+        name: &str,
+        data: TypedVec,
+        opts: &ImportOptions,
+    ) -> PdcResult<ImportReport> {
+        let n = data.len() as u64;
+        self.import_array_nd(container, name, data, pdc_types::Shape::one_d(n), opts)
+    }
+
+    /// Import an N-dimensional array (row-major element order) as a new
+    /// object. Regions partition the linearized element space — PDC's
+    /// regions are storage units, not tiles — while the shape drives
+    /// spatial constraints (`PDCquery_set_region`) and dimension checks
+    /// for multi-object queries.
+    pub fn import_array_nd(
+        &self,
+        container: ContainerId,
+        name: &str,
+        data: TypedVec,
+        shape: pdc_types::Shape,
+        opts: &ImportOptions,
+    ) -> PdcResult<ImportReport> {
+        if shape.num_elements() != data.len() as u64 {
+            return Err(pdc_types::PdcError::InvalidQuery(format!(
+                "shape {:?} does not match {} elements",
+                shape.0,
+                data.len()
+            )));
+        }
+        let id = self.meta.alloc_id();
+        let elem_bytes = data.pdc_type().size_bytes();
+        let region_elems = (opts.region_bytes / elem_bytes).max(1);
+
+        let index_object = opts.build_index.then(|| self.meta.alloc_id());
+        let meta = ObjectMeta {
+            id,
+            container,
+            name: name.to_string(),
+            pdc_type: data.pdc_type(),
+            shape,
+            region_elems,
+            attrs: opts.attrs.clone(),
+            index_object,
+            has_sorted_replica: opts.build_sorted,
+        };
+        let regions = meta.regions();
+        let mut report = ImportReport {
+            object: id,
+            regions: regions.len() as u32,
+            ..Default::default()
+        };
+
+        // Sorted replica is built from the whole array before it is carved
+        // into regions (one global sort, as the paper's reorganization).
+        let values_f64: Vec<f64> = data.iter_f64().collect();
+        if opts.build_sorted {
+            let replica = SortedReplica::build(&values_f64, region_elems);
+            report.sorted_bytes = replica.size_bytes(elem_bytes);
+            self.meta.set_sorted_replica(id, replica);
+        }
+
+        let mut hists = Vec::with_capacity(regions.len());
+        let mut index_sizes = Vec::new();
+        for (i, span) in regions.iter().enumerate() {
+            let rid = RegionId::new(id, i as u32);
+            let payload = data.slice(span.offset as usize, span.len as usize);
+            report.data_bytes += payload.size_bytes();
+            let slice_f64 = &values_f64[span.offset as usize..span.end() as usize];
+
+            // Automatic local histogram (Algorithm 1), per region.
+            let hist = Histogram::build(slice_f64, &opts.histogram)
+                .expect("non-empty region must yield a histogram");
+            hists.push(hist);
+
+            // Optional per-region bitmap index, serialized like an index
+            // file and stored alongside the data.
+            if let Some(idx_obj) = index_object {
+                let domain = match data.pdc_type() {
+                    pdc_types::PdcType::Float => ValueDomain::F32,
+                    pdc_types::PdcType::Double => ValueDomain::F64,
+                    _ => ValueDomain::Integer,
+                };
+                let index = BinnedBitmapIndex::build_with_domain(slice_f64, &opts.binning, domain)
+                    .expect("non-empty region must yield an index");
+                let bytes = index.to_bytes();
+                index_sizes.push(bytes.len() as u64);
+                report.index_bytes += bytes.len() as u64;
+                self.store.put(
+                    RegionId::new(idx_obj, i as u32),
+                    StoredPayload::Raw(bytes),
+                    StorageTier::Pfs,
+                );
+            }
+
+            self.store.put(rid, StoredPayload::Typed(Arc::new(payload)), StorageTier::Pfs);
+        }
+        self.meta.set_region_histograms(id, hists);
+        if index_object.is_some() {
+            self.meta.set_index_sizes(id, index_sizes);
+        }
+        report.histogram_bytes = self.meta.histogram_metadata_bytes(id);
+        self.meta.register_object(meta);
+        Ok(report)
+    }
+
+    /// Read one region's typed payload (time-free; callers charge their
+    /// own clocks via the cost model).
+    pub fn read_region(&self, object: ObjectId, region: u32) -> PdcResult<Arc<TypedVec>> {
+        self.store.get_typed(RegionId::new(object, region))
+    }
+
+    /// Read one region's serialized bitmap index.
+    pub fn read_index_region(&self, data_object: ObjectId, region: u32) -> PdcResult<bytes::Bytes> {
+        let meta = self.meta.get(data_object)?;
+        let idx_obj = meta.index_object.ok_or_else(|| {
+            pdc_types::PdcError::MissingPrerequisite(format!("index of {data_object}"))
+        })?;
+        self.store.get_raw(RegionId::new(idx_obj, region))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vpic_like(n: usize) -> TypedVec {
+        TypedVec::Float((0..n).map(|i| ((i * 13) % 997) as f32 / 100.0).collect())
+    }
+
+    fn system_with_import(n: usize, opts: &ImportOptions) -> (Odms, ImportReport) {
+        let odms = Odms::new(8);
+        let c = odms.create_container("test");
+        let report = odms.import_array(c, "energy", vpic_like(n), opts).unwrap();
+        (odms, report)
+    }
+
+    #[test]
+    fn import_partitions_and_stores_regions() {
+        let opts = ImportOptions { region_bytes: 4096, ..Default::default() }; // 1024 f32
+        let (odms, report) = system_with_import(5000, &opts);
+        assert_eq!(report.regions, 5);
+        assert_eq!(report.data_bytes, 20_000);
+        let meta = odms.meta().get(report.object).unwrap();
+        assert_eq!(meta.region_elems, 1024);
+        // all regions retrievable, with correct sizes
+        for r in 0..report.regions {
+            let payload = odms.read_region(report.object, r).unwrap();
+            let expect = meta.region_span(r).len;
+            assert_eq!(payload.len() as u64, expect);
+        }
+    }
+
+    #[test]
+    fn import_builds_histograms_automatically() {
+        let opts = ImportOptions { region_bytes: 4096, ..Default::default() };
+        let (odms, report) = system_with_import(5000, &opts);
+        let hists = odms.meta().region_histograms(report.object).unwrap();
+        assert_eq!(hists.len(), 5);
+        let global = odms.meta().global_histogram(report.object).unwrap();
+        assert_eq!(global.total(), 5000);
+        assert!(report.histogram_bytes > 0);
+    }
+
+    #[test]
+    fn import_with_index_builds_readable_index_regions() {
+        let opts =
+            ImportOptions { region_bytes: 4096, build_index: true, ..Default::default() };
+        let (odms, report) = system_with_import(5000, &opts);
+        assert!(report.index_bytes > 0);
+        let sizes = odms.meta().index_sizes(report.object).unwrap();
+        assert_eq!(sizes.len(), 5);
+        // read an index region back and deserialize it
+        let bytes = odms.read_index_region(report.object, 2).unwrap();
+        assert_eq!(bytes.len() as u64, sizes[2]);
+        let idx = BinnedBitmapIndex::from_bytes(&bytes).unwrap();
+        let meta = odms.meta().get(report.object).unwrap();
+        assert_eq!(idx.num_elements(), meta.region_span(2).len);
+    }
+
+    #[test]
+    fn import_without_index_refuses_index_reads() {
+        let opts = ImportOptions { region_bytes: 4096, ..Default::default() };
+        let (odms, report) = system_with_import(1000, &opts);
+        assert!(odms.read_index_region(report.object, 0).is_err());
+    }
+
+    #[test]
+    fn import_with_sorted_replica() {
+        let opts =
+            ImportOptions { region_bytes: 4096, build_sorted: true, ..Default::default() };
+        let (odms, report) = system_with_import(5000, &opts);
+        assert!(report.sorted_bytes > 0);
+        let replica = odms.meta().sorted_replica(report.object).unwrap();
+        assert_eq!(replica.len(), 5000);
+        assert!(replica.keys().windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn name_lookup_after_import() {
+        let opts = ImportOptions::default();
+        let (odms, report) = system_with_import(100, &opts);
+        assert_eq!(odms.meta().lookup_name("energy").unwrap().id, report.object);
+    }
+
+    #[test]
+    fn region_payloads_reassemble_original() {
+        let opts = ImportOptions { region_bytes: 1024, ..Default::default() };
+        let data = vpic_like(3000);
+        let odms = Odms::new(4);
+        let c = odms.create_container("t");
+        let report = odms.import_array(c, "x", data.clone(), &opts).unwrap();
+        let meta = odms.meta().get(report.object).unwrap();
+        let mut reassembled = TypedVec::empty(data.pdc_type());
+        for r in 0..meta.num_regions() {
+            let payload = odms.read_region(report.object, r).unwrap();
+            reassembled.extend_from_range(&payload, 0..payload.len()).unwrap();
+        }
+        assert_eq!(reassembled, data);
+    }
+
+    #[test]
+    fn attrs_are_tag_queryable() {
+        let odms = Odms::new(4);
+        let c = odms.create_container("boss");
+        let mut attrs = BTreeMap::new();
+        attrs.insert("RADEG".to_string(), MetaValue::from(153.17));
+        let opts = ImportOptions { attrs, ..Default::default() };
+        let report = odms.import_array(c, "fiber-1", vpic_like(64), &opts).unwrap();
+        let hits = odms.meta().query_tags(&[("RADEG", MetaValue::from(153.17))]);
+        assert_eq!(hits, vec![report.object]);
+    }
+}

@@ -1,0 +1,152 @@
+//! The logical server pool.
+
+use parking_lot::Mutex;
+use pdc_types::ServerId;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A pool of `N` logical PDC servers with persistent per-server state,
+/// dispatched over real worker threads.
+pub struct ServerPool<S> {
+    states: Vec<Mutex<S>>,
+    worker_threads: usize,
+}
+
+impl<S: Send> ServerPool<S> {
+    /// Create a pool of `num_servers` logical servers, initializing each
+    /// server's state with `init`.
+    pub fn new(num_servers: u32, init: impl Fn(ServerId) -> S) -> Self {
+        let states = (0..num_servers).map(|i| Mutex::new(init(ServerId(i)))).collect();
+        let worker_threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+        Self { states, worker_threads }
+    }
+
+    /// Number of logical servers.
+    pub fn num_servers(&self) -> u32 {
+        self.states.len() as u32
+    }
+
+    /// Override the number of real worker threads (defaults to the host
+    /// parallelism).
+    pub fn with_worker_threads(mut self, n: usize) -> Self {
+        self.worker_threads = n.max(1);
+        self
+    }
+
+    /// Run `handler` once per logical server ("broadcast"), giving it the
+    /// server's id and exclusive access to its persistent state. Results
+    /// are returned indexed by server. Handlers run concurrently across
+    /// worker threads; each logical server runs exactly once.
+    pub fn broadcast<R, F>(&self, handler: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(ServerId, &mut S) -> R + Sync,
+    {
+        let n = self.states.len();
+        let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let workers = self.worker_threads.min(n).max(1);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let mut state = self.states[i].lock();
+                    let r = handler(ServerId(i as u32), &mut state);
+                    *results[i].lock() = Some(r);
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|m| m.into_inner().expect("every server produced a result"))
+            .collect()
+    }
+
+    /// Run `f` against one server's state (e.g. the metadata owner of an
+    /// object, or test inspection).
+    pub fn with_server<R>(&self, id: ServerId, f: impl FnOnce(&mut S) -> R) -> R {
+        let mut state = self.states[id.raw() as usize].lock();
+        f(&mut state)
+    }
+
+    /// Apply `f` to every server's state sequentially (e.g. cache resets
+    /// between experiments).
+    pub fn for_each_server(&self, mut f: impl FnMut(ServerId, &mut S)) {
+        for (i, st) in self.states.iter().enumerate() {
+            f(ServerId(i as u32), &mut st.lock());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct State {
+        invocations: u64,
+        total: u64,
+    }
+
+    #[test]
+    fn broadcast_runs_every_server_once() {
+        let pool = ServerPool::new(16, |_| State::default());
+        let results = pool.broadcast(|id, st| {
+            st.invocations += 1;
+            id.raw() as u64
+        });
+        assert_eq!(results, (0..16).collect::<Vec<u64>>());
+        pool.for_each_server(|_, st| assert_eq!(st.invocations, 1));
+    }
+
+    #[test]
+    fn state_persists_across_broadcasts() {
+        let pool = ServerPool::new(4, |_| State::default());
+        for round in 0..5u64 {
+            pool.broadcast(|_, st| {
+                st.total += round;
+            });
+        }
+        pool.for_each_server(|_, st| assert_eq!(st.total, 1 + 2 + 3 + 4));
+    }
+
+    #[test]
+    fn with_server_targets_one_state() {
+        let pool = ServerPool::new(3, |id| State { invocations: 0, total: id.raw() as u64 });
+        let v = pool.with_server(ServerId(2), |st| st.total);
+        assert_eq!(v, 2);
+        pool.with_server(ServerId(0), |st| st.total = 99);
+        assert_eq!(pool.with_server(ServerId(0), |st| st.total), 99);
+        // others untouched
+        assert_eq!(pool.with_server(ServerId(1), |st| st.total), 1);
+    }
+
+    #[test]
+    fn init_sees_server_ids() {
+        let pool = ServerPool::new(8, |id| id.raw() as u64);
+        let results = pool.broadcast(|_, st| *st);
+        assert_eq!(results, (0..8).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn single_worker_thread_still_completes() {
+        let pool = ServerPool::new(32, |_| State::default()).with_worker_threads(1);
+        let results = pool.broadcast(|id, _| id.raw());
+        assert_eq!(results.len(), 32);
+    }
+
+    #[test]
+    fn many_logical_servers_on_few_threads() {
+        // Fig. 6 runs up to 512 PDC servers; the pool must host that many
+        // logical servers regardless of the physical core count.
+        let pool = ServerPool::new(512, |_| State::default()).with_worker_threads(2);
+        let results = pool.broadcast(|id, st| {
+            st.invocations += 1;
+            id.raw()
+        });
+        assert_eq!(results.len(), 512);
+        assert_eq!(results[511], 511);
+    }
+}

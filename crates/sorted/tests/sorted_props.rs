@@ -1,0 +1,75 @@
+//! Property tests: sorted-replica lookups must agree with a naive filter
+//! for arbitrary data and intervals, and the permutation must be exact.
+
+use pdc_sorted::SortedReplica;
+use pdc_types::{Interval, QueryOp};
+use proptest::prelude::*;
+
+fn values_strategy() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-100.0f64..100.0, 1..500)
+}
+
+proptest! {
+    #[test]
+    fn lookup_equals_naive_filter(values in values_strategy(), lo in -120.0f64..120.0, w in 0.0f64..100.0) {
+        let r = SortedReplica::build(&values, 64);
+        let iv = Interval::open(lo, lo + w);
+        let got: Vec<u64> = r.lookup(&iv).selection.iter_coords().collect();
+        let expect: Vec<u64> = values
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| iv.contains(v))
+            .map(|(i, _)| i as u64)
+            .collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn one_sided_lookup_equals_naive(
+        values in values_strategy(),
+        bound in -120.0f64..120.0,
+        op in prop::sample::select(vec![QueryOp::Gt, QueryOp::Gte, QueryOp::Lt, QueryOp::Lte, QueryOp::Eq]),
+    ) {
+        let r = SortedReplica::build(&values, 32);
+        let iv = Interval::from_op(op, bound);
+        let got: Vec<u64> = r.lookup(&iv).selection.iter_coords().collect();
+        let expect: Vec<u64> = values
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| iv.contains(v))
+            .map(|(i, _)| i as u64)
+            .collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn permutation_is_bijective(values in values_strategy()) {
+        let r = SortedReplica::build(&values, 64);
+        let mut sorted_perm: Vec<u64> = r.perm().to_vec();
+        sorted_perm.sort_unstable();
+        let expect: Vec<u64> = (0..values.len() as u64).collect();
+        prop_assert_eq!(sorted_perm, expect);
+    }
+
+    #[test]
+    fn span_len_equals_hit_count(values in values_strategy(), lo in -120.0f64..120.0, w in 0.0f64..100.0) {
+        let r = SortedReplica::build(&values, 64);
+        let iv = Interval::closed(lo, lo + w);
+        let span = r.matching_span(&iv);
+        let exact = values.iter().filter(|&&v| iv.contains(v)).count() as u64;
+        prop_assert_eq!(span.len, exact);
+    }
+
+    #[test]
+    fn overlapping_regions_contain_all_hits(values in values_strategy(), lo in -120.0f64..120.0, w in 0.0f64..100.0) {
+        let r = SortedReplica::build(&values, 16);
+        let iv = Interval::closed(lo, lo + w);
+        let overlapping = r.regions_overlapping(&iv);
+        let span = r.matching_span(&iv);
+        // every region containing part of the span must be in the
+        // overlapping set (pruning must not discard hits)
+        for reg in r.regions_of_span(&span) {
+            prop_assert!(overlapping.contains(&reg), "region {} pruned but holds hits", reg);
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! The per-server region cache.
+//!
+//! "We set a memory limit of 64 GB to be used by each PDC server" and "an
+//! increasing number of the regions' data are cached in the PDC servers'
+//! memory and do not require storage access" — the cache is what produces
+//! the paper's observed speedup over a sequentially evaluated query
+//! series. LRU with a byte budget.
+
+use pdc_types::{RegionId, TypedVec};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// An LRU region cache with a byte budget.
+#[derive(Debug)]
+pub struct RegionCache {
+    capacity_bytes: u64,
+    used_bytes: u64,
+    entries: HashMap<RegionId, (Arc<TypedVec>, u64)>, // payload, last-use tick
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl RegionCache {
+    /// A cache with the given byte budget.
+    pub fn new(capacity_bytes: u64) -> Self {
+        Self {
+            capacity_bytes,
+            used_bytes: 0,
+            entries: HashMap::new(),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Byte budget.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    /// Bytes currently cached.
+    pub fn used_bytes(&self) -> u64 {
+        self.used_bytes
+    }
+
+    /// Number of cached regions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Cache hits since creation.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses since creation.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Look up a region, refreshing its recency on hit.
+    pub fn get(&mut self, id: RegionId) -> Option<Arc<TypedVec>> {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.entries.get_mut(&id) {
+            Some((payload, last)) => {
+                *last = tick;
+                self.hits += 1;
+                Some(Arc::clone(payload))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Peek without recency update or hit/miss accounting.
+    pub fn contains(&self, id: RegionId) -> bool {
+        self.entries.contains_key(&id)
+    }
+
+    /// Insert a region, evicting least-recently-used entries as needed.
+    /// Payloads larger than the whole budget are not cached.
+    pub fn put(&mut self, id: RegionId, payload: Arc<TypedVec>) {
+        let size = payload.size_bytes();
+        if size > self.capacity_bytes {
+            return;
+        }
+        if let Some((old, _)) = self.entries.remove(&id) {
+            self.used_bytes -= old.size_bytes();
+        }
+        while self.used_bytes + size > self.capacity_bytes {
+            let Some((&victim, _)) = self.entries.iter().min_by_key(|(_, (_, last))| *last)
+            else {
+                break;
+            };
+            let (evicted, _) = self.entries.remove(&victim).unwrap();
+            self.used_bytes -= evicted.size_bytes();
+        }
+        self.tick += 1;
+        self.entries.insert(id, (payload, self.tick));
+        self.used_bytes += size;
+    }
+
+    /// Drop everything (used between experiments).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.used_bytes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdc_types::ObjectId;
+
+    fn rid(i: u32) -> RegionId {
+        RegionId::new(ObjectId(1), i)
+    }
+
+    fn payload(elems: usize) -> Arc<TypedVec> {
+        Arc::new(TypedVec::Float(vec![0.0; elems]))
+    }
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let mut c = RegionCache::new(1000);
+        assert!(c.get(rid(0)).is_none());
+        c.put(rid(0), payload(10)); // 40 bytes
+        assert!(c.get(rid(0)).is_some());
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+        assert_eq!(c.used_bytes(), 40);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = RegionCache::new(120); // three 40-byte payloads
+        c.put(rid(0), payload(10));
+        c.put(rid(1), payload(10));
+        c.put(rid(2), payload(10));
+        // touch 0 so 1 becomes the LRU
+        assert!(c.get(rid(0)).is_some());
+        c.put(rid(3), payload(10)); // evicts 1
+        assert!(c.contains(rid(0)));
+        assert!(!c.contains(rid(1)));
+        assert!(c.contains(rid(2)));
+        assert!(c.contains(rid(3)));
+        assert!(c.used_bytes() <= 120);
+    }
+
+    #[test]
+    fn oversized_payload_not_cached() {
+        let mut c = RegionCache::new(100);
+        c.put(rid(0), payload(1000)); // 4000 bytes > 100
+        assert!(c.is_empty());
+        assert_eq!(c.used_bytes(), 0);
+    }
+
+    #[test]
+    fn reinsert_replaces_without_leak() {
+        let mut c = RegionCache::new(1000);
+        c.put(rid(0), payload(10));
+        c.put(rid(0), payload(20)); // 80 bytes now
+        assert_eq!(c.used_bytes(), 80);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn eviction_frees_enough_for_large_entries() {
+        let mut c = RegionCache::new(200);
+        c.put(rid(0), payload(10)); // 40
+        c.put(rid(1), payload(10)); // 40
+        c.put(rid(2), payload(40)); // 160: must evict both
+        assert!(c.contains(rid(2)));
+        assert!(c.used_bytes() <= 200);
+    }
+
+    #[test]
+    fn clear_resets_bytes() {
+        let mut c = RegionCache::new(1000);
+        c.put(rid(0), payload(10));
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.used_bytes(), 0);
+    }
+}

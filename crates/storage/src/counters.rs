@@ -1,0 +1,155 @@
+//! Counters collected during real query execution.
+//!
+//! Every strategy's simulated elapsed time is a pure function of these
+//! counters plus the [`crate::cost::CostModel`]; keeping them explicit
+//! makes every experiment auditable (EXPERIMENTS.md prints them).
+
+use crate::sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Storage I/O counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IoCounters {
+    /// Bytes read from the parallel file system.
+    pub pfs_bytes_read: u64,
+    /// Distinct PFS read requests issued.
+    pub pfs_read_requests: u64,
+    /// Bytes served from the in-memory region cache.
+    pub cache_bytes_read: u64,
+    /// Cache hits.
+    pub cache_hits: u64,
+    /// Cache misses.
+    pub cache_misses: u64,
+    /// Bytes written (imports, index builds, sorted replicas).
+    pub bytes_written: u64,
+    /// Distinct write requests.
+    pub write_requests: u64,
+}
+
+impl IoCounters {
+    /// Merge another counter set into this one.
+    pub fn merge(&mut self, other: &IoCounters) {
+        self.pfs_bytes_read += other.pfs_bytes_read;
+        self.pfs_read_requests += other.pfs_read_requests;
+        self.cache_bytes_read += other.cache_bytes_read;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.bytes_written += other.bytes_written;
+        self.write_requests += other.write_requests;
+    }
+}
+
+/// CPU work counters (evaluation effort).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkCounters {
+    /// Elements compared during scans and candidate checks.
+    pub elements_scanned: u64,
+    /// Compressed bitmap words processed.
+    pub bitmap_words: u64,
+    /// Binary-search probes on sorted replicas.
+    pub sorted_probes: u64,
+    /// Histogram bins inspected (pruning + estimation).
+    pub histogram_bins: u64,
+    /// Elements gathered for `get_data`.
+    pub elements_gathered: u64,
+}
+
+impl WorkCounters {
+    /// Merge another counter set into this one.
+    pub fn merge(&mut self, other: &WorkCounters) {
+        self.elements_scanned += other.elements_scanned;
+        self.bitmap_words += other.bitmap_words;
+        self.sorted_probes += other.sorted_probes;
+        self.histogram_bins += other.histogram_bins;
+        self.elements_gathered += other.elements_gathered;
+    }
+}
+
+/// Network counters (client↔server messages).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetCounters {
+    /// Messages sent.
+    pub messages: u64,
+    /// Payload bytes sent.
+    pub bytes: u64,
+}
+
+impl NetCounters {
+    /// Merge another counter set into this one.
+    pub fn merge(&mut self, other: &NetCounters) {
+        self.messages += other.messages;
+        self.bytes += other.bytes;
+    }
+}
+
+/// A decomposed simulated cost: where did the time go?
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CostBreakdown {
+    /// Time spent in storage I/O.
+    pub io: SimDuration,
+    /// Time spent in CPU evaluation.
+    pub cpu: SimDuration,
+    /// Time spent in network transfer.
+    pub net: SimDuration,
+}
+
+impl CostBreakdown {
+    /// Total of all components.
+    pub fn total(&self) -> SimDuration {
+        self.io + self.cpu + self.net
+    }
+
+    /// Merge another breakdown into this one.
+    pub fn merge(&mut self, other: &CostBreakdown) {
+        self.io += other.io;
+        self.cpu += other.cpu;
+        self.net += other.net;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_merge_adds_fields() {
+        let mut a = IoCounters { pfs_bytes_read: 100, pfs_read_requests: 2, ..Default::default() };
+        let b = IoCounters {
+            pfs_bytes_read: 50,
+            pfs_read_requests: 1,
+            cache_hits: 3,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.pfs_bytes_read, 150);
+        assert_eq!(a.pfs_read_requests, 3);
+        assert_eq!(a.cache_hits, 3);
+    }
+
+    #[test]
+    fn work_and_net_merge() {
+        let mut w = WorkCounters { elements_scanned: 10, ..Default::default() };
+        w.merge(&WorkCounters { elements_scanned: 5, bitmap_words: 7, ..Default::default() });
+        assert_eq!(w.elements_scanned, 15);
+        assert_eq!(w.bitmap_words, 7);
+
+        let mut n = NetCounters { messages: 1, bytes: 100 };
+        n.merge(&NetCounters { messages: 2, bytes: 50 });
+        assert_eq!(n.messages, 3);
+        assert_eq!(n.bytes, 150);
+    }
+
+    #[test]
+    fn breakdown_total() {
+        let b = CostBreakdown {
+            io: SimDuration::from_millis(5),
+            cpu: SimDuration::from_millis(2),
+            net: SimDuration::from_millis(1),
+        };
+        assert_eq!(b.total().as_millis_f64(), 8.0);
+        let mut c = CostBreakdown::default();
+        c.merge(&b);
+        c.merge(&b);
+        assert_eq!(c.total().as_millis_f64(), 16.0);
+    }
+}

@@ -1,0 +1,239 @@
+//! The backing object store: region payloads on storage tiers.
+//!
+//! PDC regions "can reside on any layer of the memory/storage hierarchy".
+//! The store keeps each region's payload (a typed array for data regions,
+//! raw bytes for index files) together with its tier and striped placement
+//! across simulated OSTs. The store itself is time-free — callers charge
+//! their own [`crate::sim::SimClock`] via the cost model, because the
+//! *pattern* of access (aggregated vs. flat, cached vs. not) is a property
+//! of the reader, not of the store.
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+use pdc_types::{PdcError, PdcResult, RegionId, TypedVec};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Storage tier a region resides on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StorageTier {
+    /// Server DRAM (pre-loaded or cached).
+    Dram,
+    /// Burst buffer / NVRAM.
+    BurstBuffer,
+    /// The Lustre-like parallel file system.
+    Pfs,
+}
+
+/// A region's payload.
+#[derive(Debug, Clone)]
+pub enum StoredPayload {
+    /// Array data (shared, immutable once written).
+    Typed(Arc<TypedVec>),
+    /// Opaque bytes (serialized index files, metadata snapshots).
+    Raw(Bytes),
+}
+
+impl StoredPayload {
+    /// Payload size in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        match self {
+            StoredPayload::Typed(v) => v.size_bytes(),
+            StoredPayload::Raw(b) => b.len() as u64,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct StoredRegion {
+    payload: StoredPayload,
+    tier: StorageTier,
+    ost: u32,
+}
+
+/// The shared object store.
+///
+/// Thread-safe: servers read concurrently; imports write up front.
+#[derive(Debug, Default)]
+pub struct ObjectStore {
+    regions: RwLock<HashMap<RegionId, StoredRegion>>,
+    num_osts: u32,
+}
+
+impl ObjectStore {
+    /// A store striped over `num_osts` simulated OSTs.
+    pub fn new(num_osts: u32) -> Self {
+        Self { regions: RwLock::new(HashMap::new()), num_osts: num_osts.max(1) }
+    }
+
+    /// Number of simulated OSTs.
+    pub fn num_osts(&self) -> u32 {
+        self.num_osts
+    }
+
+    /// Insert (or replace) a region payload on a tier. Placement is
+    /// round-robin by region index — PDC "automatically distributes the
+    /// data across the parallel file system's storage devices".
+    pub fn put(&self, id: RegionId, payload: StoredPayload, tier: StorageTier) {
+        let ost = (id.index + id.object.raw() as u32) % self.num_osts;
+        self.regions.write().insert(id, StoredRegion { payload, tier, ost });
+    }
+
+    /// Fetch a region's payload and tier.
+    pub fn get(&self, id: RegionId) -> PdcResult<(StoredPayload, StorageTier)> {
+        self.regions
+            .read()
+            .get(&id)
+            .map(|r| (r.payload.clone(), r.tier))
+            .ok_or(PdcError::NoSuchRegion(id))
+    }
+
+    /// Fetch a typed-array region (most callers).
+    pub fn get_typed(&self, id: RegionId) -> PdcResult<Arc<TypedVec>> {
+        match self.get(id)? {
+            (StoredPayload::Typed(v), _) => Ok(v),
+            (StoredPayload::Raw(_), _) => {
+                Err(PdcError::Storage(format!("region {id} holds raw bytes, not typed data")))
+            }
+        }
+    }
+
+    /// Fetch a raw-bytes region (index files).
+    pub fn get_raw(&self, id: RegionId) -> PdcResult<Bytes> {
+        match self.get(id)? {
+            (StoredPayload::Raw(b), _) => Ok(b),
+            (StoredPayload::Typed(_), _) => {
+                Err(PdcError::Storage(format!("region {id} holds typed data, not raw bytes")))
+            }
+        }
+    }
+
+    /// The simulated OST a region is placed on.
+    pub fn ost_of(&self, id: RegionId) -> PdcResult<u32> {
+        self.regions.read().get(&id).map(|r| r.ost).ok_or(PdcError::NoSuchRegion(id))
+    }
+
+    /// Whether a region exists.
+    pub fn contains(&self, id: RegionId) -> bool {
+        self.regions.read().contains_key(&id)
+    }
+
+    /// Remove a region; returns whether it existed.
+    pub fn remove(&self, id: RegionId) -> bool {
+        self.regions.write().remove(&id).is_some()
+    }
+
+    /// Move a region to a different tier (data movement across the
+    /// hierarchy). Returns the payload size moved.
+    pub fn migrate(&self, id: RegionId, tier: StorageTier) -> PdcResult<u64> {
+        let mut map = self.regions.write();
+        let r = map.get_mut(&id).ok_or(PdcError::NoSuchRegion(id))?;
+        r.tier = tier;
+        Ok(r.payload.size_bytes())
+    }
+
+    /// Total stored bytes per tier.
+    pub fn bytes_by_tier(&self) -> HashMap<StorageTier, u64> {
+        let mut out = HashMap::new();
+        for r in self.regions.read().values() {
+            *out.entry(r.tier).or_insert(0) += r.payload.size_bytes();
+        }
+        out
+    }
+
+    /// Number of stored regions.
+    pub fn num_regions(&self) -> usize {
+        self.regions.read().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdc_types::ObjectId;
+
+    fn rid(o: u64, i: u32) -> RegionId {
+        RegionId::new(ObjectId(o), i)
+    }
+
+    #[test]
+    fn put_get_roundtrip_typed() {
+        let store = ObjectStore::new(8);
+        let v: TypedVec = vec![1.0f32, 2.0, 3.0].into();
+        store.put(rid(1, 0), StoredPayload::Typed(Arc::new(v.clone())), StorageTier::Pfs);
+        let got = store.get_typed(rid(1, 0)).unwrap();
+        assert_eq!(&*got, &v);
+        let (_, tier) = store.get(rid(1, 0)).unwrap();
+        assert_eq!(tier, StorageTier::Pfs);
+    }
+
+    #[test]
+    fn put_get_roundtrip_raw() {
+        let store = ObjectStore::new(8);
+        store.put(rid(2, 5), StoredPayload::Raw(Bytes::from_static(b"abc")), StorageTier::Pfs);
+        assert_eq!(store.get_raw(rid(2, 5)).unwrap(), Bytes::from_static(b"abc"));
+    }
+
+    #[test]
+    fn wrong_kind_is_an_error() {
+        let store = ObjectStore::new(8);
+        store.put(rid(1, 0), StoredPayload::Raw(Bytes::from_static(b"x")), StorageTier::Pfs);
+        assert!(store.get_typed(rid(1, 0)).is_err());
+        let v: TypedVec = vec![1i32].into();
+        store.put(rid(1, 1), StoredPayload::Typed(Arc::new(v)), StorageTier::Dram);
+        assert!(store.get_raw(rid(1, 1)).is_err());
+    }
+
+    #[test]
+    fn missing_region_is_an_error() {
+        let store = ObjectStore::new(8);
+        assert!(matches!(store.get(rid(9, 9)), Err(PdcError::NoSuchRegion(_))));
+        assert!(!store.contains(rid(9, 9)));
+    }
+
+    #[test]
+    fn placement_spreads_across_osts() {
+        let store = ObjectStore::new(4);
+        for i in 0..16 {
+            let v: TypedVec = vec![0.0f32].into();
+            store.put(rid(1, i), StoredPayload::Typed(Arc::new(v)), StorageTier::Pfs);
+        }
+        let mut used = std::collections::HashSet::new();
+        for i in 0..16 {
+            used.insert(store.ost_of(rid(1, i)).unwrap());
+        }
+        assert_eq!(used.len(), 4, "round-robin should hit every OST");
+    }
+
+    #[test]
+    fn migrate_changes_tier() {
+        let store = ObjectStore::new(2);
+        let v: TypedVec = vec![1.0f64; 100].into();
+        store.put(rid(3, 0), StoredPayload::Typed(Arc::new(v)), StorageTier::Pfs);
+        let moved = store.migrate(rid(3, 0), StorageTier::Dram).unwrap();
+        assert_eq!(moved, 800);
+        assert_eq!(store.get(rid(3, 0)).unwrap().1, StorageTier::Dram);
+    }
+
+    #[test]
+    fn bytes_by_tier_accounts() {
+        let store = ObjectStore::new(2);
+        let v: TypedVec = vec![0u32; 10].into(); // 40 bytes
+        store.put(rid(1, 0), StoredPayload::Typed(Arc::new(v.clone())), StorageTier::Pfs);
+        store.put(rid(1, 1), StoredPayload::Typed(Arc::new(v)), StorageTier::Dram);
+        store.put(rid(1, 2), StoredPayload::Raw(Bytes::from(vec![0u8; 7])), StorageTier::Pfs);
+        let by_tier = store.bytes_by_tier();
+        assert_eq!(by_tier[&StorageTier::Pfs], 47);
+        assert_eq!(by_tier[&StorageTier::Dram], 40);
+        assert_eq!(store.num_regions(), 3);
+    }
+
+    #[test]
+    fn remove_region() {
+        let store = ObjectStore::new(2);
+        let v: TypedVec = vec![0u32; 1].into();
+        store.put(rid(1, 0), StoredPayload::Typed(Arc::new(v)), StorageTier::Pfs);
+        assert!(store.remove(rid(1, 0)));
+        assert!(!store.remove(rid(1, 0)));
+    }
+}

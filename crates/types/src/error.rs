@@ -1,0 +1,112 @@
+//! The common error type for the PDC-Query workspace.
+
+use crate::ids::{ObjectId, RegionId};
+use std::fmt;
+
+/// Result alias with [`PdcError`] as the error type.
+pub type PdcResult<T> = Result<T, PdcError>;
+
+/// Errors surfaced by the ODMS substrate and the query service.
+///
+/// The paper's C API returns `perr_t`; we use a structured enum so callers
+/// can distinguish recoverable conditions (e.g. a buffer that is too small
+/// for `PDCquery_get_data`) from programming errors (type mismatches).
+#[derive(Debug, Clone, PartialEq)]
+pub enum PdcError {
+    /// The referenced object does not exist.
+    NoSuchObject(ObjectId),
+    /// The referenced region does not exist (or is not resident anywhere).
+    NoSuchRegion(RegionId),
+    /// A named entity (container, metadata attribute, ...) was not found.
+    NotFound(String),
+    /// The value type supplied to a query does not match the object's type.
+    TypeMismatch {
+        /// What the object stores.
+        expected: crate::value::PdcType,
+        /// What the caller supplied.
+        got: crate::value::PdcType,
+    },
+    /// Objects combined in one query do not share identical dimensions.
+    DimensionMismatch {
+        /// Dimensions of the first object.
+        left: Vec<u64>,
+        /// Dimensions of the offending object.
+        right: Vec<u64>,
+    },
+    /// A user-supplied buffer is too small for the requested data.
+    BufferTooSmall {
+        /// Elements required.
+        needed: u64,
+        /// Elements provided.
+        provided: u64,
+    },
+    /// A selection refers to coordinates outside the object's extent.
+    SelectionOutOfBounds {
+        /// The offending coordinate.
+        coord: u64,
+        /// Number of elements in the object.
+        len: u64,
+    },
+    /// An operation needs a prerequisite that has not been built
+    /// (e.g. querying with `SortedHistogram` when no sorted replica exists).
+    MissingPrerequisite(String),
+    /// The query tree is malformed (e.g. empty, or mixes incompatible ops).
+    InvalidQuery(String),
+    /// Serialization / deserialization failure in the transport layer.
+    Codec(String),
+    /// The server pool rejected or lost a request.
+    Transport(String),
+    /// Simulated storage failure (used by failure-injection tests).
+    Storage(String),
+}
+
+impl fmt::Display for PdcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PdcError::NoSuchObject(id) => write!(f, "no such object: {id}"),
+            PdcError::NoSuchRegion(id) => write!(f, "no such region: {id}"),
+            PdcError::NotFound(what) => write!(f, "not found: {what}"),
+            PdcError::TypeMismatch { expected, got } => {
+                write!(f, "type mismatch: object stores {expected:?}, query supplied {got:?}")
+            }
+            PdcError::DimensionMismatch { left, right } => {
+                write!(f, "dimension mismatch between queried objects: {left:?} vs {right:?}")
+            }
+            PdcError::BufferTooSmall { needed, provided } => {
+                write!(f, "buffer too small: need {needed} elements, got {provided}")
+            }
+            PdcError::SelectionOutOfBounds { coord, len } => {
+                write!(f, "selection coordinate {coord} out of bounds for object of {len} elements")
+            }
+            PdcError::MissingPrerequisite(what) => write!(f, "missing prerequisite: {what}"),
+            PdcError::InvalidQuery(why) => write!(f, "invalid query: {why}"),
+            PdcError::Codec(why) => write!(f, "codec error: {why}"),
+            PdcError::Transport(why) => write!(f, "transport error: {why}"),
+            PdcError::Storage(why) => write!(f, "storage error: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for PdcError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::PdcType;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = PdcError::TypeMismatch { expected: PdcType::Float, got: PdcType::Double };
+        let msg = e.to_string();
+        assert!(msg.contains("Float") && msg.contains("Double"));
+
+        let e = PdcError::BufferTooSmall { needed: 10, provided: 3 };
+        assert!(e.to_string().contains("10"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&PdcError::NotFound("x".into()));
+    }
+}

@@ -1,0 +1,37 @@
+//! # pdc-workloads
+//!
+//! Calibrated synthetic workloads standing in for the paper's datasets
+//! (§V): the 3.3 TB / 125-billion-particle VPIC plasma dataset and the
+//! 25-million-object BOSS astronomical survey. Neither is available here,
+//! so we generate scaled replicas that preserve the properties the
+//! evaluation depends on:
+//!
+//! * [`vpic`] — seven f32 variables (`Energy`, `x`, `y`, `z`, `Ux`, `Uy`,
+//!   `Uz`). Particles are laid out in cell order (as VPIC writes them), so
+//!   positions vary smoothly along the array — that is what makes
+//!   histogram-based region pruning and WAH bitmap compression effective.
+//!   The energy distribution is calibrated so the paper's endpoint
+//!   selectivities hold: `2.1 < Energy < 2.2` ≈ 1.30 % and
+//!   `3.5 < Energy < 3.6` ≈ 0.0004 %. Energetic (tail) particles cluster
+//!   in a "reconnection" region of the domain, giving the multi-object
+//!   queries their sub-0.01 % joint selectivities.
+//! * [`boss`] — many small objects, each with `RADEG`/`DECDEG`/`PLATE`
+//!   metadata and a per-fiber `flux` array; a designated (RA, Dec) pair
+//!   selects exactly 1000 objects as in §VI-C.
+//! * [`catalog`] — the paper's query catalogs: the 15 single-object
+//!   queries of Fig. 3, the 6 multi-object queries of Fig. 4, and the
+//!   flux-range queries of Fig. 5, each with its paper-reported
+//!   selectivity for target-vs-achieved comparison.
+//! * [`dist`] — the deterministic samplers underneath.
+
+pub mod boss;
+pub mod catalog;
+pub mod dist;
+pub mod vpic;
+
+pub use boss::{BossConfig, BossData};
+pub use catalog::{
+    boss_flux_catalog, multi_object_catalog, single_object_catalog, BossQuerySpec,
+    MultiObjectQuerySpec, SingleObjectQuerySpec,
+};
+pub use vpic::{VpicConfig, VpicData};

@@ -1,0 +1,27 @@
+//! # pdc-suite
+//!
+//! Facade crate for the PDC-Query reproduction. Re-exports every workspace
+//! crate under one roof so examples and downstream users can depend on a
+//! single crate:
+//!
+//! * [`types`] — ids, typed values, intervals, selections, region geometry.
+//! * [`storage`] — simulated tiered HPC storage (Lustre-like object store).
+//! * [`histogram`] — mergeable global histograms (Algorithm 1).
+//! * [`bitmap`] — FastBit-style binned bitmap index with WAH compression.
+//! * [`sorted`] — value-sorted data reorganization.
+//! * [`odms`] — the object-centric data management substrate (PDC).
+//! * [`server`] — the client/server runtime with simulated network.
+//! * [`query`] — **the paper's contribution**: the parallel query service.
+//! * [`workloads`] — calibrated VPIC and BOSS-like synthetic datasets.
+//! * [`baseline`] — the HDF5-F full-scan comparator.
+
+pub use pdc_baseline as baseline;
+pub use pdc_bitmap as bitmap;
+pub use pdc_histogram as histogram;
+pub use pdc_odms as odms;
+pub use pdc_query as query;
+pub use pdc_server as server;
+pub use pdc_sorted as sorted;
+pub use pdc_storage as storage;
+pub use pdc_types as types;
+pub use pdc_workloads as workloads;

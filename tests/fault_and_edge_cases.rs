@@ -1,0 +1,172 @@
+//! Failure injection and edge cases across the assembled system.
+
+use pdc_suite::odms::{ImportOptions, Odms};
+use pdc_suite::query::{EngineConfig, PdcQuery, QueryEngine, Strategy};
+use pdc_suite::types::{ObjectId, PdcError, QueryOp, RegionId, TypedVec};
+use std::sync::Arc;
+
+fn small_world() -> (Arc<Odms>, ObjectId, Vec<f32>) {
+    let odms = Arc::new(Odms::new(4));
+    let c = odms.create_container("edge");
+    let data: Vec<f32> = (0..50_000).map(|i| ((i * 31) % 997) as f32 / 100.0).collect();
+    let opts = ImportOptions {
+        region_bytes: 8 << 10,
+        build_index: true,
+        build_sorted: true,
+        ..Default::default()
+    };
+    let obj = odms.import_array(c, "v", TypedVec::Float(data.clone()), &opts).unwrap().object;
+    (odms, obj, data)
+}
+
+fn engine(odms: &Arc<Odms>, strategy: Strategy) -> QueryEngine {
+    QueryEngine::new(
+        Arc::clone(odms),
+        EngineConfig { strategy, num_servers: 4, ..Default::default() },
+    )
+}
+
+#[test]
+fn lost_region_surfaces_a_storage_error_not_a_panic() {
+    let (odms, obj, _) = small_world();
+    // Simulate storage loss of one data region.
+    assert!(odms.store().remove(RegionId::new(obj, 3)));
+    let eng = engine(&odms, Strategy::Histogram);
+    let q = PdcQuery::create(obj, QueryOp::Gt, 0.0f32); // touches every region
+    let err = eng.run(&q).unwrap_err();
+    assert!(matches!(err, PdcError::NoSuchRegion(_)), "got {err:?}");
+}
+
+#[test]
+fn lost_index_region_fails_only_the_index_strategy() {
+    let (odms, obj, data) = small_world();
+    let meta = odms.meta().get(obj).unwrap();
+    let idx_obj = meta.index_object.unwrap();
+    assert!(odms.store().remove(RegionId::new(idx_obj, 0)));
+    // Histogram strategy is unaffected...
+    let eng = engine(&odms, Strategy::Histogram);
+    let q = PdcQuery::create(obj, QueryOp::Gt, 0.0f32);
+    let expect = data.iter().filter(|&&v| v > 0.0).count() as u64;
+    assert_eq!(eng.get_nhits(&q).unwrap(), expect);
+    // ...the index strategy reports the missing prerequisite.
+    let eng = engine(&odms, Strategy::HistogramIndex);
+    assert!(eng.run(&q).is_err());
+}
+
+#[test]
+fn corrupt_index_bytes_surface_codec_error() {
+    let (odms, obj, _) = small_world();
+    let meta = odms.meta().get(obj).unwrap();
+    let idx_obj = meta.index_object.unwrap();
+    odms.store().put(
+        RegionId::new(idx_obj, 1),
+        pdc_suite::storage::StoredPayload::Raw(pdc_suite::storage::bytes::Bytes::from_static(b"garbage")),
+        pdc_suite::storage::StorageTier::Pfs,
+    );
+    let eng = engine(&odms, Strategy::HistogramIndex);
+    let q = PdcQuery::create(obj, QueryOp::Gt, 0.0f32);
+    let err = eng.run(&q).unwrap_err();
+    assert!(matches!(err, PdcError::Codec(_)), "got {err:?}");
+}
+
+#[test]
+fn sorted_strategy_without_replica_falls_back_to_histogram_path() {
+    let odms = Arc::new(Odms::new(4));
+    let c = odms.create_container("edge");
+    let data: Vec<f32> = (0..10_000).map(|i| i as f32).collect();
+    let opts = ImportOptions { region_bytes: 4 << 10, ..Default::default() }; // no replica
+    let obj = odms.import_array(c, "v", TypedVec::Float(data), &opts).unwrap().object;
+    let eng = engine(&odms, Strategy::SortedHistogram);
+    let q = PdcQuery::range_open(obj, 100.0f32, 200.0f32);
+    assert_eq!(eng.get_nhits(&q).unwrap(), 99);
+}
+
+#[test]
+fn zero_cache_budget_still_answers_correctly() {
+    let (odms, obj, data) = small_world();
+    let eng = QueryEngine::new(
+        Arc::clone(&odms),
+        EngineConfig {
+            strategy: Strategy::Histogram,
+            num_servers: 4,
+            cache_bytes_per_server: 0,
+            ..Default::default()
+        },
+    );
+    let q = PdcQuery::range_open(obj, 2.0f32, 3.0f32);
+    let expect = data.iter().filter(|&&v| v > 2.0 && v < 3.0).count() as u64;
+    let first = eng.run(&q).unwrap();
+    let second = eng.run(&q).unwrap();
+    assert_eq!(first.nhits, expect);
+    // nothing cached: the second run re-reads from the PFS
+    assert!(second.io.pfs_bytes_read > 0);
+}
+
+#[test]
+fn empty_and_always_true_queries() {
+    let (odms, obj, data) = small_world();
+    let eng = engine(&odms, Strategy::Histogram);
+    // Contradiction: no hits, no storage reads needed.
+    let q = PdcQuery::create(obj, QueryOp::Gt, 100.0f32)
+        .and(PdcQuery::create(obj, QueryOp::Lt, -100.0f32));
+    let out = eng.run(&q).unwrap();
+    assert_eq!(out.nhits, 0);
+    assert_eq!(out.io.pfs_bytes_read, 0);
+    // Tautology-ish: everything matches.
+    let q = PdcQuery::create(obj, QueryOp::Gte, -1.0e9f32);
+    assert_eq!(eng.get_nhits(&q).unwrap(), data.len() as u64);
+}
+
+#[test]
+fn single_element_object() {
+    let odms = Arc::new(Odms::new(2));
+    let c = odms.create_container("tiny");
+    let opts = ImportOptions { build_index: true, build_sorted: true, ..Default::default() };
+    let obj = odms.import_array(c, "one", TypedVec::Float(vec![42.0]), &opts).unwrap().object;
+    for strategy in [
+        Strategy::FullScan,
+        Strategy::Histogram,
+        Strategy::HistogramIndex,
+        Strategy::SortedHistogram,
+    ] {
+        let eng = engine(&odms, strategy);
+        assert_eq!(eng.get_nhits(&PdcQuery::create(obj, QueryOp::Eq, 42.0f32)).unwrap(), 1);
+        assert_eq!(eng.get_nhits(&PdcQuery::create(obj, QueryOp::Gt, 42.0f32)).unwrap(), 0);
+    }
+}
+
+#[test]
+fn more_servers_than_regions() {
+    let odms = Arc::new(Odms::new(2));
+    let c = odms.create_container("tiny");
+    let data: Vec<f32> = (0..1000).map(|i| i as f32).collect();
+    let opts = ImportOptions { region_bytes: 2048, ..Default::default() }; // 2 regions
+    let obj = odms.import_array(c, "v", TypedVec::Float(data), &opts).unwrap().object;
+    let eng = QueryEngine::new(
+        Arc::clone(&odms),
+        EngineConfig { strategy: Strategy::Histogram, num_servers: 64, ..Default::default() },
+    );
+    let q = PdcQuery::create(obj, QueryOp::Lt, 10.0f32);
+    assert_eq!(eng.get_nhits(&q).unwrap(), 10);
+}
+
+#[test]
+fn get_data_batch_respects_batch_size() {
+    let (odms, obj, _) = small_world();
+    let eng = engine(&odms, Strategy::Histogram);
+    let q = PdcQuery::create(obj, QueryOp::Lt, 3.0f32);
+    let out = eng.run(&q).unwrap();
+    assert!(out.nhits > 500);
+    let batches = eng.get_data_batch(&out, obj, 100).unwrap();
+    for (i, b) in batches.iter().enumerate() {
+        let is_last = i + 1 == batches.len();
+        let len = b.data.len() as u64;
+        if is_last {
+            assert!(len <= 100 && len > 0);
+        } else {
+            assert_eq!(len, 100, "batch {i}");
+        }
+    }
+    let total: u64 = batches.iter().map(|b| b.data.len() as u64).sum();
+    assert_eq!(total, out.nhits);
+}

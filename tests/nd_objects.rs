@@ -1,0 +1,153 @@
+//! N-dimensional objects: spatial constraints over 2-D/3-D meshes via
+//! `PDCquery_set_region` — "the region selection can be arbitrary and
+//! does not need to match any of the existing PDC internal region
+//! partitions."
+
+use pdc_suite::odms::{ImportOptions, Odms};
+use pdc_suite::query::{EngineConfig, PdcQuery, QueryEngine, Strategy};
+use pdc_suite::types::{NdRegion, ObjectId, QueryOp, Shape, TypedVec};
+use std::sync::Arc;
+
+const NX: u64 = 64;
+const NY: u64 = 96;
+
+/// A 2-D temperature mesh with a hot square in the middle.
+fn mesh_world() -> (Arc<Odms>, ObjectId, Vec<f32>) {
+    let odms = Arc::new(Odms::new(4));
+    let c = odms.create_container("mesh");
+    let mut values = Vec::with_capacity((NX * NY) as usize);
+    for ix in 0..NX {
+        for iy in 0..NY {
+            let hot = (20..40).contains(&ix) && (30..60).contains(&iy);
+            let base = if hot { 500.0 } else { 20.0 };
+            values.push(base + ((ix * 7 + iy * 13) % 10) as f32);
+        }
+    }
+    let opts = ImportOptions {
+        region_bytes: 1024,
+        build_index: true,
+        build_sorted: true,
+        ..Default::default()
+    };
+    let obj = odms
+        .import_array_nd(
+            c,
+            "temperature",
+            TypedVec::Float(values.clone()),
+            Shape(vec![NX, NY]),
+            &opts,
+        )
+        .unwrap()
+        .object;
+    (odms, obj, values)
+}
+
+fn engine(odms: &Arc<Odms>, strategy: Strategy) -> QueryEngine {
+    QueryEngine::new(
+        Arc::clone(odms),
+        EngineConfig { strategy, num_servers: 4, ..Default::default() },
+    )
+}
+
+#[test]
+fn shape_mismatch_rejected_at_import() {
+    let odms = Odms::new(2);
+    let c = odms.create_container("bad");
+    let err = odms
+        .import_array_nd(
+            c,
+            "x",
+            TypedVec::Float(vec![0.0; 10]),
+            Shape(vec![3, 4]),
+            &ImportOptions::default(),
+        )
+        .unwrap_err();
+    assert!(err.to_string().contains("shape"));
+}
+
+#[test]
+fn value_query_over_2d_mesh_all_strategies() {
+    let (odms, obj, values) = mesh_world();
+    let expect: Vec<u64> = (0..values.len() as u64)
+        .filter(|&i| values[i as usize] > 400.0)
+        .collect();
+    assert!(!expect.is_empty());
+    for strategy in [
+        Strategy::FullScan,
+        Strategy::Histogram,
+        Strategy::HistogramIndex,
+        Strategy::SortedHistogram,
+    ] {
+        let eng = engine(&odms, strategy);
+        let q = PdcQuery::create(obj, QueryOp::Gt, 400.0f32);
+        let out = eng.run(&q).unwrap();
+        assert_eq!(out.selection.iter_coords().collect::<Vec<_>>(), expect, "{strategy}");
+    }
+}
+
+#[test]
+fn nd_spatial_constraint_filters_exactly() {
+    let (odms, obj, values) = mesh_world();
+    let shape = Shape(vec![NX, NY]);
+    // An arbitrary window that straddles the hot square's edge and does
+    // not align with any region boundary.
+    let window = NdRegion::new(vec![35, 50], vec![20, 30]);
+    let expect: Vec<u64> = (0..values.len() as u64)
+        .filter(|&i| values[i as usize] > 400.0 && window.contains_linear(&shape, i))
+        .collect();
+    for strategy in [Strategy::Histogram, Strategy::HistogramIndex, Strategy::SortedHistogram] {
+        let eng = engine(&odms, strategy);
+        let q = PdcQuery::create(obj, QueryOp::Gt, 400.0f32).set_region(window.clone());
+        let out = eng.run(&q).unwrap();
+        assert_eq!(out.selection.iter_coords().collect::<Vec<_>>(), expect, "{strategy}");
+    }
+}
+
+#[test]
+fn nd_constraint_outside_hot_square_is_empty() {
+    let (odms, obj, _) = mesh_world();
+    let eng = engine(&odms, Strategy::Histogram);
+    let q = PdcQuery::create(obj, QueryOp::Gt, 400.0f32)
+        .set_region(NdRegion::new(vec![0, 0], vec![10, 10]));
+    assert_eq!(eng.get_nhits(&q).unwrap(), 0);
+}
+
+#[test]
+fn multi_object_queries_require_matching_shapes() {
+    let (odms, obj, _) = mesh_world();
+    let c = odms.create_container("other");
+    let other = odms
+        .import_array_nd(
+            c,
+            "pressure",
+            TypedVec::Float(vec![1.0; (NX * NY) as usize]),
+            Shape(vec![NY, NX]), // transposed: same element count, different shape
+            &ImportOptions { region_bytes: 1024, ..Default::default() },
+        )
+        .unwrap()
+        .object;
+    let eng = engine(&odms, Strategy::Histogram);
+    let q = PdcQuery::create(obj, QueryOp::Gt, 0.0f32)
+        .and(PdcQuery::create(other, QueryOp::Gt, 0.0f32));
+    assert!(matches!(
+        eng.run(&q),
+        Err(pdc_suite::types::PdcError::DimensionMismatch { .. })
+    ));
+}
+
+#[test]
+fn get_data_respects_nd_selection() {
+    let (odms, obj, values) = mesh_world();
+    let shape = Shape(vec![NX, NY]);
+    let window = NdRegion::new(vec![22, 31], vec![5, 7]);
+    let eng = engine(&odms, Strategy::Histogram);
+    let q = PdcQuery::create(obj, QueryOp::Gt, 400.0f32).set_region(window.clone());
+    let out = eng.run(&q).unwrap();
+    let data = eng.get_data(&out, obj).unwrap();
+    let TypedVec::Float(got) = &data.data else { panic!("type") };
+    let expect: Vec<f32> = (0..values.len() as u64)
+        .filter(|&i| values[i as usize] > 400.0 && window.contains_linear(&shape, i))
+        .map(|i| values[i as usize])
+        .collect();
+    assert_eq!(got, &expect);
+}

@@ -1,0 +1,122 @@
+//! Property-based end-to-end testing: random datasets and random query
+//! trees, evaluated under every strategy, must agree with a naive
+//! reference evaluator.
+
+use pdc_suite::odms::{ImportOptions, Odms};
+use pdc_suite::query::{EngineConfig, PdcQuery, QueryEngine, Strategy as EvalStrategy};
+use pdc_suite::types::{ObjectId, QueryOp, TypedVec};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const N: usize = 4_000;
+const OPS: [QueryOp; 5] = [QueryOp::Gt, QueryOp::Gte, QueryOp::Lt, QueryOp::Lte, QueryOp::Eq];
+
+/// A restricted query-tree description that proptest can generate.
+#[derive(Debug, Clone)]
+enum TreeSpec {
+    Leaf { var: usize, op: usize, value: f32 },
+    And(Box<TreeSpec>, Box<TreeSpec>),
+    Or(Box<TreeSpec>, Box<TreeSpec>),
+}
+
+fn tree_strategy() -> impl Strategy<Value = TreeSpec> {
+    let leaf = (0usize..3, 0usize..5, -1.0f32..11.0).prop_map(|(var, op, value)| {
+        TreeSpec::Leaf { var, op, value }
+    });
+    leaf.prop_recursive(3, 12, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| TreeSpec::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner)
+                .prop_map(|(a, b)| TreeSpec::Or(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn build_query(spec: &TreeSpec, objects: &[ObjectId]) -> PdcQuery {
+    match spec {
+        TreeSpec::Leaf { var, op, value } => {
+            PdcQuery::create(objects[*var], OPS[*op], *value)
+        }
+        TreeSpec::And(a, b) => build_query(a, objects).and(build_query(b, objects)),
+        TreeSpec::Or(a, b) => build_query(a, objects).or(build_query(b, objects)),
+    }
+}
+
+fn eval_naive(spec: &TreeSpec, vars: &[Vec<f32>], i: usize) -> bool {
+    match spec {
+        TreeSpec::Leaf { var, op, value } => {
+            OPS[*op].eval(vars[*var][i] as f64, *value as f64)
+        }
+        TreeSpec::And(a, b) => eval_naive(a, vars, i) && eval_naive(b, vars, i),
+        TreeSpec::Or(a, b) => eval_naive(a, vars, i) || eval_naive(b, vars, i),
+    }
+}
+
+/// Build a world with three variables derived from a seed: one smooth,
+/// one clustered, one periodic — exercising pruning, index compression
+/// and the sorted replica differently.
+fn build_world(seed: u32) -> (Arc<Odms>, Vec<ObjectId>, Vec<Vec<f32>>) {
+    let mk = |f: &dyn Fn(usize) -> f32| (0..N).map(f).collect::<Vec<f32>>();
+    let s = seed as f32;
+    let vars = vec![
+        mk(&|i| ((i as f32 * 0.002 + s).sin() + 1.0) * 5.0),
+        mk(&|i| if (i / 300) % 3 == (seed as usize) % 3 { 8.0 + (i % 70) as f32 * 0.03 } else { (i % 50) as f32 * 0.04 }),
+        mk(&|i| ((i * (7 + seed as usize)) % 997) as f32 / 100.0),
+    ];
+    let odms = Arc::new(Odms::new(4));
+    let c = odms.create_container("prop");
+    let opts = ImportOptions {
+        region_bytes: 2048,
+        build_index: true,
+        build_sorted: true,
+        ..Default::default()
+    };
+    let objects = vars
+        .iter()
+        .enumerate()
+        .map(|(k, v)| {
+            odms.import_array(c, &format!("v{k}"), TypedVec::Float(v.clone()), &opts)
+                .unwrap()
+                .object
+        })
+        .collect();
+    (odms, objects, vars)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+    #[test]
+    fn random_trees_agree_with_naive_for_all_strategies(
+        spec in tree_strategy(),
+        seed in 0u32..4,
+        servers in 1u32..6,
+    ) {
+        let (odms, objects, vars) = build_world(seed);
+        let expect: Vec<u64> = (0..N)
+            .filter(|&i| eval_naive(&spec, &vars, i))
+            .map(|i| i as u64)
+            .collect();
+        for strategy in [
+            EvalStrategy::FullScan,
+            EvalStrategy::Histogram,
+            EvalStrategy::HistogramIndex,
+            EvalStrategy::SortedHistogram,
+        ] {
+            let eng = QueryEngine::new(
+                Arc::clone(&odms),
+                EngineConfig { strategy, num_servers: servers, ..Default::default() },
+            );
+            let q = build_query(&spec, &objects);
+            let out = eng.run(&q).unwrap();
+            prop_assert_eq!(
+                out.selection.iter_coords().collect::<Vec<_>>(),
+                expect.clone(),
+                "strategy {} with {} servers on {:?}",
+                strategy,
+                servers,
+                spec
+            );
+        }
+    }
+}
