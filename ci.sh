@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate for the PDC-Query reproduction.
+#
+#   ./ci.sh          build + full test suite + named fault-tolerance gate
+#
+# Falls back to `--offline` when the crates.io registry is unreachable
+# (the workspace vendors API-compatible shims under compat/, so an
+# offline build is fully supported).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+OFFLINE=""
+if ! cargo metadata --format-version 1 >/dev/null 2>&1; then
+    echo "ci: registry unreachable, using --offline"
+    OFFLINE="--offline"
+fi
+
+echo "== build (release) =="
+cargo build --release $OFFLINE
+
+echo "== test suite =="
+cargo test -q $OFFLINE
+
+echo "== fault-tolerance gate =="
+cargo test -q $OFFLINE -- fault
+
+echo "ci: all gates green"

@@ -1,0 +1,144 @@
+//! Offline shim for `criterion`: the benchmark-definition surface the
+//! workspace uses, backed by a simple timing loop that prints ns/iter.
+//! No statistical analysis, HTML reports, or baselines — just enough to
+//! compile and run `cargo bench` offline.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Opaque value barrier (re-export of `std::hint::black_box`).
+pub use std::hint::black_box;
+
+/// Benchmark identifier: function name plus a parameter label.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("range_query", label)`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { name: format!("{}/{}", function_name.into(), parameter) }
+    }
+}
+
+/// Throughput annotation (recorded, echoed in output).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Drives the measured closure.
+pub struct Bencher {
+    iters_done: u64,
+    nanos: u128,
+}
+
+impl Bencher {
+    /// Time `routine`, warming up briefly then measuring a fixed batch.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: a few untimed iterations.
+        for _ in 0..3 {
+            black_box(routine());
+        }
+        // Measure enough iterations to cover ~50ms, capped for slow routines.
+        let probe = Instant::now();
+        black_box(routine());
+        let per_iter = probe.elapsed().as_nanos().max(1);
+        let target = 50_000_000u128; // 50ms budget
+        let iters = (target / per_iter).clamp(1, 1000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.nanos = start.elapsed().as_nanos();
+        self.iters_done = iters;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Record the per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Run a benchmark with no explicit input.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, mut f: F) {
+        let id = id.into();
+        let mut b = Bencher { iters_done: 0, nanos: 0 };
+        f(&mut b);
+        self.report(&id, &b);
+    }
+
+    /// Run a benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let mut b = Bencher { iters_done: 0, nanos: 0 };
+        f(&mut b, input);
+        self.report(&id.name, &b);
+    }
+
+    /// Finish the group (no-op beyond a blank line).
+    pub fn finish(self) {
+        println!();
+    }
+
+    fn report(&self, id: &str, b: &Bencher) {
+        let per_iter = if b.iters_done > 0 { b.nanos / b.iters_done as u128 } else { 0 };
+        let tp = match self.throughput {
+            Some(Throughput::Elements(n)) if per_iter > 0 => {
+                format!("  ({:.1} Melem/s)", n as f64 / per_iter as f64 * 1e3)
+            }
+            Some(Throughput::Bytes(n)) if per_iter > 0 => {
+                format!("  ({:.1} MiB/s)", n as f64 / per_iter as f64 * 1e9 / (1 << 20) as f64)
+            }
+            _ => String::new(),
+        };
+        println!("{}/{}: {} ns/iter{}", self.name, id, per_iter, tp);
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), throughput: None, _criterion: self }
+    }
+}
+
+/// `criterion_group!(name, target, ...)` — a function running each target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// `criterion_main!(group, ...)` — the binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

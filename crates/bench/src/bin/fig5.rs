@@ -52,6 +52,7 @@ fn main() {
                 cache_bytes_per_server: 1 << 30,
                 cost,
                 order_by_selectivity: true,
+                ..Default::default()
             },
         )
     };

@@ -186,7 +186,7 @@ pub fn engine_with_cost(
             num_servers: servers,
             cache_bytes_per_server: 1 << 30,
             cost,
-            order_by_selectivity: true,
+            ..Default::default()
         },
     )
 }

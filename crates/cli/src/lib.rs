@@ -12,6 +12,7 @@
 
 use pdc_odms::{ImportOptions, Odms};
 use pdc_query::{parse_query, EngineConfig, QueryEngine, Strategy};
+use pdc_server::FaultPlan;
 use pdc_storage::CostModel;
 use pdc_workloads::{VpicConfig, VpicData};
 use std::sync::Arc;
@@ -50,6 +51,10 @@ pub struct CommonOpts {
     pub strategy: Strategy,
     /// RNG seed.
     pub seed: u64,
+    /// Seed for a randomized fault plan (`None` = no injected faults).
+    pub fault_seed: Option<u64>,
+    /// Kill exactly this many servers (crash on an early region access).
+    pub kill_servers: u32,
 }
 
 impl Default for CommonOpts {
@@ -60,6 +65,8 @@ impl Default for CommonOpts {
             region_bytes: 64 << 10,
             strategy: Strategy::Histogram,
             seed: 0x5EED_201C,
+            fault_seed: None,
+            kill_servers: 0,
         }
     }
 }
@@ -85,6 +92,10 @@ OPTIONS:
   --region-kb <N>    region size in KiB       (default 64)
   --strategy <S>     F | H | HI | SH          (default H)
   --seed <N>         RNG seed
+  --fault-seed <N>   inject a seeded deterministic fault plan (crashes,
+                     slowdowns, transient errors); queries still succeed
+                     via retry + region reassignment
+  --kill-servers <K> crash exactly K servers early in evaluation (K < servers)
   --get-data <var>   fetch that variable's values for the matches (query only)
 ";
 
@@ -139,6 +150,16 @@ fn parse_options<I: Iterator<Item = String>>(
             "--seed" => {
                 opts.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?;
             }
+            "--fault-seed" => {
+                opts.fault_seed = Some(
+                    value("--fault-seed")?.parse().map_err(|e| format!("--fault-seed: {e}"))?,
+                );
+            }
+            "--kill-servers" => {
+                opts.kill_servers = value("--kill-servers")?
+                    .parse()
+                    .map_err(|e| format!("--kill-servers: {e}"))?;
+            }
             "--strategy" => {
                 opts.strategy = parse_strategy(&value("--strategy")?)?;
             }
@@ -179,6 +200,25 @@ pub fn build_world(opts: &CommonOpts) -> (Arc<Odms>, VpicData) {
     (odms, data)
 }
 
+/// The fault plan implied by the options, if any. `--kill-servers` wins
+/// when both are given (the seed then only picks which servers die).
+pub fn fault_plan(opts: &CommonOpts) -> Result<Option<FaultPlan>, String> {
+    if opts.kill_servers > 0 {
+        if opts.kill_servers >= opts.servers {
+            return Err(format!(
+                "--kill-servers {} must leave at least one of {} servers alive",
+                opts.kill_servers, opts.servers
+            ));
+        }
+        let seed = opts.fault_seed.unwrap_or(opts.seed);
+        Ok(Some(FaultPlan::kill_count(opts.kill_servers, opts.servers, seed)))
+    } else if let Some(seed) = opts.fault_seed {
+        Ok(Some(FaultPlan::seeded(seed, opts.servers)))
+    } else {
+        Ok(None)
+    }
+}
+
 /// An engine per the options, with the scale-appropriate cost model.
 pub fn build_engine(odms: &Arc<Odms>, opts: &CommonOpts) -> QueryEngine {
     let f = 125e9 / opts.particles as f64;
@@ -190,6 +230,8 @@ pub fn build_engine(odms: &Arc<Odms>, opts: &CommonOpts) -> QueryEngine {
             cache_bytes_per_server: 1 << 30,
             cost: CostModel::scaled(f, f * opts.servers as f64 / 64.0, 256.0),
             order_by_selectivity: true,
+            fault_plan: fault_plan(opts).expect("fault plan validated at parse time"),
+            ..Default::default()
         },
     )
 }
@@ -200,6 +242,7 @@ pub fn run(cmd: Command) -> Result<String, String> {
         Command::Help => Ok(USAGE.to_string()),
         Command::Query { expr, opts, get_data } => {
             let mut out = String::new();
+            fault_plan(&opts)?; // validate before the expensive import
             let (odms, _data) = build_world(&opts);
             let engine = build_engine(&odms, &opts);
             let query = parse_query(&expr, &odms).map_err(|e| e.to_string())?;
@@ -215,6 +258,13 @@ pub fn run(cmd: Command) -> Result<String, String> {
                 outcome.io.pfs_read_requests,
                 outcome.work.elements_scanned,
             ));
+            if !outcome.failed_servers.is_empty() {
+                out.push_str(&format!(
+                    "faults: servers {:?} failed; recovered in {} retry round(s), \
+                     recovery overhead {}\n",
+                    outcome.failed_servers, outcome.retry_rounds, outcome.breakdown.recovery,
+                ));
+            }
             if let Some(var) = get_data {
                 let meta = odms.meta().lookup_name(&var).map_err(|e| e.to_string())?;
                 let data = engine.get_data(&outcome, meta.id).map_err(|e| e.to_string())?;
@@ -233,6 +283,7 @@ pub fn run(cmd: Command) -> Result<String, String> {
         }
         Command::Demo { opts } => {
             let mut out = String::new();
+            fault_plan(&opts)?; // validate before the expensive import
             let (odms, _data) = build_world(&opts);
             out.push_str(&format!(
                 "dataset: {} particles x 7 variables, {} regions of {} KiB, {} servers\n\n",
@@ -331,6 +382,57 @@ mod tests {
         assert!(parse_args(argv("frobnicate")).is_err());
         assert!(parse_args(argv("demo --particles notanumber")).is_err());
         assert!(parse_args(argv("demo --servers")).is_err());
+    }
+
+    #[test]
+    fn fault_flags_parse() {
+        let cmd = parse_args(argv("demo --servers 8 --fault-seed 42 --kill-servers 3")).unwrap();
+        match cmd {
+            Command::Demo { opts } => {
+                assert_eq!(opts.fault_seed, Some(42));
+                assert_eq!(opts.kill_servers, 3);
+                let plan = fault_plan(&opts).unwrap().unwrap();
+                assert_eq!(plan.crashed_servers().len(), 3);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn kill_all_servers_is_rejected() {
+        let cmd = parse_args(argv("demo --servers 4 --kill-servers 4")).unwrap();
+        match cmd {
+            Command::Demo { ref opts } => assert!(fault_plan(opts).is_err()),
+            ref other => panic!("{other:?}"),
+        }
+        assert!(run(cmd).is_err());
+    }
+
+    #[test]
+    fn query_with_faults_matches_healthy_run() {
+        let base = CommonOpts { particles: 50_000, servers: 4, ..CommonOpts::default() };
+        let healthy = run(Command::Query {
+            expr: "2.1 < Energy < 2.2".to_string(),
+            opts: base.clone(),
+            get_data: None,
+        })
+        .unwrap();
+        let faulty = run(Command::Query {
+            expr: "2.1 < Energy < 2.2".to_string(),
+            opts: CommonOpts { kill_servers: 2, ..base },
+            get_data: None,
+        })
+        .unwrap();
+        // Same hit count despite two dead servers; fault report present.
+        let hits = |s: &str| s.lines().find(|l| l.contains(" hits ")).unwrap().to_string();
+        let hit_count = |s: &str| hits(s).split(':').nth(1).unwrap().trim().to_string();
+        assert_eq!(
+            hit_count(&healthy).split(' ').next(),
+            hit_count(&faulty).split(' ').next(),
+            "healthy: {healthy}\nfaulty: {faulty}"
+        );
+        assert!(faulty.contains("faults: servers"), "{faulty}");
+        assert!(!healthy.contains("faults:"), "{healthy}");
     }
 
     #[test]

@@ -4,10 +4,11 @@
 use crate::ast::PdcQuery;
 use crate::exec::{eval_plan, EvalCtx};
 use crate::plan::{PlanNode, QueryPlan};
+use crate::recover::{run_slots, RecoveryPolicy};
 use crate::state::ServerState;
 use pdc_histogram::Histogram;
 use pdc_odms::Odms;
-use pdc_server::ServerPool;
+use pdc_server::{FaultPlan, ServerPool};
 use pdc_storage::{
     CostBreakdown, CostModel, IoCounters, SimDuration, WorkCounters,
 };
@@ -64,6 +65,18 @@ pub struct EngineConfig {
     /// Order multi-object evaluation by estimated selectivity (the
     /// paper's planner behaviour); disable only for ablation E7.
     pub order_by_selectivity: bool,
+    /// Deterministic fault-injection schedule (`None` = healthy pool).
+    pub fault_plan: Option<FaultPlan>,
+    /// Retry rounds allowed after the initial evaluation round before a
+    /// query fails with [`pdc_types::PdcError::RetriesExhausted`].
+    pub max_retries: u32,
+    /// Simulated time after which the client abandons an unresponsive or
+    /// slow server and reassigns its regions (a slow server is only
+    /// abandoned when a faster live one exists to take over). The default
+    /// [`SimDuration::MAX`] disables the timeout — safe at any cost-model
+    /// scale; erroring/crashing servers are still detected immediately
+    /// from their error responses.
+    pub server_timeout: SimDuration,
 }
 
 impl Default for EngineConfig {
@@ -74,6 +87,9 @@ impl Default for EngineConfig {
             cache_bytes_per_server: 256 << 20,
             cost: CostModel::cori_like(),
             order_by_selectivity: true,
+            fault_plan: None,
+            max_retries: 3,
+            server_timeout: SimDuration::MAX,
         }
     }
 }
@@ -101,6 +117,11 @@ pub struct QueryOutcome {
     /// key object and its matching sorted span (lets `get_data` serve the
     /// values straight from the replica).
     pub sorted_hint: Option<(ObjectId, Run)>,
+    /// Servers that failed (crash, panic, timeout) while serving this
+    /// query; their regions were reassigned to the survivors.
+    pub failed_servers: Vec<u32>,
+    /// Retry rounds the query needed (0 on a fault-free run).
+    pub retry_rounds: u32,
 }
 
 /// The result of a `PDCquery_get_data` call.
@@ -151,8 +172,39 @@ impl QueryEngine {
     /// Start a query service over an ODMS.
     pub fn new(odms: Arc<Odms>, cfg: EngineConfig) -> Self {
         let cache = cfg.cache_bytes_per_server;
-        let pool = ServerPool::new(cfg.num_servers, |_| ServerState::new(cache));
+        let plan = cfg.fault_plan.clone();
+        let pool = ServerPool::new(cfg.num_servers, |id| {
+            let mut st = ServerState::new(cache);
+            if let Some(p) = &plan {
+                st.fault = p.probe_for(id.raw());
+            }
+            st
+        });
         Self { odms, pool, cfg }
+    }
+
+    /// The recovery policy derived from the config.
+    fn recovery_policy(&self) -> RecoveryPolicy {
+        RecoveryPolicy {
+            max_retries: self.cfg.max_retries,
+            server_timeout: self.cfg.server_timeout,
+        }
+    }
+
+    /// Per-slot region counts for the plan's objects: slot `s` owns the
+    /// regions with `r % num_servers == s`, so its weight is a closed
+    /// form of each object's region count. Used to balance reassignment.
+    fn slot_weights_for_objects(&self, objects: &[ObjectId]) -> PdcResult<Vec<u64>> {
+        let n = self.cfg.num_servers;
+        let mut weights = vec![0u64; n as usize];
+        for &obj in objects {
+            let regions = u64::from(self.odms.meta().get(obj)?.num_regions());
+            for s in 0..u64::from(n) {
+                weights[s as usize] +=
+                    regions / u64::from(n) + u64::from(s < regions % u64::from(n));
+            }
+        }
+        Ok(weights)
     }
 
     /// The underlying data management system.
@@ -190,10 +242,17 @@ impl QueryEngine {
     }
 
     /// Reset all per-server state (caches, clocks, counters) — used
-    /// between experiment configurations.
+    /// between experiment configurations. Fault probes are reinstalled
+    /// fresh, so crashed servers come back up with their schedule rearmed.
     pub fn reset_state(&self) {
         let bytes = self.cfg.cache_bytes_per_server;
-        self.pool.for_each_server(|_, st| *st = ServerState::new(bytes));
+        let plan = self.cfg.fault_plan.clone();
+        self.pool.for_each_server(|id, st| {
+            *st = ServerState::new(bytes);
+            if let Some(p) = &plan {
+                st.fault = p.probe_for(id.raw());
+            }
+        });
     }
 
     /// `PDCquery_get_nhits`: evaluate and return the number of matches.
@@ -207,62 +266,70 @@ impl QueryEngine {
         self.run(query)
     }
 
-    /// Evaluate a query end to end.
+    /// Evaluate a query end to end. Work is scheduled in assignment
+    /// slots (slot `i` = the regions with `r % num_servers == i`): on a
+    /// healthy pool each server evaluates its own slot; when servers
+    /// fail, their slots are re-evaluated by the survivors, so the query
+    /// result is identical as long as at least one server stays alive.
     pub fn run(&self, query: &PdcQuery) -> PdcResult<QueryOutcome> {
         let plan = QueryPlan::build_with_ordering(query, &self.odms, self.cfg.order_by_selectivity)?;
         let n = self.cfg.num_servers;
         let cost = self.cfg.cost;
+        let mut objects = Vec::new();
+        plan.root.objects(&mut objects);
+        objects.sort_unstable();
+        objects.dedup();
+        let weights = self.slot_weights_for_objects(&objects)?;
 
-        // PDC-F pre-loads all data of every queried object.
-        if self.cfg.strategy == Strategy::FullScan {
-            self.preload_objects(&plan)?;
-        }
+        // PDC-F pre-loads all data of every queried object. Failures
+        // during the pre-load recover the same way evaluation does; they
+        // are carried into the outcome's fault report.
+        let preload = if self.cfg.strategy == Strategy::FullScan {
+            Some(self.preload_objects(&objects, &weights)?)
+        } else {
+            None
+        };
 
         // Client serializes the query tree and broadcasts it.
         let broadcast = cost.net.broadcast_cost(query.wire_size_bytes(), n);
 
         let odms = Arc::clone(&self.odms);
         let strategy = self.cfg.strategy;
-        let results: Vec<PdcResult<(Selection, SimDuration, IoCounters, WorkCounters)>> =
-            self.pool.broadcast(|id, st| {
+        let out = run_slots(
+            &self.pool,
+            &cost,
+            &self.recovery_policy(),
+            &weights,
+            |r: &(Selection, IoCounters, WorkCounters)| r.0.wire_size_bytes(),
+            |slot, st| {
                 let ctx = EvalCtx {
                     odms: &odms,
                     cost: &cost,
                     strategy,
                     n_servers: n,
-                    server: id.raw(),
+                    server: slot,
                 };
-                let t0 = st.clock.now();
                 let io0 = st.io;
                 let w0 = st.work;
                 let sel = eval_plan(&ctx, st, &plan)?;
-                Ok((sel, st.elapsed_since(t0), diff_io(&st.io, &io0), diff_work(&st.work, &w0)))
-            });
+                Ok((sel, diff_io(&st.io, &io0), diff_work(&st.work, &w0)))
+            },
+        )?;
 
         let mut selection = Selection::empty();
-        let mut per_server = Vec::with_capacity(results.len());
         let mut io = IoCounters::default();
         let mut work = WorkCounters::default();
-        let mut slowest = SimDuration::ZERO;
-        for r in results {
-            let (sel, elapsed, io_d, work_d) = r?;
-            // Result return: each server ships its partial selection back.
-            let ret = cost.net.transfer_cost(sel.wire_size_bytes());
-            let total = elapsed + ret;
-            if total > slowest {
-                slowest = total;
-            }
-            per_server.push(total);
-            io.merge(&io_d);
-            work.merge(&work_d);
+        for (sel, io_d, work_d) in &out.per_slot {
+            io.merge(io_d);
+            work.merge(work_d);
             // "Remove the duplicates with a merge sort" on the client.
-            selection = selection.union(&sel);
+            selection = selection.union(sel);
         }
         // Client-side aggregation cost (background thread merging runs).
         let merge_cpu =
             SimDuration::from_secs_f64(selection.num_runs() as f64 * 20.0 / 1e9);
 
-        let elapsed = broadcast + slowest + merge_cpu;
+        let elapsed = broadcast + out.eval_time + merge_cpu;
         let breakdown = CostBreakdown {
             io: cost.pfs.read_cost(
                 io.pfs_bytes_read,
@@ -272,18 +339,32 @@ impl QueryEngine {
             ),
             cpu: cost.cpu.work_cost(&work),
             net: broadcast + merge_cpu,
+            recovery: out.recovery,
         };
 
         let sorted_hint = self.sorted_hint(&plan);
+        let mut failed_servers = out.failed_servers;
+        let mut retry_rounds = out.retry_rounds;
+        if let Some(pre) = preload {
+            for s in pre.failed_servers {
+                if !failed_servers.contains(&s) {
+                    failed_servers.push(s);
+                }
+            }
+            failed_servers.sort_unstable();
+            retry_rounds += pre.retry_rounds;
+        }
         Ok(QueryOutcome {
             nhits: selection.count(),
             selection,
             elapsed,
-            per_server,
+            per_server: out.per_server,
             io,
             work,
             breakdown,
             sorted_hint,
+            failed_servers,
+            retry_rounds,
         })
     }
 
@@ -305,33 +386,43 @@ impl QueryEngine {
 
     /// PDC-F's pre-load: read every region of every queried object into
     /// the server caches ("pre-load all the data of queried objects").
-    fn preload_objects(&self, plan: &QueryPlan) -> PdcResult<()> {
-        let mut objects = Vec::new();
-        plan.root.objects(&mut objects);
-        objects.sort_unstable();
-        objects.dedup();
+    /// Slot-scheduled like evaluation, so a failed server's share is
+    /// pre-loaded by whichever survivor will evaluate it. Timing outputs
+    /// are discarded (the pre-load advances the server clocks directly,
+    /// it is not part of query latency) but the fault report is returned
+    /// for the outcome.
+    fn preload_objects(
+        &self,
+        objects: &[ObjectId],
+        weights: &[u64],
+    ) -> PdcResult<crate::recover::SlotRunOutput<()>> {
         let n = self.cfg.num_servers;
         let cost = self.cfg.cost;
         let odms = Arc::clone(&self.odms);
-        let results: Vec<PdcResult<()>> = self.pool.broadcast(|id, st| {
-            for &obj in &objects {
-                let meta = odms.meta().get(obj)?;
-                for r in 0..meta.num_regions() {
-                    if r % n != id.raw() {
-                        continue;
+        run_slots(
+            &self.pool,
+            &cost,
+            &self.recovery_policy(),
+            weights,
+            |_: &()| 0,
+            |slot, st| {
+                for &obj in objects {
+                    let meta = odms.meta().get(obj)?;
+                    for r in 0..meta.num_regions() {
+                        if r % n != slot {
+                            continue;
+                        }
+                        st.read_data_region(
+                            &odms,
+                            &cost,
+                            pdc_types::RegionId::new(obj, r),
+                            n,
+                        )?;
                     }
-                    st.read_data_region(
-                        &odms,
-                        &cost,
-                        pdc_types::RegionId::new(obj, r),
-                        n,
-                    )?;
                 }
-            }
-            Ok(())
-        });
-        results.into_iter().collect::<PdcResult<Vec<()>>>()?;
-        Ok(())
+                Ok(())
+            },
+        )
     }
 
     /// `PDCquery_get_data`: load the values of the matching elements of
@@ -398,23 +489,28 @@ impl QueryEngine {
 
         let use_sorted = matches!(sorted_hint, Some((o, _)) if *o == object);
         let span_hint = sorted_hint.map(|(_, s)| *s);
+        let weights = self.slot_weights_for_objects(&[object])?;
+        let elem = elem_bytes;
 
-        type GatherResult = PdcResult<(Vec<(u64, f64)>, SimDuration, IoCounters)>;
-        let results: Vec<GatherResult> =
-            self.pool.broadcast(|id, st| {
-                let t0 = st.clock.now();
+        let out = run_slots(
+            &self.pool,
+            &cost,
+            &self.recovery_policy(),
+            &weights,
+            |r: &(Vec<(u64, f64)>, IoCounters)| r.0.len() as u64 * (8 + elem),
+            |slot, st| {
                 let io0 = st.io;
                 let w0 = st.work;
                 let mut pairs: Vec<(u64, f64)> = Vec::new();
                 if use_sorted {
-                    // Serve straight from the sorted replica: this server
+                    // Serve straight from the sorted replica: this slot
                     // walks its share of the matching sorted band; values
                     // are already resident from the evaluation.
                     let replica = odms.meta().sorted_replica(object)?;
                     let span = span_hint.unwrap();
                     let sorted_obj = ObjectId(object.raw() | 1 << 63);
                     for (i, sr) in replica.regions_of_span(&span).iter().enumerate() {
-                        if i as u32 % n != id.raw() {
+                        if i as u32 % n != slot {
                             continue;
                         }
                         let region_start = *sr as u64 * replica.region_len();
@@ -426,7 +522,7 @@ impl QueryEngine {
                             pdc_types::RegionId::new(sorted_obj, *sr),
                             bytes,
                             n,
-                        );
+                        )?;
                         let lo = span.start.max(region_start);
                         let hi = span.end().min(region_end);
                         for s in lo..hi {
@@ -438,10 +534,10 @@ impl QueryEngine {
                         }
                     }
                 } else {
-                    // Coordinate path: this server gathers from its
+                    // Coordinate path: this slot gathers from its
                     // round-robin share of the regions holding hits.
                     for r in 0..meta.num_regions() {
-                        if r % n != id.raw() {
+                        if r % n != slot {
                             continue;
                         }
                         let span = meta.region_span(r);
@@ -462,24 +558,19 @@ impl QueryEngine {
                     }
                 }
                 st.settle_cpu(&cost, &w0);
-                Ok((pairs, st.elapsed_since(t0), diff_io(&st.io, &io0)))
-            });
+                Ok((pairs, diff_io(&st.io, &io0)))
+            },
+        )?;
 
         let mut all_pairs: Vec<(u64, f64)> = Vec::new();
         let mut io = IoCounters::default();
-        let mut slowest = SimDuration::ZERO;
         let mut bytes_transferred = 0;
         let mut servers_involved = 0;
-        for r in results {
-            let (pairs, elapsed, io_d) = r?;
+        for (pairs, io_d) in out.per_slot {
             let bytes = pairs.len() as u64 * (8 + elem_bytes);
-            let total = elapsed + cost.net.transfer_cost(bytes);
             if !pairs.is_empty() {
                 servers_involved += 1;
                 bytes_transferred += bytes;
-            }
-            if total > slowest {
-                slowest = total;
             }
             io.merge(&io_d);
             all_pairs.extend(pairs);
@@ -489,7 +580,7 @@ impl QueryEngine {
 
         Ok(GetDataOutcome {
             data,
-            elapsed: slowest,
+            elapsed: out.eval_time,
             io,
             bytes_transferred,
             servers_involved,

@@ -282,7 +282,7 @@ fn eval_primary_sorted(
         let region_end = (region_start + replica.region_len()).min(replica.len());
         // Reading a sorted region brings in keys + permutation.
         let bytes = (region_end - region_start) * (elem_bytes + 8);
-        state.touch_sorted_region(ctx.cost, RegionId::new(sorted_obj, sr), bytes, ctx.n_servers);
+        state.touch_sorted_region(ctx.cost, RegionId::new(sorted_obj, sr), bytes, ctx.n_servers)?;
         // The matching slice inside this region is contiguous.
         let lo = span.start.max(region_start);
         let hi = span.end().min(region_end);

@@ -27,6 +27,7 @@ pub mod exec;
 pub mod multi;
 pub mod parse;
 pub mod plan;
+pub(crate) mod recover;
 pub mod state;
 
 pub use ast::PdcQuery;

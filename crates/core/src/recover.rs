@@ -1,0 +1,385 @@
+//! Fault-tolerant slot scheduling: retry and region reassignment.
+//!
+//! Query work is partitioned into **assignment slots**: slot `i` owns the
+//! regions where `region % num_servers == i` (and position `i` of every
+//! sorted band). A slot's partial result is a pure function of the plan
+//! and the slot id — *which physical server evaluates it does not matter*
+//! — and the client-side union is commutative. So when a server fails,
+//! its slots are simply re-evaluated by the survivors and the final
+//! result is bit-identical to a fault-free run.
+//!
+//! [`run_slots`] drives that loop deterministically:
+//!
+//! * **Round 0** — every live server evaluates its own slot (plus, when
+//!   servers died in an earlier query, a balanced share of orphaned
+//!   slots).
+//! * A server **fails** a round if its handler returns an error (injected
+//!   crash / transient fault) or panics (caught by
+//!   [`ServerPool::try_broadcast`]). An *erroring* server is detected the
+//!   moment its error response arrives — at its own simulated elapsed
+//!   time. A *panicking* server never responds and is detected at the
+//!   configured `server_timeout`, or, with the default unbounded timeout,
+//!   once every responsive server of the round has reported.
+//! * With a finite `server_timeout`, a server **too slow** for it is
+//!   quarantined for the rest of the query and its slots reassigned —
+//!   unless no faster server is alive, in which case its results are
+//!   accepted (a query with at least one live server always completes).
+//! * **Retry rounds** reassign unfinished slots across the live servers
+//!   with [`pdc_server::assign::balanced_by_weight`], up to
+//!   `max_retries` rounds; beyond that the query fails with
+//!   [`PdcError::RetriesExhausted`].
+//!
+//! All timing is simulated: round time is the maximum per-server
+//! contribution (evaluation × slowdown + result transfer, or the
+//! detection time for failed/slow servers), rounds are sequential, and
+//! everything beyond the fault-free critical path is surfaced as the
+//! `recovery` component of the cost breakdown.
+
+use crate::state::ServerState;
+use pdc_server::{assign, ServerPool};
+use pdc_storage::{CostModel, SimDuration};
+use pdc_types::{PdcError, PdcResult, ServerId};
+
+/// Scheduling knobs for [`run_slots`] (mirrors the engine config).
+pub(crate) struct RecoveryPolicy {
+    /// Retry rounds allowed after the initial round.
+    pub max_retries: u32,
+    /// Simulated time after which the client abandons a server that has
+    /// not responded. [`SimDuration::MAX`] (the default) disables the
+    /// timeout: erroring servers are still detected from their error
+    /// responses, only unresponsive ones wait for the rest of the round.
+    pub server_timeout: SimDuration,
+}
+
+impl RecoveryPolicy {
+    fn has_timeout(&self) -> bool {
+        self.server_timeout != SimDuration::MAX
+    }
+}
+
+/// Everything one [`run_slots`] call produced.
+pub(crate) struct SlotRunOutput<R> {
+    /// Per-slot results, indexed by slot id (all present on success).
+    pub per_slot: Vec<R>,
+    /// Per-server accumulated contribution across rounds (round-0 value
+    /// equals the classic per-server elapsed on a healthy run).
+    pub per_server: Vec<SimDuration>,
+    /// Total evaluation wall time: sum over rounds of the round maximum.
+    pub eval_time: SimDuration,
+    /// The slice of `eval_time` attributable to failure handling
+    /// (timeout waits + retry rounds); zero on a fault-free run.
+    pub recovery: SimDuration,
+    /// Servers that failed or were quarantined during this run.
+    pub failed_servers: Vec<u32>,
+    /// Retry rounds used (0 on a fault-free run).
+    pub retry_rounds: u32,
+}
+
+/// One server's batch outcome for a round: per-slot results plus the
+/// simulated time the batch took on that server.
+struct BatchOut<R> {
+    slots: Vec<(u32, PdcResult<R>)>,
+    elapsed: SimDuration,
+    slowdown: f64,
+}
+
+/// Evaluate one result per slot across the pool, reassigning failed
+/// servers' slots to survivors. `eval` runs a single slot against a
+/// server's state; `ret_bytes` sizes the server→client transfer of a
+/// slot's result.
+pub(crate) fn run_slots<R, F, B>(
+    pool: &ServerPool<ServerState>,
+    cost: &CostModel,
+    policy: &RecoveryPolicy,
+    slot_weights: &[u64],
+    ret_bytes: B,
+    eval: F,
+) -> PdcResult<SlotRunOutput<R>>
+where
+    R: Send,
+    F: Fn(u32, &mut ServerState) -> PdcResult<R> + Sync,
+    B: Fn(&R) -> u64 + Sync,
+{
+    let n = pool.num_servers() as usize;
+    debug_assert_eq!(slot_weights.len(), n);
+
+    let mut alive: Vec<bool> = Vec::with_capacity(n);
+    pool.for_each_server(|_, st| alive.push(!st.is_crashed()));
+
+    // Round 0: live servers take their own slot; slots of already-dead
+    // servers are distributed over the survivors.
+    let mut batches: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut pending: Vec<u32> = Vec::new();
+    for s in 0..n as u32 {
+        if alive[s as usize] {
+            batches[s as usize].push(s);
+        } else {
+            pending.push(s);
+        }
+    }
+    if pending.len() == n {
+        return Err(PdcError::ServerFailed {
+            server: 0,
+            reason: "no live servers in the pool".into(),
+        });
+    }
+    if !pending.is_empty() {
+        distribute(&mut batches, &pending, &alive, slot_weights);
+        pending.clear();
+    }
+
+    let mut per_slot: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let mut per_server = vec![SimDuration::ZERO; n];
+    let mut eval_time = SimDuration::ZERO;
+    let mut recovery = SimDuration::ZERO;
+    let mut quarantined = vec![false; n];
+    let mut failed_servers: Vec<u32> = Vec::new();
+    let mut retry_rounds = 0u32;
+
+    loop {
+        let results: Vec<Result<BatchOut<R>, pdc_server::ServerPanic>> =
+            pool.try_broadcast(|id, st| {
+                let my_slots = &batches[id.raw() as usize];
+                let mut out = BatchOut {
+                    slots: Vec::with_capacity(my_slots.len()),
+                    elapsed: SimDuration::ZERO,
+                    slowdown: st.fault_slowdown(),
+                };
+                if my_slots.is_empty() {
+                    return out;
+                }
+                let t0 = st.clock.now();
+                let mut aborted: Option<PdcError> = None;
+                for &slot in my_slots {
+                    match &aborted {
+                        // After a failure the server is unreachable for
+                        // the rest of the round: remaining slots inherit
+                        // the error.
+                        Some(e) => out.slots.push((slot, Err(e.clone()))),
+                        None => {
+                            let r = eval(slot, st);
+                            if let Err(e) = &r {
+                                aborted = Some(e.clone());
+                            }
+                            out.slots.push((slot, r));
+                        }
+                    }
+                }
+                out.elapsed = st.elapsed_since(t0);
+                out
+            });
+
+        // Classify this round's servers.
+        struct RoundEntry<R> {
+            server: u32,
+            contribution: SimDuration,
+            slow: bool,
+            successes: Vec<(u32, R)>,
+            failed_slots: Vec<u32>,
+            died: bool,
+            panicked: bool,
+        }
+        let mut entries: Vec<RoundEntry<R>> = Vec::new();
+        for (i, res) in results.into_iter().enumerate() {
+            if batches[i].is_empty() {
+                continue;
+            }
+            match res {
+                Ok(out) => {
+                    let adjusted = out.elapsed * out.slowdown;
+                    let mut successes = Vec::new();
+                    let mut failed_slots = Vec::new();
+                    let mut transfer = SimDuration::ZERO;
+                    for (slot, r) in out.slots {
+                        match r {
+                            Ok(v) => {
+                                transfer += cost.net.transfer_cost(ret_bytes(&v));
+                                successes.push((slot, v));
+                            }
+                            // Only server failures are retryable; a
+                            // query-level error (missing region, corrupt
+                            // index, type mismatch, ...) would fail
+                            // identically on any server and propagates
+                            // immediately.
+                            Err(PdcError::ServerFailed { .. }) => failed_slots.push(slot),
+                            Err(e) => return Err(e),
+                        }
+                    }
+                    let errored = !failed_slots.is_empty();
+                    let died = errored && pool.with_server(ServerId(i as u32), |st| st.is_crashed());
+                    if errored {
+                        // The error response arrives at the server's own
+                        // elapsed time — detection is immediate. Partial
+                        // results from a failing server are discarded (the
+                        // whole batch is retried elsewhere).
+                        for (slot, _) in successes.drain(..) {
+                            failed_slots.push(slot);
+                        }
+                        failed_slots.sort_unstable();
+                        entries.push(RoundEntry {
+                            server: i as u32,
+                            contribution: adjusted.min(policy.server_timeout),
+                            slow: false,
+                            successes,
+                            failed_slots,
+                            died,
+                            panicked: false,
+                        });
+                    } else {
+                        entries.push(RoundEntry {
+                            server: i as u32,
+                            contribution: adjusted + transfer,
+                            slow: policy.has_timeout()
+                                && adjusted + transfer > policy.server_timeout,
+                            successes,
+                            failed_slots,
+                            died: false,
+                            panicked: false,
+                        });
+                    }
+                }
+                Err(_panic) => {
+                    // Panic = crash: mark the server dead for the rest of
+                    // the engine's life (until an explicit state reset).
+                    pool.with_server(ServerId(i as u32), |st| st.mark_failed());
+                    entries.push(RoundEntry {
+                        server: i as u32,
+                        contribution: SimDuration::ZERO, // patched below
+                        slow: false,
+                        successes: Vec::new(),
+                        failed_slots: batches[i].clone(),
+                        died: true,
+                        panicked: true,
+                    });
+                }
+            }
+        }
+
+        // A panicked server never responds: the client notices it at the
+        // timeout, or — with the timeout disabled — once every responsive
+        // server of the round has reported.
+        if entries.iter().any(|e| e.panicked) {
+            let detect = if policy.has_timeout() {
+                policy.server_timeout
+            } else {
+                entries
+                    .iter()
+                    .filter(|e| !e.panicked)
+                    .map(|e| e.contribution)
+                    .max()
+                    .unwrap_or(SimDuration::ZERO)
+            };
+            for e in entries.iter_mut().filter(|e| e.panicked) {
+                e.contribution = detect;
+            }
+        }
+
+        // A slow server is quarantined only when a faster live server
+        // exists to take over; otherwise its results are accepted (a
+        // query with one live server must still complete).
+        let fast_alternative_exists = entries
+            .iter()
+            .any(|e| !e.slow && e.failed_slots.is_empty())
+            || (0..n).any(|s| alive[s] && !quarantined[s] && batches[s].is_empty());
+
+        let mut round_max = SimDuration::ZERO;
+        let mut healthy_max = SimDuration::ZERO;
+        for mut e in entries {
+            let quarantine_slow = e.slow && fast_alternative_exists;
+            if !e.failed_slots.is_empty() || quarantine_slow {
+                if e.died {
+                    alive[e.server as usize] = false;
+                } else if quarantine_slow {
+                    quarantined[e.server as usize] = true;
+                }
+                // A transiently-erroring server stays a reassignment
+                // candidate — its next access may succeed; only crashes
+                // remove it and only slowness quarantines it.
+                if !failed_servers.contains(&e.server) {
+                    failed_servers.push(e.server);
+                }
+                if quarantine_slow {
+                    // The client stops waiting at the timeout.
+                    e.contribution = policy.server_timeout;
+                    pending.extend(e.successes.iter().map(|(slot, _)| *slot));
+                }
+                pending.extend(&e.failed_slots);
+                if quarantine_slow {
+                    e.successes.clear();
+                }
+            } else {
+                healthy_max = healthy_max.max(e.contribution);
+            }
+            for (slot, v) in e.successes {
+                per_slot[slot as usize] = Some(v);
+            }
+            per_server[e.server as usize] += e.contribution;
+            round_max = round_max.max(e.contribution);
+        }
+        eval_time += round_max;
+        if retry_rounds == 0 {
+            // Round 0: only the slice beyond the healthy critical path is
+            // recovery time.
+            recovery += round_max.saturating_sub(healthy_max);
+        } else {
+            recovery += round_max;
+        }
+
+        if pending.is_empty() {
+            break;
+        }
+        retry_rounds += 1;
+        if retry_rounds > policy.max_retries {
+            return Err(PdcError::RetriesExhausted { attempts: retry_rounds });
+        }
+        if !(0..n).any(|s| alive[s] && !quarantined[s]) {
+            let server = *pending.first().unwrap_or(&0);
+            return Err(PdcError::ServerFailed {
+                server,
+                reason: format!(
+                    "no surviving servers to reassign {} region slot(s)",
+                    pending.len()
+                ),
+            });
+        }
+        pending.sort_unstable();
+        pending.dedup();
+        let candidates: Vec<bool> =
+            (0..n).map(|s| alive[s] && !quarantined[s]).collect();
+        batches.iter_mut().for_each(Vec::clear);
+        distribute(&mut batches, &pending, &candidates, slot_weights);
+        pending.clear();
+    }
+
+    let per_slot: Vec<R> = per_slot
+        .into_iter()
+        .map(|r| r.expect("every slot resolved before loop exit"))
+        .collect();
+    failed_servers.sort_unstable();
+    Ok(SlotRunOutput {
+        per_slot,
+        per_server,
+        eval_time,
+        recovery,
+        failed_servers,
+        retry_rounds,
+    })
+}
+
+/// Deterministically spread `slots` across the live servers, balancing by
+/// slot weight (greedy LPT via [`assign::balanced_by_weight`]).
+fn distribute(batches: &mut [Vec<u32>], slots: &[u32], live: &[bool], weights: &[u64]) {
+    let live_ids: Vec<u32> =
+        (0..live.len() as u32).filter(|&s| live[s as usize]).collect();
+    debug_assert!(!live_ids.is_empty());
+    let slot_w: Vec<u64> = slots.iter().map(|&s| weights[s as usize].max(1)).collect();
+    let groups = assign::balanced_by_weight(&slot_w, live_ids.len() as u32);
+    for (k, group) in groups.iter().enumerate() {
+        for &item in group {
+            batches[live_ids[k] as usize].push(slots[item as usize]);
+        }
+    }
+    for b in batches.iter_mut() {
+        b.sort_unstable();
+    }
+}

@@ -2,6 +2,7 @@
 
 use pdc_bitmap::BinnedBitmapIndex;
 use pdc_odms::Odms;
+use pdc_server::FaultProbe;
 use pdc_storage::{
     CostModel, IoCounters, ReadPattern, RegionCache, SimClock, SimDuration, WorkCounters,
 };
@@ -36,6 +37,12 @@ pub struct ServerState {
     pub io: IoCounters,
     /// Evaluation-work counters.
     pub work: WorkCounters,
+    /// Installed fault probe (deterministic fault injection); `None` for
+    /// a healthy server.
+    pub fault: Option<FaultProbe>,
+    /// Set when the server failed outside the probe's schedule (e.g. a
+    /// handler panic caught by the pool): dead until state reset.
+    pub failed: bool,
 }
 
 impl ServerState {
@@ -51,7 +58,35 @@ impl ServerState {
             metadata_loaded: HashSet::new(),
             io: IoCounters::default(),
             work: WorkCounters::default(),
+            fault: None,
+            failed: false,
         }
+    }
+
+    /// Consult the fault probe before a region access; an injected crash
+    /// or transient error surfaces as [`pdc_types::PdcError::ServerFailed`]
+    /// through the normal result plumbing.
+    fn fault_check(&mut self) -> PdcResult<()> {
+        match &mut self.fault {
+            Some(probe) => probe.on_access(),
+            None => Ok(()),
+        }
+    }
+
+    /// Whether this server is dead (crash fault fired, or marked failed
+    /// after a panic). Dead servers stay dead until their state is reset.
+    pub fn is_crashed(&self) -> bool {
+        self.failed || self.fault.as_ref().is_some_and(|p| p.is_crashed())
+    }
+
+    /// Mark the server permanently failed (used for caught panics).
+    pub fn mark_failed(&mut self) {
+        self.failed = true;
+    }
+
+    /// This server's evaluation-time multiplier (1.0 when healthy).
+    pub fn fault_slowdown(&self) -> f64 {
+        self.fault.as_ref().map_or(1.0, |p| p.slowdown())
     }
 
     /// Charge the metadata-distribution cost for an object's assigned
@@ -76,6 +111,7 @@ impl ServerState {
         rid: RegionId,
         concurrency: u32,
     ) -> PdcResult<Arc<TypedVec>> {
+        self.fault_check()?;
         if let Some(payload) = self.cache.get(rid) {
             let bytes = payload.size_bytes();
             self.io.cache_bytes_read += bytes;
@@ -145,6 +181,7 @@ impl ServerState {
         rid: RegionId,
         concurrency: u32,
     ) -> PdcResult<Arc<TypedVec>> {
+        self.fault_check()?;
         if let Some(payload) = self.cache.get(rid) {
             let bytes = payload.size_bytes();
             self.io.cache_bytes_read += bytes;
@@ -166,6 +203,7 @@ impl ServerState {
         region: u32,
         concurrency: u32,
     ) -> PdcResult<Arc<BinnedBitmapIndex>> {
+        self.fault_check()?;
         let meta = odms.meta().get(data_object)?;
         let idx_obj = meta.index_object.ok_or_else(|| {
             pdc_types::PdcError::MissingPrerequisite(format!("bitmap index of {data_object}"))
@@ -206,7 +244,8 @@ impl ServerState {
         sorted_rid: RegionId,
         bytes: u64,
         concurrency: u32,
-    ) {
+    ) -> PdcResult<()> {
+        self.fault_check()?;
         if self.sorted_resident.contains(&sorted_rid) {
             self.io.cache_bytes_read += bytes;
             self.io.cache_hits += 1;
@@ -219,6 +258,7 @@ impl ServerState {
                 .advance(cost.pfs.read_cost(bytes, 1, concurrency, ReadPattern::Aggregated));
             self.sorted_resident.insert(sorted_rid);
         }
+        Ok(())
     }
 
     /// Charge CPU time for work done since `before` (callers snapshot the
@@ -296,9 +336,9 @@ mod tests {
         let cost = CostModel::cori_like();
         let mut st = ServerState::new(1 << 20);
         let rid = RegionId::new(ObjectId(42), 0);
-        st.touch_sorted_region(&cost, rid, 1 << 20, 4);
+        st.touch_sorted_region(&cost, rid, 1 << 20, 4).unwrap();
         assert_eq!(st.io.pfs_read_requests, 1);
-        st.touch_sorted_region(&cost, rid, 1 << 20, 4);
+        st.touch_sorted_region(&cost, rid, 1 << 20, 4).unwrap();
         assert_eq!(st.io.pfs_read_requests, 1);
         assert_eq!(st.io.cache_hits, 1);
     }

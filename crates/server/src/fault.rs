@@ -1,0 +1,302 @@
+//! Deterministic fault injection for the logical server pool.
+//!
+//! A [`FaultPlan`] describes, per logical server, what goes wrong and
+//! when — crash on the k-th region access, a fixed slowdown factor, or a
+//! number of transient evaluation errors. Plans are either constructed
+//! explicitly (tests) or derived from a seed (`--fault-seed`), so every
+//! failure scenario replays exactly: the same seed produces the same
+//! crashes at the same points of the same simulated timeline.
+//!
+//! The plan is *installed* into each server's state as a [`FaultProbe`],
+//! which the storage-access layer consults on every region access. Faults
+//! therefore surface through the same [`PdcResult`] plumbing as genuine
+//! storage errors, and the recovery machinery upstream cannot tell them
+//! apart — which is the point.
+
+use pdc_types::{PdcError, PdcResult};
+use std::collections::BTreeMap;
+
+/// What goes wrong on one logical server.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServerFaultSpec {
+    /// Crash permanently on the k-th region access (0 = the very first).
+    /// A crashed server fails every subsequent access until its state is
+    /// reset.
+    pub crash_at_access: Option<u64>,
+    /// Multiply this server's per-round evaluation time by this factor
+    /// (1.0 = healthy). Slow servers past the client timeout get their
+    /// work reassigned.
+    pub slowdown: f64,
+    /// Fail the first `transient_errors` accesses with a retryable error,
+    /// then behave normally.
+    pub transient_errors: u32,
+}
+
+impl Default for ServerFaultSpec {
+    fn default() -> Self {
+        Self { crash_at_access: None, slowdown: 1.0, transient_errors: 0 }
+    }
+}
+
+impl ServerFaultSpec {
+    fn is_healthy(&self) -> bool {
+        self.crash_at_access.is_none() && self.slowdown == 1.0 && self.transient_errors == 0
+    }
+}
+
+/// A deterministic, per-server fault schedule.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    specs: BTreeMap<u32, ServerFaultSpec>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set one server's fault spec (builder style).
+    pub fn with_spec(mut self, server: u32, spec: ServerFaultSpec) -> Self {
+        self.specs.insert(server, spec);
+        self
+    }
+
+    /// Crash the given servers on their first region access.
+    pub fn kill(servers: &[u32]) -> Self {
+        let mut plan = Self::new();
+        for &s in servers {
+            plan.specs.insert(
+                s,
+                ServerFaultSpec { crash_at_access: Some(0), ..Default::default() },
+            );
+        }
+        plan
+    }
+
+    /// Crash `count` of `num_servers` servers, chosen deterministically
+    /// from `seed`. Victims crash on their very first region access, so
+    /// "kill K servers" reliably means K servers are down regardless of
+    /// how few accesses the evaluation strategy makes; use
+    /// [`FaultPlan::seeded`] or an explicit [`ServerFaultSpec`] for
+    /// mid-evaluation crash points.
+    pub fn kill_count(count: u32, num_servers: u32, seed: u64) -> Self {
+        let count = count.min(num_servers);
+        let mut rng = SplitMix::new(seed);
+        let mut victims: Vec<u32> = (0..num_servers).collect();
+        // Partial Fisher-Yates: the first `count` entries are the victims.
+        for i in 0..count as usize {
+            let j = i + (rng.next() % (num_servers as u64 - i as u64)) as usize;
+            victims.swap(i, j);
+        }
+        let mut plan = Self::new();
+        for &s in &victims[..count as usize] {
+            plan.specs
+                .insert(s, ServerFaultSpec { crash_at_access: Some(0), ..Default::default() });
+        }
+        plan
+    }
+
+    /// A seed-derived mixed plan over `num_servers` servers: roughly a
+    /// quarter of the servers get a fault — a crash, a slowdown, or a few
+    /// transient errors — but at least one server always stays healthy.
+    pub fn seeded(seed: u64, num_servers: u32) -> Self {
+        let mut rng = SplitMix::new(seed);
+        let mut plan = Self::new();
+        let mut crashes = 0;
+        for s in 0..num_servers {
+            if rng.next() % 4 != 0 {
+                continue;
+            }
+            let spec = match rng.next() % 3 {
+                // Never crash the last healthy-by-construction candidate:
+                // leaving at least one server alive keeps every seeded
+                // plan recoverable.
+                0 if crashes + 1 < num_servers => {
+                    crashes += 1;
+                    ServerFaultSpec { crash_at_access: Some(rng.next() % 16), ..Default::default() }
+                }
+                1 => ServerFaultSpec {
+                    slowdown: 1.5 + (rng.next() % 100) as f64 / 10.0,
+                    ..Default::default()
+                },
+                _ => ServerFaultSpec {
+                    transient_errors: 1 + (rng.next() % 3) as u32,
+                    ..Default::default()
+                },
+            };
+            plan.specs.insert(s, spec);
+        }
+        plan
+    }
+
+    /// The probe to install on `server` (`None` if the server is healthy
+    /// under this plan).
+    pub fn probe_for(&self, server: u32) -> Option<FaultProbe> {
+        let spec = self.specs.get(&server).copied()?;
+        if spec.is_healthy() {
+            return None;
+        }
+        Some(FaultProbe { server, spec, accesses: 0, transient_left: spec.transient_errors, crashed: false })
+    }
+
+    /// Servers this plan crashes outright (not slowdowns/transients).
+    pub fn crashed_servers(&self) -> Vec<u32> {
+        self.specs
+            .iter()
+            .filter(|(_, s)| s.crash_at_access.is_some())
+            .map(|(&id, _)| id)
+            .collect()
+    }
+
+    /// Whether the plan contains no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.specs.values().all(|s| s.is_healthy())
+    }
+}
+
+/// The runtime view of one server's fault spec: counts region accesses
+/// and decides when the scheduled fault fires.
+#[derive(Debug, Clone)]
+pub struct FaultProbe {
+    server: u32,
+    spec: ServerFaultSpec,
+    accesses: u64,
+    transient_left: u32,
+    crashed: bool,
+}
+
+impl FaultProbe {
+    /// Called by the storage layer before every region access. Errors
+    /// when the scheduled fault fires (and forever after a crash).
+    pub fn on_access(&mut self) -> PdcResult<()> {
+        if self.crashed {
+            return Err(PdcError::ServerFailed {
+                server: self.server,
+                reason: "server crashed".into(),
+            });
+        }
+        let k = self.accesses;
+        self.accesses += 1;
+        if let Some(at) = self.spec.crash_at_access {
+            if k >= at {
+                self.crashed = true;
+                return Err(PdcError::ServerFailed {
+                    server: self.server,
+                    reason: format!("injected crash at region access {k}"),
+                });
+            }
+        }
+        if self.transient_left > 0 {
+            self.transient_left -= 1;
+            return Err(PdcError::ServerFailed {
+                server: self.server,
+                reason: format!("injected transient error at region access {k}"),
+            });
+        }
+        Ok(())
+    }
+
+    /// Whether the crash fault has fired (the server is dead until reset).
+    pub fn is_crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// This server's evaluation-time multiplier.
+    pub fn slowdown(&self) -> f64 {
+        self.spec.slowdown
+    }
+}
+
+/// Small deterministic generator for plan construction (SplitMix64).
+struct SplitMix {
+    state: u64,
+}
+
+impl SplitMix {
+    fn new(seed: u64) -> Self {
+        Self { state: seed ^ 0xD1B5_4A32_D192_ED03 }
+    }
+
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kill_crashes_on_first_access() {
+        let plan = FaultPlan::kill(&[1]);
+        assert!(plan.probe_for(0).is_none());
+        let mut p = plan.probe_for(1).unwrap();
+        assert!(!p.is_crashed());
+        assert!(p.on_access().is_err());
+        assert!(p.is_crashed());
+        // Dead forever.
+        assert!(p.on_access().is_err());
+    }
+
+    #[test]
+    fn crash_at_k_allows_earlier_accesses() {
+        let plan = FaultPlan::new().with_spec(
+            0,
+            ServerFaultSpec { crash_at_access: Some(3), ..Default::default() },
+        );
+        let mut p = plan.probe_for(0).unwrap();
+        for _ in 0..3 {
+            assert!(p.on_access().is_ok());
+        }
+        assert!(p.on_access().is_err());
+        assert!(p.is_crashed());
+    }
+
+    #[test]
+    fn transient_errors_then_recovery() {
+        let plan = FaultPlan::new()
+            .with_spec(2, ServerFaultSpec { transient_errors: 2, ..Default::default() });
+        let mut p = plan.probe_for(2).unwrap();
+        assert!(p.on_access().is_err());
+        assert!(p.on_access().is_err());
+        assert!(!p.is_crashed(), "transient errors must not kill the server");
+        assert!(p.on_access().is_ok());
+    }
+
+    #[test]
+    fn kill_count_is_deterministic_and_bounded() {
+        let a = FaultPlan::kill_count(3, 8, 42);
+        let b = FaultPlan::kill_count(3, 8, 42);
+        assert_eq!(a, b);
+        assert_eq!(a.crashed_servers().len(), 3);
+        let c = FaultPlan::kill_count(3, 8, 43);
+        assert!(a != c || a.crashed_servers() == c.crashed_servers());
+        // Never more victims than servers.
+        assert_eq!(FaultPlan::kill_count(99, 4, 1).crashed_servers().len(), 4);
+    }
+
+    #[test]
+    fn seeded_plans_leave_a_survivor() {
+        for seed in 0..200 {
+            for n in 1..10 {
+                let plan = FaultPlan::seeded(seed, n);
+                assert!(
+                    (plan.crashed_servers().len() as u32) < n.max(1),
+                    "seed {seed} n {n} crashed everything"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn healthy_specs_produce_no_probe() {
+        let plan = FaultPlan::new().with_spec(0, ServerFaultSpec::default());
+        assert!(plan.probe_for(0).is_none());
+        assert!(plan.is_empty());
+    }
+}

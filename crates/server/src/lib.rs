@@ -18,7 +18,9 @@
 //! machine's core count.
 
 pub mod assign;
+pub mod fault;
 pub mod pool;
 
 pub use assign::{balanced_by_weight, round_robin};
-pub use pool::ServerPool;
+pub use fault::{FaultPlan, FaultProbe, ServerFaultSpec};
+pub use pool::{ServerPanic, ServerPool};

@@ -4,6 +4,31 @@ use parking_lot::Mutex;
 use pdc_types::ServerId;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+/// A handler panic caught during [`ServerPool::try_broadcast`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerPanic {
+    /// The server whose handler panicked.
+    pub server: ServerId,
+    /// The panic payload, when it was a string.
+    pub message: String,
+}
+
+impl std::fmt::Display for ServerPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "server {} panicked: {}", self.server.raw(), self.message)
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// A pool of `N` logical PDC servers with persistent per-server state,
 /// dispatched over real worker threads.
 pub struct ServerPool<S> {
@@ -55,6 +80,52 @@ impl<S: Send> ServerPool<S> {
                     let mut state = self.states[i].lock();
                     let r = handler(ServerId(i as u32), &mut state);
                     *results[i].lock() = Some(r);
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|m| m.into_inner().expect("every server produced a result"))
+            .collect()
+    }
+
+    /// Like [`Self::broadcast`], but fallible per server: a handler that
+    /// panics is isolated with `catch_unwind` — the panic kills neither
+    /// the worker thread (which moves on to the next queued server) nor
+    /// the broadcast, and the panicking server's slot reports
+    /// [`ServerPanic`] while every other server still returns its result.
+    ///
+    /// The panicked server's state lock recovers from the poison (see the
+    /// pool's Mutex), so the server stays addressable afterwards; whether
+    /// its state is still coherent is the caller's policy (the query
+    /// engine treats a panicked server as failed and reassigns its work).
+    pub fn try_broadcast<R, F>(&self, handler: F) -> Vec<Result<R, ServerPanic>>
+    where
+        R: Send,
+        F: Fn(ServerId, &mut S) -> R + Sync,
+    {
+        let n = self.states.len();
+        let results: Vec<Mutex<Option<Result<R, ServerPanic>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let workers = self.worker_threads.min(n).max(1);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let r = {
+                        let mut state = self.states[i].lock();
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            handler(ServerId(i as u32), &mut state)
+                        }))
+                    };
+                    *results[i].lock() = Some(r.map_err(|payload| ServerPanic {
+                        server: ServerId(i as u32),
+                        message: panic_message(&*payload),
+                    }));
                 });
             }
         });
@@ -148,5 +219,75 @@ mod tests {
         });
         assert_eq!(results.len(), 512);
         assert_eq!(results[511], 511);
+    }
+
+    #[test]
+    fn try_broadcast_isolates_a_panicking_server() {
+        let pool = ServerPool::new(8, |_| State::default());
+        let results = pool.try_broadcast(|id, st| {
+            if id.raw() == 3 {
+                panic!("boom on server 3");
+            }
+            st.invocations += 1;
+            id.raw()
+        });
+        assert_eq!(results.len(), 8);
+        for (i, r) in results.iter().enumerate() {
+            if i == 3 {
+                let p = r.as_ref().unwrap_err();
+                assert_eq!(p.server, ServerId(3));
+                assert!(p.message.contains("boom"), "got: {}", p.message);
+            } else {
+                assert_eq!(*r.as_ref().unwrap(), i as u32);
+            }
+        }
+        // Every healthy server ran exactly once; the panicked one is
+        // still addressable afterwards.
+        pool.for_each_server(|id, st| {
+            assert_eq!(st.invocations, u64::from(id.raw() != 3));
+        });
+        assert_eq!(pool.with_server(ServerId(3), |st| st.invocations), 0);
+    }
+
+    #[test]
+    fn try_broadcast_panic_on_few_threads_does_not_skip_servers() {
+        // A panic must not kill the worker's dispatch loop: with 2 real
+        // threads and 512 logical servers, servers queued after the
+        // panicking one must still run.
+        let pool = ServerPool::new(512, |_| State::default()).with_worker_threads(2);
+        let results = pool.try_broadcast(|id, st| {
+            if id.raw() % 97 == 13 {
+                panic!("injected");
+            }
+            st.invocations += 1;
+            id.raw()
+        });
+        assert_eq!(results.len(), 512);
+        let (ok, err): (Vec<_>, Vec<_>) = results.iter().partition(|r| r.is_ok());
+        assert_eq!(err.len(), (0..512).filter(|i| i % 97 == 13).count());
+        assert_eq!(ok.len(), 512 - err.len());
+        for r in results.iter().filter_map(|r| r.as_ref().err()) {
+            assert_eq!(r.server.raw() % 97, 13);
+        }
+    }
+
+    #[test]
+    fn try_broadcast_all_panic_still_returns_every_slot() {
+        let pool = ServerPool::new(16, |_| State::default()).with_worker_threads(3);
+        let results = pool.try_broadcast(|_, _: &mut State| -> u32 { panic!("all down") });
+        assert_eq!(results.len(), 16);
+        assert!(results.iter().all(|r| r.is_err()));
+        // The pool survives and can run a healthy broadcast afterwards.
+        let again = pool.broadcast(|id, _| id.raw());
+        assert_eq!(again.len(), 16);
+    }
+
+    #[test]
+    fn try_broadcast_matches_broadcast_when_nothing_fails() {
+        let pool = ServerPool::new(32, |_| State::default());
+        let a = pool.broadcast(|id, _| id.raw() * 2);
+        let b: Vec<u32> =
+            pool.try_broadcast(|id, _| id.raw() * 2).into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(a, b);
     }
 }

@@ -91,12 +91,15 @@ pub struct CostBreakdown {
     pub cpu: SimDuration,
     /// Time spent in network transfer.
     pub net: SimDuration,
+    /// Time spent detecting and recovering from server failures (timeout
+    /// waits plus retry rounds); zero on a fault-free run.
+    pub recovery: SimDuration,
 }
 
 impl CostBreakdown {
     /// Total of all components.
     pub fn total(&self) -> SimDuration {
-        self.io + self.cpu + self.net
+        self.io + self.cpu + self.net + self.recovery
     }
 
     /// Merge another breakdown into this one.
@@ -104,6 +107,7 @@ impl CostBreakdown {
         self.io += other.io;
         self.cpu += other.cpu;
         self.net += other.net;
+        self.recovery += other.recovery;
     }
 }
 
@@ -145,11 +149,13 @@ mod tests {
             io: SimDuration::from_millis(5),
             cpu: SimDuration::from_millis(2),
             net: SimDuration::from_millis(1),
+            recovery: SimDuration::from_millis(4),
         };
-        assert_eq!(b.total().as_millis_f64(), 8.0);
+        assert_eq!(b.total().as_millis_f64(), 12.0);
         let mut c = CostBreakdown::default();
         c.merge(&b);
         c.merge(&b);
-        assert_eq!(c.total().as_millis_f64(), 16.0);
+        assert_eq!(c.total().as_millis_f64(), 24.0);
+        assert_eq!(c.recovery.as_millis_f64(), 8.0);
     }
 }

@@ -22,6 +22,11 @@ impl SimDuration {
     /// Zero time.
     pub const ZERO: SimDuration = SimDuration(0);
 
+    /// The largest representable duration — used as an "unbounded"
+    /// sentinel (e.g. a disabled client timeout). Do not do arithmetic
+    /// on it.
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
     /// From nanoseconds.
     pub const fn from_nanos(ns: u64) -> Self {
         SimDuration(ns)

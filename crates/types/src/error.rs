@@ -58,6 +58,19 @@ pub enum PdcError {
     Transport(String),
     /// Simulated storage failure (used by failure-injection tests).
     Storage(String),
+    /// A PDC server crashed or misbehaved while serving a request
+    /// (fault injection, or a panicking handler caught by the pool).
+    ServerFailed {
+        /// The failing server's index.
+        server: u32,
+        /// What happened (crash, transient error, panic payload, ...).
+        reason: String,
+    },
+    /// A query could not complete within the configured retry budget.
+    RetriesExhausted {
+        /// Evaluation rounds attempted (initial round + retries).
+        attempts: u32,
+    },
 }
 
 impl fmt::Display for PdcError {
@@ -83,6 +96,12 @@ impl fmt::Display for PdcError {
             PdcError::Codec(why) => write!(f, "codec error: {why}"),
             PdcError::Transport(why) => write!(f, "transport error: {why}"),
             PdcError::Storage(why) => write!(f, "storage error: {why}"),
+            PdcError::ServerFailed { server, reason } => {
+                write!(f, "server {server} failed: {reason}")
+            }
+            PdcError::RetriesExhausted { attempts } => {
+                write!(f, "query failed after {attempts} evaluation rounds: retry budget exhausted")
+            }
         }
     }
 }

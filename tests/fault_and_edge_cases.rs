@@ -170,3 +170,201 @@ fn get_data_batch_respects_batch_size() {
     let total: u64 = batches.iter().map(|b| b.data.len() as u64).sum();
     assert_eq!(total, out.nhits);
 }
+
+// ---------------------------------------------------------------------------
+// Fault injection: crashes, transient errors, slowdowns, retry budget.
+// ---------------------------------------------------------------------------
+
+use pdc_suite::server::{FaultPlan, ServerFaultSpec};
+use pdc_suite::storage::SimDuration;
+
+const ALL_STRATEGIES: [Strategy; 4] = [
+    Strategy::FullScan,
+    Strategy::Histogram,
+    Strategy::HistogramIndex,
+    Strategy::SortedHistogram,
+];
+
+fn fault_engine(odms: &Arc<Odms>, strategy: Strategy, n: u32, plan: FaultPlan) -> QueryEngine {
+    QueryEngine::new(
+        Arc::clone(odms),
+        EngineConfig {
+            strategy,
+            num_servers: n,
+            fault_plan: Some(plan),
+            ..Default::default()
+        },
+    )
+}
+
+/// The acceptance criterion: any fault plan leaving at least one server
+/// alive yields results bit-identical to the fault-free run — for every
+/// strategy, killing 1, N/2, and N−1 of the N servers.
+#[test]
+fn killing_servers_never_changes_results() {
+    let (odms, obj, data) = small_world();
+    let n = 6u32;
+    let q = PdcQuery::range_open(obj, 2.0f32, 7.5f32);
+    let expect = data.iter().filter(|&&v| v > 2.0 && v < 7.5).count() as u64;
+    for strategy in ALL_STRATEGIES {
+        let healthy = QueryEngine::new(
+            Arc::clone(&odms),
+            EngineConfig { strategy, num_servers: n, ..Default::default() },
+        )
+        .run(&q)
+        .unwrap();
+        assert_eq!(healthy.nhits, expect, "{strategy}: healthy baseline wrong");
+        for kills in [1u32, n / 2, n - 1] {
+            let victims: Vec<u32> = (0..kills).collect();
+            let out = fault_engine(&odms, strategy, n, FaultPlan::kill(&victims))
+                .run(&q)
+                .unwrap_or_else(|e| panic!("{strategy} with {kills} dead servers: {e}"));
+            assert_eq!(out.nhits, healthy.nhits, "{strategy}, {kills} killed: nhits");
+            assert_eq!(
+                out.selection, healthy.selection,
+                "{strategy}, {kills} killed: selection diverged"
+            );
+        }
+    }
+}
+
+/// Seed-picked victims (the `--kill-servers` path) preserve results too,
+/// and the outcome reports who failed and how many rounds it took.
+#[test]
+fn kill_count_reports_failures_and_recovers() {
+    let (odms, obj, _) = small_world();
+    let n = 6u32;
+    let q = PdcQuery::create(obj, QueryOp::Gte, -1.0f32); // touches every region
+    let healthy = QueryEngine::new(
+        Arc::clone(&odms),
+        EngineConfig { strategy: Strategy::Histogram, num_servers: n, ..Default::default() },
+    )
+    .run(&q)
+    .unwrap();
+    let plan = FaultPlan::kill_count(n - 1, n, 0xFA11);
+    let out = fault_engine(&odms, Strategy::Histogram, n, plan.clone()).run(&q).unwrap();
+    assert_eq!(out.nhits, healthy.nhits);
+    assert_eq!(out.selection, healthy.selection);
+    let mut expect_failed = plan.crashed_servers();
+    expect_failed.sort_unstable();
+    assert_eq!(out.failed_servers, expect_failed);
+    assert!(out.retry_rounds >= 1, "dead servers must force a retry round");
+    assert!(out.breakdown.recovery > SimDuration::ZERO);
+    assert_eq!(out.breakdown.total(), healthy.breakdown.total() + out.breakdown.recovery);
+}
+
+/// Transient faults on *every* server still recover within the default
+/// retry budget — the erroring servers stay reassignment candidates and
+/// succeed once their fault schedule is exhausted.
+#[test]
+fn transient_errors_on_all_servers_recover() {
+    let (odms, obj, data) = small_world();
+    let n = 4u32;
+    let mut plan = FaultPlan::new();
+    for s in 0..n {
+        plan = plan.with_spec(s, ServerFaultSpec { transient_errors: 2, ..Default::default() });
+    }
+    let q = PdcQuery::range_open(obj, 1.0f32, 4.0f32);
+    let expect = data.iter().filter(|&&v| v > 1.0 && v < 4.0).count() as u64;
+    let out = fault_engine(&odms, Strategy::Histogram, n, plan).run(&q).unwrap();
+    assert_eq!(out.nhits, expect);
+    assert!(out.retry_rounds >= 1);
+    assert!(!out.failed_servers.is_empty());
+}
+
+/// Exhausting the retry budget is a typed error, not a panic.
+#[test]
+fn retry_budget_exhaustion_is_a_typed_error() {
+    let (odms, obj, _) = small_world();
+    let n = 3u32;
+    let mut plan = FaultPlan::new();
+    for s in 0..n {
+        plan = plan.with_spec(s, ServerFaultSpec { transient_errors: 50, ..Default::default() });
+    }
+    let eng = QueryEngine::new(
+        Arc::clone(&odms),
+        EngineConfig {
+            strategy: Strategy::Histogram,
+            num_servers: n,
+            fault_plan: Some(plan),
+            max_retries: 1,
+            ..Default::default()
+        },
+    );
+    let err = eng.run(&PdcQuery::create(obj, QueryOp::Gt, 0.0f32)).unwrap_err();
+    assert!(matches!(err, PdcError::RetriesExhausted { .. }), "got {err:?}");
+}
+
+/// Killing every server is unrecoverable and surfaces as a typed
+/// `ServerFailed`, not a panic or a hang.
+#[test]
+fn killing_all_servers_is_a_typed_error() {
+    let (odms, obj, _) = small_world();
+    let n = 4u32;
+    let victims: Vec<u32> = (0..n).collect();
+    let eng = fault_engine(&odms, Strategy::FullScan, n, FaultPlan::kill(&victims));
+    let err = eng.run(&PdcQuery::create(obj, QueryOp::Gt, 0.0f32)).unwrap_err();
+    assert!(matches!(err, PdcError::ServerFailed { .. }), "got {err:?}");
+}
+
+/// A crashed server stays dead for subsequent queries (no retry rounds
+/// needed: its slots are reassigned up front) until `reset_state` rearms
+/// the fault schedule.
+#[test]
+fn crashed_servers_stay_dead_until_reset() {
+    let (odms, obj, _) = small_world();
+    let eng = fault_engine(&odms, Strategy::Histogram, 4, FaultPlan::kill(&[1]));
+    let q = PdcQuery::range_open(obj, 2.0f32, 7.5f32);
+    let first = eng.run(&q).unwrap();
+    assert_eq!(first.failed_servers, vec![1]);
+    assert!(first.retry_rounds >= 1);
+    let second = eng.run(&q).unwrap();
+    assert_eq!(second.nhits, first.nhits);
+    assert_eq!(second.retry_rounds, 0, "already-dead server needs no new retry");
+    eng.reset_state();
+    let third = eng.run(&q).unwrap();
+    assert_eq!(third.nhits, first.nhits);
+    assert_eq!(third.failed_servers, vec![1], "reset rearms the crash schedule");
+    assert!(third.retry_rounds >= 1);
+}
+
+/// A slowed-down server changes only the simulated timeline, never the
+/// result; with a finite client timeout and healthy peers it is
+/// quarantined and its work reassigned.
+#[test]
+fn slow_server_inflates_time_not_results() {
+    let (odms, obj, _) = small_world();
+    let n = 4u32;
+    let q = PdcQuery::create(obj, QueryOp::Gte, -1.0f32);
+    let healthy = QueryEngine::new(
+        Arc::clone(&odms),
+        EngineConfig { strategy: Strategy::Histogram, num_servers: n, ..Default::default() },
+    )
+    .run(&q)
+    .unwrap();
+    // No timeout: the slow server is waited for.
+    let plan = FaultPlan::new()
+        .with_spec(0, ServerFaultSpec { slowdown: 10.0, ..Default::default() });
+    let waited = fault_engine(&odms, Strategy::Histogram, n, plan.clone()).run(&q).unwrap();
+    assert_eq!(waited.selection, healthy.selection);
+    assert!(waited.elapsed > healthy.elapsed);
+    assert!(waited.failed_servers.is_empty());
+    // Finite timeout above the healthy per-server max but below the
+    // slowed one: the slow server is abandoned and its slot reassigned.
+    let healthy_max = healthy.per_server.iter().copied().max().unwrap();
+    let eng = QueryEngine::new(
+        Arc::clone(&odms),
+        EngineConfig {
+            strategy: Strategy::Histogram,
+            num_servers: n,
+            fault_plan: Some(plan),
+            server_timeout: healthy_max * 2.0,
+            ..Default::default()
+        },
+    );
+    let out = eng.run(&q).unwrap();
+    assert_eq!(out.selection, healthy.selection);
+    assert_eq!(out.failed_servers, vec![0], "slow server should be quarantined");
+    assert!(out.retry_rounds >= 1);
+    assert!(out.breakdown.recovery > SimDuration::ZERO);
+}
