@@ -24,4 +24,10 @@ cargo test -q $OFFLINE
 echo "== fault-tolerance gate =="
 cargo test -q $OFFLINE -- fault
 
+echo "== clippy gate =="
+cargo clippy --release $OFFLINE --workspace --all-targets -- -D warnings
+
+echo "== bench smoke (each benchmark body runs once) =="
+PDC_KERNEL_BENCH_N=65536 cargo bench $OFFLINE -p pdc-bench -- --test
+
 echo "ci: all gates green"

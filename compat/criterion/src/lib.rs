@@ -4,7 +4,19 @@
 //! compile and run `cargo bench` offline.
 
 use std::fmt::Display;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
+
+/// `cargo bench -- --test` mode: run every benchmark body exactly once
+/// (a smoke check that it works) instead of the timing loop.
+static TEST_MODE: AtomicBool = AtomicBool::new(false);
+
+/// Called by `criterion_main!` before any group runs.
+pub fn __init_from_args() {
+    if std::env::args().any(|a| a == "--test") {
+        TEST_MODE.store(true, Ordering::Relaxed);
+    }
+}
 
 /// Opaque value barrier (re-export of `std::hint::black_box`).
 pub use std::hint::black_box;
@@ -39,6 +51,13 @@ pub struct Bencher {
 impl Bencher {
     /// Time `routine`, warming up briefly then measuring a fixed batch.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if TEST_MODE.load(Ordering::Relaxed) {
+            let start = Instant::now();
+            black_box(routine());
+            self.nanos = start.elapsed().as_nanos();
+            self.iters_done = 1;
+            return;
+        }
         // Warm-up: a few untimed iterations.
         for _ in 0..3 {
             black_box(routine());
@@ -138,6 +157,7 @@ macro_rules! criterion_group {
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
+            $crate::__init_from_args();
             $($group();)+
         }
     };

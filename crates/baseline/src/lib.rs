@@ -17,6 +17,7 @@
 //!   ("a traversal of all H5BOSS files").
 
 use pdc_storage::{CostModel, ReadPattern, SimDuration, WorkCounters};
+use pdc_types::kernels::{self, ScanElem};
 use pdc_types::Interval;
 use serde::{Deserialize, Serialize};
 
@@ -68,12 +69,21 @@ impl Hdf5Baseline {
         for (v, _) in vars {
             assert_eq!(v.len(), n, "variables must have identical length");
         }
-        // Real evaluation (exact hit count).
+        // Real evaluation (exact hit count): lower each interval to native
+        // f32 thresholds once, then AND the per-variable 64-element hit
+        // masks and popcount. A partial final block is safe because all
+        // variables share a length — the first AND zeroes the high bits.
+        let bounds: Vec<(f32, f32)> = vars.iter().map(|(_, iv)| f32::lower(iv)).collect();
         let mut nhits = 0u64;
-        for i in 0..n {
-            if vars.iter().all(|(v, iv)| iv.contains(v[i] as f64)) {
-                nhits += 1;
+        let mut i = 0usize;
+        while i < n {
+            let take = (n - i).min(64);
+            let mut m = u64::MAX;
+            for ((v, _), &(lo, hi)) in vars.iter().zip(&bounds) {
+                m &= kernels::block_mask(&v[i..i + take], lo, hi);
             }
+            nhits += m.count_ones() as u64;
+            i += take;
         }
         // Simulated cost of the slowest rank.
         let share = n.div_ceil(self.ranks as usize);
@@ -110,7 +120,7 @@ impl Hdf5Baseline {
         let mut matched_bytes = 0u64;
         for flux in matching_flux {
             matched_bytes += flux.len() as u64 * 4;
-            nhits += flux.iter().filter(|&&v| interval.contains(v as f64)).count() as u64;
+            nhits += kernels::count_slice(flux, interval);
         }
         // Traversal: every file costs one open (a metadata request) on
         // some rank; matching files additionally read their data.

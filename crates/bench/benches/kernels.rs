@@ -10,11 +10,20 @@ use pdc_histogram::{merge_all, Histogram, HistogramConfig};
 use pdc_odms::{ImportOptions, Odms};
 use pdc_query::{EngineConfig, PdcQuery, QueryEngine, Strategy};
 use pdc_sorted::SortedReplica;
-use pdc_types::{Interval, Selection, TypedVec};
+use pdc_types::{kernels, Interval, Selection, TypedVec};
 use pdc_workloads::{VpicConfig, VpicData};
 use std::sync::Arc;
 
 const N: usize = 1 << 18; // 256k elements per kernel input
+
+/// Elements for the scan-kernel scalar-vs-kernel comparison
+/// (`PDC_KERNEL_BENCH_N` overrides; the recorded baseline uses 4M).
+fn kernel_n() -> usize {
+    std::env::var("PDC_KERNEL_BENCH_N")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(N)
+}
 
 fn energy_values() -> Vec<f64> {
     let data = VpicData::generate(&VpicConfig { particles: N, seed: 42 });
@@ -113,6 +122,70 @@ fn bench_scan(c: &mut Criterion) {
     g.finish();
 }
 
+/// The tentpole comparison: the monomorphized mask kernels (sequential
+/// and chunk-parallel) against the per-element `get_f64` scalar
+/// reference they replaced, per payload type.
+fn bench_scan_kernels(c: &mut Criterion) {
+    let n = kernel_n();
+    let iv = Interval::open(2.1, 2.2);
+    let doubles: Vec<f64> = (0..n)
+        .map(|i| {
+            let base = ((i as f64 * 0.37).sin() + 1.0) * 0.9;
+            if (3000..3400).contains(&(i % 8000)) {
+                2.0 + ((i * 31) % 160) as f64 / 100.0
+            } else {
+                base
+            }
+        })
+        .collect();
+    let floats = TypedVec::Float(doubles.iter().map(|&v| v as f32).collect());
+    let int_iv = Interval::closed(100.0, 119.0);
+    let i64s = TypedVec::Int64(
+        (0..n).map(|i| (i as i64).wrapping_mul(2654435761) % 1000).collect(),
+    );
+    let doubles = TypedVec::Double(doubles);
+
+    let mut g = c.benchmark_group("scan_kernels");
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("scalar_double", |b| {
+        b.iter(|| kernels::scan_interval_scalar(black_box(&doubles), black_box(&iv), 0))
+    });
+    g.bench_function("kernel_double", |b| {
+        b.iter(|| kernels::scan_interval(black_box(&doubles), black_box(&iv), 0))
+    });
+    g.bench_function("parallel_double", |b| {
+        b.iter(|| kernels::scan_interval_threaded(black_box(&doubles), black_box(&iv), 0, 0))
+    });
+    g.bench_function("scalar_float", |b| {
+        b.iter(|| kernels::scan_interval_scalar(black_box(&floats), black_box(&iv), 0))
+    });
+    g.bench_function("kernel_float", |b| {
+        b.iter(|| kernels::scan_interval(black_box(&floats), black_box(&iv), 0))
+    });
+    g.bench_function("scalar_i64", |b| {
+        b.iter(|| kernels::scan_interval_scalar(black_box(&i64s), black_box(&int_iv), 0))
+    });
+    g.bench_function("kernel_i64", |b| {
+        b.iter(|| kernels::scan_interval(black_box(&i64s), black_box(&int_iv), 0))
+    });
+
+    // Candidate confirmation (the PDC-HI edge-bin path): per-coordinate
+    // get_f64 closure vs the range-kernel filter.
+    let candidates = Selection::from_runs(
+        (0..n as u64 - 13).step_by(100).map(|s| pdc_types::Run::new(s, 13)).collect(),
+    );
+    g.bench_function("candidates_scalar", |b| {
+        b.iter(|| {
+            black_box(&candidates)
+                .filter_coords(|i| iv.contains(doubles.get_f64(i as usize)))
+        })
+    });
+    g.bench_function("candidates_kernel", |b| {
+        b.iter(|| kernels::filter_selection(black_box(&doubles), black_box(&iv), &candidates))
+    });
+    g.finish();
+}
+
 fn bench_end_to_end(c: &mut Criterion) {
     let data = VpicData::generate(&VpicConfig { particles: N, seed: 42 });
     let odms = Arc::new(Odms::new(8));
@@ -154,6 +227,7 @@ criterion_group!(
     bench_index,
     bench_sorted,
     bench_scan,
+    bench_scan_kernels,
     bench_end_to_end
 );
 criterion_main!(benches);

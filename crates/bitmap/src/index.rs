@@ -14,7 +14,7 @@
 //! region's data".
 
 use crate::binning::{bin_of, precision_edges, BinningConfig};
-use crate::wah::WahBitVector;
+use crate::wah::{WahBitVector, WahBuilder};
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use pdc_types::{Interval, PdcError, PdcResult, Selection};
@@ -88,6 +88,12 @@ fn next_f32_up(x: f32) -> f32 {
 fn next_f32_down(x: f32) -> f32 {
     -next_f32_up(-x)
 }
+
+/// Largest bin count for which index construction streams 64-element hit
+/// masks into per-bin WAH builders (the flush sweeps every bin once per
+/// 64 elements, so it must stay bounded); finer binnings collect per-bin
+/// positions instead. Both paths produce identical indexes.
+const MASK_BINNING_MAX_BINS: usize = 256;
 
 /// A binned, WAH-compressed bitmap index over one region's values.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -175,25 +181,60 @@ impl BinnedBitmapIndex {
         assert!(edges.len() >= 2, "need at least one bin");
         let nbins = edges.len() - 1;
         let n = values.len() as u64;
-        // Collect per-bin set positions, then encode. Values are assigned
-        // to exactly one bin (equality-encoded bins).
-        let mut positions: Vec<Vec<u64>> = vec![Vec::new(); nbins];
+        // Values are assigned to exactly one bin (equality-encoded bins).
         let mut edge_hits = vec![false; edges.len()];
         let bin_mins: Vec<f64> = edges.iter().map(|&e| domain.ceil_value(e)).collect();
-        for (i, &v) in values.iter().enumerate() {
-            let k = bin_of(&edges, v);
-            positions[k].push(i as u64);
-            if v == bin_mins[k] {
-                edge_hits[k] = true;
-            } else if v == edges[k + 1] {
-                // only possible for the clamped last bin
-                edge_hits[k + 1] = true;
+        let bitmaps = if nbins <= MASK_BINNING_MAX_BINS {
+            // Mask path: accumulate a current 64-bit block per bin and
+            // flush blocks straight into per-bin WAH builders
+            // ([`WahBuilder::append_mask_bits`]) — no per-element position
+            // vectors, no per-bool append. Only worthwhile while the
+            // per-flush sweep over all bins stays cheap, hence the bin
+            // count gate.
+            let mut builders: Vec<WahBuilder> = (0..nbins).map(|_| WahBuilder::new()).collect();
+            let mut current = vec![0u64; nbins];
+            for (i, &v) in values.iter().enumerate() {
+                let k = bin_of(&edges, v);
+                current[k] |= 1 << (i % 64);
+                if v == bin_mins[k] {
+                    edge_hits[k] = true;
+                } else if v == edges[k + 1] {
+                    // only possible for the clamped last bin
+                    edge_hits[k + 1] = true;
+                }
+                if i % 64 == 63 {
+                    for (b, cur) in builders.iter_mut().zip(current.iter_mut()) {
+                        b.append_mask_bits(*cur, 64);
+                        *cur = 0;
+                    }
+                }
             }
-        }
-        let bitmaps = positions
-            .into_iter()
-            .map(|pos| WahBitVector::from_selection(n, &Selection::from_sorted_coords(pos)))
-            .collect();
+            let tail = (values.len() % 64) as u32;
+            if tail > 0 {
+                for (b, cur) in builders.iter_mut().zip(current.iter()) {
+                    b.append_mask_bits(*cur, tail);
+                }
+            }
+            builders.into_iter().map(WahBuilder::finish).collect()
+        } else {
+            // Position path for very fine binnings, where sweeping every
+            // bin once per 64 elements would dominate.
+            let mut positions: Vec<Vec<u64>> = vec![Vec::new(); nbins];
+            for (i, &v) in values.iter().enumerate() {
+                let k = bin_of(&edges, v);
+                positions[k].push(i as u64);
+                if v == bin_mins[k] {
+                    edge_hits[k] = true;
+                } else if v == edges[k + 1] {
+                    // only possible for the clamped last bin
+                    edge_hits[k + 1] = true;
+                }
+            }
+            positions
+                .into_iter()
+                .map(|pos| WahBitVector::from_selection(n, &Selection::from_sorted_coords(pos)))
+                .collect()
+        };
         BinnedBitmapIndex { edges, bitmaps, domain, edge_hits, nbits: n }
     }
 
@@ -392,6 +433,32 @@ mod tests {
             .filter(|(_, &v)| iv.contains(v))
             .map(|(i, _)| i as u64)
             .collect()
+    }
+
+    #[test]
+    fn mask_and_position_build_paths_agree_with_naive_binning() {
+        let values = sample_values(4003); // odd length: exercises tail flush
+        // Edge sets on both sides of MASK_BINNING_MAX_BINS: coarse (mask
+        // path) and fine (position path). Both must equal naive per-bin
+        // membership bitmaps.
+        for nbins in [5usize, MASK_BINNING_MAX_BINS, MASK_BINNING_MAX_BINS + 50] {
+            let edges: Vec<f64> = (0..=nbins).map(|k| 10.0 * k as f64 / nbins as f64).collect();
+            let idx = BinnedBitmapIndex::build_with_edges(&values, edges.clone(), ValueDomain::F32);
+            assert_eq!(idx.num_bins(), nbins);
+            for k in 0..nbins {
+                let members: Vec<u64> = values
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &v)| bin_of(&edges, v) == k)
+                    .map(|(i, _)| i as u64)
+                    .collect();
+                let expect = WahBitVector::from_selection(
+                    values.len() as u64,
+                    &Selection::from_sorted_coords(members),
+                );
+                assert_eq!(*idx.bitmap(k), expect, "nbins {nbins} bin {k}");
+            }
+        }
     }
 
     #[test]

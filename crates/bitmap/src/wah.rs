@@ -130,6 +130,26 @@ impl WahBuilder {
         self.append_bits(bit, 1);
     }
 
+    /// Append the low `nbits` (≤ 64) bits of `mask` (bit `j` of `mask` is
+    /// logical bit `j`), decomposed into same-value runs so fills still
+    /// coalesce. This is how the scan kernels' 64-element hit masks feed
+    /// index construction without a per-bool [`WahBuilder::append_bit`]
+    /// round trip.
+    pub fn append_mask_bits(&mut self, mask: u64, nbits: u32) {
+        debug_assert!(nbits <= 64);
+        let mut pos = 0u32;
+        while pos < nbits {
+            let rest = mask >> pos;
+            let (bit, run) = if rest & 1 == 0 {
+                (false, rest.trailing_zeros().min(nbits - pos))
+            } else {
+                (true, rest.trailing_ones().min(nbits - pos))
+            };
+            self.append_bits(bit, run as u64);
+            pos += run;
+        }
+    }
+
     /// Finish, padding any partial group with zeros (the logical length
     /// remembers where the real data ends).
     pub fn finish(mut self) -> WahBitVector {
@@ -220,6 +240,23 @@ impl WahBitVector {
         let mut b = WahBuilder::new();
         for &bit in bits {
             b.append_bit(bit);
+        }
+        b.finish()
+    }
+
+    /// Build from 64-bit mask blocks: bit `j` of `blocks[k]` is logical
+    /// bit `64k + j`. Mask bits at or beyond `nbits` are ignored.
+    pub fn from_mask_blocks(nbits: u64, blocks: &[u64]) -> Self {
+        debug_assert!(blocks.len() as u64 * 64 >= nbits);
+        let mut b = WahBuilder::new();
+        let mut remaining = nbits;
+        for &m in blocks {
+            if remaining == 0 {
+                break;
+            }
+            let take = remaining.min(64) as u32;
+            b.append_mask_bits(m, take);
+            remaining -= take as u64;
         }
         b.finish()
     }
@@ -606,6 +643,36 @@ mod tests {
         let v = WahBitVector::from_selection(1000, &sel);
         assert_eq!(v.to_selection(), sel);
         assert_eq!(v.count_ones(), 106);
+    }
+
+    #[test]
+    fn mask_blocks_match_bools() {
+        for n in [0usize, 1, 31, 63, 64, 65, 128, 200, 313] {
+            let pattern: Vec<bool> = (0..n).map(|i| (i * 7) % 13 < 4 || i % 64 > 60).collect();
+            let mut blocks = vec![0u64; n.div_ceil(64)];
+            for (i, &b) in pattern.iter().enumerate() {
+                if b {
+                    blocks[i / 64] |= 1 << (i % 64);
+                }
+            }
+            let v = WahBitVector::from_mask_blocks(n as u64, &blocks);
+            assert_eq!(v, WahBitVector::from_bools(&pattern), "n = {n}");
+        }
+        // set bits beyond nbits are ignored
+        let v = WahBitVector::from_mask_blocks(10, &[u64::MAX]);
+        assert_eq!(v.count_ones(), 10);
+    }
+
+    #[test]
+    fn append_mask_bits_preserves_fill_compression() {
+        let mut b = WahBuilder::new();
+        for _ in 0..1000 {
+            b.append_mask_bits(0, 64);
+        }
+        let v = b.finish();
+        assert!(v.num_words() <= 3, "all-zero masks used {} words", v.num_words());
+        assert_eq!(v.nbits(), 64_000);
+        assert_eq!(v.count_ones(), 0);
     }
 
     #[test]

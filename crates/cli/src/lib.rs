@@ -55,6 +55,8 @@ pub struct CommonOpts {
     pub fault_seed: Option<u64>,
     /// Kill exactly this many servers (crash on an early region access).
     pub kill_servers: u32,
+    /// Wall-clock threads per region scan (0 = auto, 1 = sequential).
+    pub scan_threads: u32,
 }
 
 impl Default for CommonOpts {
@@ -67,6 +69,7 @@ impl Default for CommonOpts {
             seed: 0x5EED_201C,
             fault_seed: None,
             kill_servers: 0,
+            scan_threads: 0,
         }
     }
 }
@@ -96,6 +99,8 @@ OPTIONS:
                      slowdowns, transient errors); queries still succeed
                      via retry + region reassignment
   --kill-servers <K> crash exactly K servers early in evaluation (K < servers)
+  --scan-threads <N> wall-clock threads per region scan; 0 = auto, 1 disables
+                     the chunk-parallel kernel path (default 0)
   --get-data <var>   fetch that variable's values for the matches (query only)
 ";
 
@@ -159,6 +164,11 @@ fn parse_options<I: Iterator<Item = String>>(
                 opts.kill_servers = value("--kill-servers")?
                     .parse()
                     .map_err(|e| format!("--kill-servers: {e}"))?;
+            }
+            "--scan-threads" => {
+                opts.scan_threads = value("--scan-threads")?
+                    .parse()
+                    .map_err(|e| format!("--scan-threads: {e}"))?;
             }
             "--strategy" => {
                 opts.strategy = parse_strategy(&value("--strategy")?)?;
@@ -231,6 +241,7 @@ pub fn build_engine(odms: &Arc<Odms>, opts: &CommonOpts) -> QueryEngine {
             cost: CostModel::scaled(f, f * opts.servers as f64 / 64.0, 256.0),
             order_by_selectivity: true,
             fault_plan: fault_plan(opts).expect("fault plan validated at parse time"),
+            scan_threads: opts.scan_threads,
             ..Default::default()
         },
     )
@@ -396,6 +407,17 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn scan_threads_parses() {
+        let cmd = parse_args(argv("demo --scan-threads 1")).unwrap();
+        match cmd {
+            Command::Demo { opts } => assert_eq!(opts.scan_threads, 1),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(CommonOpts::default().scan_threads, 0);
+        assert!(parse_args(argv("demo --scan-threads nope")).is_err());
     }
 
     #[test]

@@ -77,6 +77,16 @@ pub struct EngineConfig {
     /// scale; erroring/crashing servers are still detected immediately
     /// from their error responses.
     pub server_timeout: SimDuration,
+    /// Host threads for chunk-parallel region scans: `0` = auto-size to
+    /// the machine, `1` = sequential (single-core determinism runs),
+    /// `n` = shard across up to `n` threads. Affects wall-clock only —
+    /// results and simulated times are identical at every setting.
+    pub scan_threads: u32,
+    /// Evaluate scans with the monomorphized kernel layer
+    /// (`pdc_types::kernels`). `false` falls back to the scalar
+    /// per-element reference path; results and simulated costs are
+    /// identical either way (asserted by tests), only wall-clock differs.
+    pub scan_kernels: bool,
 }
 
 impl Default for EngineConfig {
@@ -90,6 +100,8 @@ impl Default for EngineConfig {
             fault_plan: None,
             max_retries: 3,
             server_timeout: SimDuration::MAX,
+            scan_threads: 0,
+            scan_kernels: true,
         }
     }
 }
@@ -295,6 +307,8 @@ impl QueryEngine {
 
         let odms = Arc::clone(&self.odms);
         let strategy = self.cfg.strategy;
+        let scan_threads = self.cfg.scan_threads;
+        let scan_kernels = self.cfg.scan_kernels;
         let out = run_slots(
             &self.pool,
             &cost,
@@ -308,6 +322,8 @@ impl QueryEngine {
                     strategy,
                     n_servers: n,
                     server: slot,
+                    scan_threads,
+                    scan_kernels,
                 };
                 let io0 = st.io;
                 let w0 = st.work;
@@ -551,9 +567,20 @@ impl QueryEngine {
                             pdc_types::RegionId::new(object, r),
                             n,
                         )?;
-                        for c in local.iter_coords() {
-                            st.work.elements_gathered += 1;
-                            pairs.push((c, payload.get_f64((c - span.offset) as usize)));
+                        // Typed run-at-a-time gather: one slice walk per
+                        // hit run instead of a per-element enum match.
+                        #[allow(clippy::unnecessary_cast)] // Double arm casts f64->f64
+                        {
+                            pdc_types::with_slice!(&*payload, xs => {
+                                for run in local.runs() {
+                                    let s = (run.start - span.offset) as usize;
+                                    let e = s + run.len as usize;
+                                    st.work.elements_gathered += run.len;
+                                    for (k, &v) in xs[s..e].iter().enumerate() {
+                                        pairs.push((run.start + k as u64, v as f64));
+                                    }
+                                }
+                            });
                         }
                     }
                 }

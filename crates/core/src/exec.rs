@@ -25,7 +25,7 @@ use crate::plan::{ObjConstraint, PlanNode, QueryPlan};
 use crate::state::ServerState;
 use pdc_odms::Odms;
 use pdc_storage::CostModel;
-use pdc_types::{Interval, NdRegion, ObjectId, PdcResult, RegionId, Run, Selection};
+use pdc_types::{kernels, Interval, NdRegion, ObjectId, PdcResult, RegionId, Run, Selection};
 
 /// Everything a server needs to evaluate a plan.
 pub struct EvalCtx<'a> {
@@ -39,6 +39,14 @@ pub struct EvalCtx<'a> {
     pub n_servers: u32,
     /// This server's index.
     pub server: u32,
+    /// Host threads for chunk-parallel region scans (0 = auto,
+    /// 1 = sequential). Affects wall-clock only, never results or
+    /// simulated costs.
+    pub scan_threads: u32,
+    /// Use the monomorphized scan kernels (`false` = the scalar
+    /// per-element reference path; results and simulated costs are
+    /// identical either way).
+    pub scan_kernels: bool,
 }
 
 /// Evaluate the full plan on this server; returns the server's partial
@@ -206,23 +214,13 @@ fn eval_region_scan(
     let before = state.work;
     let payload = state.read_data_region(ctx.odms, ctx.cost, RegionId::new(object, region), ctx.n_servers)?;
     state.work.elements_scanned += payload.len() as u64;
-    let mut runs: Vec<Run> = Vec::new();
-    let mut open: Option<Run> = None;
-    for i in 0..payload.len() {
-        if interval.contains(payload.get_f64(i)) {
-            match &mut open {
-                Some(r) => r.len += 1,
-                None => open = Some(Run::new(span.offset + i as u64, 1)),
-            }
-        } else if let Some(r) = open.take() {
-            runs.push(r);
-        }
-    }
-    if let Some(r) = open {
-        runs.push(r);
-    }
+    let sel = if ctx.scan_kernels {
+        kernels::scan_interval_threaded(&payload, interval, span.offset, ctx.scan_threads)
+    } else {
+        kernels::scan_interval_scalar(&payload, interval, span.offset)
+    };
     state.settle_cpu(ctx.cost, &before);
-    Ok(Selection::from_canonical_runs(runs))
+    Ok(sel)
 }
 
 /// Answer one region from its bitmap index (HistogramIndex strategy); the
@@ -244,7 +242,12 @@ fn eval_region_indexed(
         let payload =
             state.read_data_region(ctx.odms, ctx.cost, RegionId::new(object, region), ctx.n_servers)?;
         state.work.elements_scanned += ans.candidates.count();
-        ans.resolve(interval, |i| payload.get_f64(i as usize))
+        if ctx.scan_kernels {
+            let confirmed = kernels::filter_selection(&payload, interval, &ans.candidates);
+            ans.sure.union(&confirmed)
+        } else {
+            ans.resolve(interval, |i| payload.get_f64(i as usize))
+        }
     } else {
         ans.sure
     };
@@ -356,20 +359,31 @@ pub fn point_check(
                 )?;
                 for run in &in_region {
                     state.work.elements_scanned += run.len;
-                    let mut open: Option<Run> = None;
-                    for c in run.start..run.end() {
-                        let v = payload.get_f64((c - span.offset) as usize);
-                        if interval.contains(v) {
-                            match &mut open {
-                                Some(r) => r.len += 1,
-                                None => open = Some(Run::new(c, 1)),
+                    if ctx.scan_kernels {
+                        kernels::scan_range(
+                            &payload,
+                            interval,
+                            (run.start - span.offset) as usize,
+                            (run.end() - span.offset) as usize,
+                            run.start,
+                            &mut out,
+                        );
+                    } else {
+                        let mut open: Option<Run> = None;
+                        for c in run.start..run.end() {
+                            let v = payload.get_f64((c - span.offset) as usize);
+                            if interval.contains(v) {
+                                match &mut open {
+                                    Some(r) => r.len += 1,
+                                    None => open = Some(Run::new(c, 1)),
+                                }
+                            } else if let Some(r) = open.take() {
+                                out.push(r);
                             }
-                        } else if let Some(r) = open.take() {
+                        }
+                        if let Some(r) = open {
                             out.push(r);
                         }
-                    }
-                    if let Some(r) = open {
-                        out.push(r);
                     }
                 }
             }

@@ -112,7 +112,12 @@ impl QueryEngine {
                                         n,
                                     )?;
                                     st.work.elements_scanned += ans.candidates.count();
-                                    ans.resolve(&iv, |i| payload.get_f64(i as usize)).count()
+                                    ans.sure.count()
+                                        + pdc_types::kernels::count_selection_matches(
+                                            &payload,
+                                            &iv,
+                                            &ans.candidates,
+                                        )
                                 } else {
                                     ans.sure.count()
                                 }
@@ -121,9 +126,7 @@ impl QueryEngine {
                                 let payload =
                                     st.read_data_region(&odms, &cost, RegionId::new(obj, r), n)?;
                                 st.work.elements_scanned += payload.len() as u64;
-                                (0..payload.len())
-                                    .filter(|&i| iv.contains(payload.get_f64(i)))
-                                    .count() as u64
+                                pdc_types::kernels::count_matches(&payload, &iv)
                             }
                         };
                     }

@@ -1,0 +1,110 @@
+//! The typed scan-kernel layer is a pure wall-clock optimization: with
+//! kernels toggled off (the scalar reference path) or the chunk-parallel
+//! path forced on/off via `scan_threads`, every strategy must return a
+//! bit-identical `Selection` and the same simulated cost accounting.
+
+use pdc_odms::{ImportOptions, Odms};
+use pdc_query::{EngineConfig, PdcQuery, QueryEngine, QueryOutcome, Strategy};
+use pdc_types::{ObjectId, QueryOp, TypedVec};
+use std::sync::Arc;
+
+const ALL_STRATEGIES: [Strategy; 4] = [
+    Strategy::FullScan,
+    Strategy::Histogram,
+    Strategy::HistogramIndex,
+    Strategy::SortedHistogram,
+];
+
+struct World {
+    odms: Arc<Odms>,
+    energy: ObjectId,
+    x: ObjectId,
+}
+
+/// Regions of 2 MiB (512 Ki floats) over 600k elements: large enough
+/// that the chunk-parallel kernel path actually engages (a region must
+/// hold at least 2 × PARALLEL_MIN_CHUNK = 128 Ki elements).
+fn build_world() -> World {
+    let n = 600_000usize;
+    let odms = Arc::new(Odms::new(8));
+    let c = odms.create_container("kernels");
+    let energy: Vec<f32> = (0..n)
+        .map(|i| {
+            let base = ((i as f32 * 0.37).sin() + 1.0) * 0.9;
+            if (3000..3400).contains(&(i % 8000)) {
+                2.0 + ((i * 31) % 160) as f32 / 100.0
+            } else {
+                base
+            }
+        })
+        .collect();
+    let x: Vec<f32> = (0..n).map(|i| ((i as f32 * 0.011).cos() + 1.0) * 166.0).collect();
+    let opts = ImportOptions {
+        region_bytes: 2 << 20,
+        build_index: true,
+        build_sorted: true,
+        ..Default::default()
+    };
+    let energy =
+        odms.import_array(c, "energy", TypedVec::Float(energy), &opts).unwrap().object;
+    let x = odms.import_array(c, "x", TypedVec::Float(x), &opts).unwrap().object;
+    World { odms, energy, x }
+}
+
+fn run_with(
+    world: &World,
+    strategy: Strategy,
+    scan_kernels: bool,
+    scan_threads: u32,
+    q: &PdcQuery,
+) -> QueryOutcome {
+    let eng = QueryEngine::new(
+        Arc::clone(&world.odms),
+        EngineConfig {
+            strategy,
+            num_servers: 4,
+            scan_kernels,
+            scan_threads,
+            ..Default::default()
+        },
+    );
+    eng.run(q).unwrap()
+}
+
+fn assert_equivalent(reference: &QueryOutcome, got: &QueryOutcome, label: &str) {
+    assert_eq!(got.nhits, reference.nhits, "{label}: nhits");
+    assert_eq!(
+        got.selection.runs(),
+        reference.selection.runs(),
+        "{label}: selection runs must be bit-identical"
+    );
+    assert_eq!(got.work, reference.work, "{label}: work counters");
+    assert_eq!(got.breakdown, reference.breakdown, "{label}: cost breakdown");
+    assert_eq!(got.io, reference.io, "{label}: io counters");
+    assert_eq!(got.elapsed, reference.elapsed, "{label}: simulated elapsed");
+}
+
+#[test]
+fn kernels_and_threads_change_nothing_observable() {
+    let world = build_world();
+    let queries = [
+        PdcQuery::range_open(world.energy, 2.1f32, 2.2f32),
+        PdcQuery::create(world.energy, QueryOp::Gt, 2.0f32)
+            .and(PdcQuery::range_open(world.x, 100.0f32, 200.0f32)),
+    ];
+    for q in &queries {
+        for strategy in ALL_STRATEGIES {
+            // Scalar reference path (kernels off) is the ground truth.
+            let reference = run_with(&world, strategy, false, 0, q);
+            assert!(reference.nhits > 0, "{strategy:?}: test query must hit");
+            for (kernels, threads) in [(true, 1), (true, 0), (true, 4), (false, 1)] {
+                let got = run_with(&world, strategy, kernels, threads, q);
+                assert_equivalent(
+                    &reference,
+                    &got,
+                    &format!("{strategy:?} kernels={kernels} threads={threads}"),
+                );
+            }
+        }
+    }
+}

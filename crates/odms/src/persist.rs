@@ -98,7 +98,7 @@ impl Odms {
             let mut values = Vec::with_capacity(meta.num_elements() as usize);
             for r in 0..meta.num_regions() {
                 let payload = self.read_region(obj, r)?;
-                values.extend(payload.iter_f64());
+                payload.append_f64_to(&mut values);
             }
             svc.set_sorted_replica(obj, SortedReplica::build(&values, meta.region_elems));
         }

@@ -156,7 +156,7 @@ impl Odms {
 
         // Sorted replica is built from the whole array before it is carved
         // into regions (one global sort, as the paper's reorganization).
-        let values_f64: Vec<f64> = data.iter_f64().collect();
+        let values_f64: Vec<f64> = data.to_f64_vec();
         if opts.build_sorted {
             let replica = SortedReplica::build(&values_f64, region_elems);
             report.sorted_bytes = replica.size_bytes(elem_bytes);

@@ -105,7 +105,7 @@ impl FaultPlan {
         let mut plan = Self::new();
         let mut crashes = 0;
         for s in 0..num_servers {
-            if rng.next() % 4 != 0 {
+            if !rng.next().is_multiple_of(4) {
                 continue;
             }
             let spec = match rng.next() % 3 {

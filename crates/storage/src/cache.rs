@@ -7,15 +7,21 @@
 //! series. LRU with a byte budget.
 
 use pdc_types::{RegionId, TypedVec};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 /// An LRU region cache with a byte budget.
+///
+/// Recency is tracked with a `BTreeMap` keyed by a monotonically
+/// increasing use tick (ticks are unique, so it is a total order);
+/// eviction pops the smallest tick in O(log n) instead of scanning every
+/// entry for the minimum.
 #[derive(Debug)]
 pub struct RegionCache {
     capacity_bytes: u64,
     used_bytes: u64,
     entries: HashMap<RegionId, (Arc<TypedVec>, u64)>, // payload, last-use tick
+    recency: BTreeMap<u64, RegionId>,                 // last-use tick -> region
     tick: u64,
     hits: u64,
     misses: u64,
@@ -28,6 +34,7 @@ impl RegionCache {
             capacity_bytes,
             used_bytes: 0,
             entries: HashMap::new(),
+            recency: BTreeMap::new(),
             tick: 0,
             hits: 0,
             misses: 0,
@@ -70,6 +77,8 @@ impl RegionCache {
         let tick = self.tick;
         match self.entries.get_mut(&id) {
             Some((payload, last)) => {
+                self.recency.remove(last);
+                self.recency.insert(tick, id);
                 *last = tick;
                 self.hits += 1;
                 Some(Arc::clone(payload))
@@ -93,12 +102,12 @@ impl RegionCache {
         if size > self.capacity_bytes {
             return;
         }
-        if let Some((old, _)) = self.entries.remove(&id) {
+        if let Some((old, last)) = self.entries.remove(&id) {
+            self.recency.remove(&last);
             self.used_bytes -= old.size_bytes();
         }
         while self.used_bytes + size > self.capacity_bytes {
-            let Some((&victim, _)) = self.entries.iter().min_by_key(|(_, (_, last))| *last)
-            else {
+            let Some((_, victim)) = self.recency.pop_first() else {
                 break;
             };
             let (evicted, _) = self.entries.remove(&victim).unwrap();
@@ -106,12 +115,14 @@ impl RegionCache {
         }
         self.tick += 1;
         self.entries.insert(id, (payload, self.tick));
+        self.recency.insert(self.tick, id);
         self.used_bytes += size;
     }
 
     /// Drop everything (used between experiments).
     pub fn clear(&mut self) {
         self.entries.clear();
+        self.recency.clear();
         self.used_bytes = 0;
     }
 }
@@ -182,6 +193,35 @@ mod tests {
         c.put(rid(2), payload(40)); // 160: must evict both
         assert!(c.contains(rid(2)));
         assert!(c.used_bytes() <= 200);
+    }
+
+    #[test]
+    fn interleaved_ops_match_naive_lru_model() {
+        // Model: a Vec ordered least- to most-recently used. The BTreeMap
+        // recency index must evict exactly what the naive model evicts.
+        let mut c = RegionCache::new(400); // ten 40-byte payloads
+        let mut model: Vec<u32> = Vec::new();
+        let mut state = 0x9e3779b97f4a7c15u64;
+        for _ in 0..2000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let r = (state >> 33) as u32 % 16;
+            if state & 1 == 0 && model.contains(&r) {
+                assert!(c.get(rid(r)).is_some(), "model says {r} is cached");
+                model.retain(|&x| x != r);
+                model.push(r);
+            } else {
+                c.put(rid(r), payload(10));
+                model.retain(|&x| x != r);
+                model.push(r);
+                if model.len() > 10 {
+                    model.remove(0);
+                }
+            }
+            assert_eq!(c.len(), model.len());
+            for &x in &model {
+                assert!(c.contains(rid(x)));
+            }
+        }
     }
 
     #[test]

@@ -14,6 +14,9 @@
 //!   conjunctions of operators reduce to.
 //! * [`Selection`] — the run-length encoded set of matching element
 //!   coordinates that `PDCquery_get_selection` returns.
+//! * [`kernels`] — monomorphized, branchless scan kernels (typed interval
+//!   lowering, 64-element hit masks, chunk-parallel region evaluation)
+//!   that every executor's hot loop runs on.
 //! * [`RegionSpec`] / [`NdRegion`] — region geometry: 1-D partitions of an
 //!   object plus N-dimensional spatial constraints.
 //! * [`PdcError`] — the common error type.
@@ -21,6 +24,7 @@
 pub mod error;
 pub mod ids;
 pub mod interval;
+pub mod kernels;
 pub mod op;
 pub mod region;
 pub mod selection;

@@ -173,6 +173,7 @@ impl TypedVec {
     }
 
     /// The type tag of the elements.
+    #[inline]
     pub fn pdc_type(&self) -> PdcType {
         match self {
             TypedVec::Float(_) => PdcType::Float,
@@ -185,16 +186,19 @@ impl TypedVec {
     }
 
     /// Number of elements.
+    #[inline]
     pub fn len(&self) -> usize {
         with_slice!(self, xs => xs.len())
     }
 
     /// Whether the array has no elements.
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
     /// Total payload size in bytes.
+    #[inline]
     pub fn size_bytes(&self) -> u64 {
         self.len() as u64 * self.pdc_type().size_bytes()
     }
@@ -209,6 +213,7 @@ impl TypedVec {
     }
 
     /// Element `i` as a tagged scalar. Panics if out of bounds.
+    #[inline]
     pub fn get_value(&self, i: usize) -> PdcValue {
         match self {
             TypedVec::Float(xs) => PdcValue::Float(xs[i]),
@@ -284,6 +289,28 @@ impl TypedVec {
             TypedVec::Int64(xs) => Box::new(xs.iter().map(|&v| v as f64)),
             TypedVec::UInt64(xs) => Box::new(xs.iter().map(|&v| v as f64)),
         }
+    }
+
+    /// Append all elements, widened to `f64`, to `out`.
+    ///
+    /// One monomorphized loop per variant — unlike [`TypedVec::iter_f64`]
+    /// there is no boxed-iterator virtual call per element, so ingest
+    /// paths (sorted-replica build, histogram construction) should prefer
+    /// this.
+    pub fn append_f64_to(&self, out: &mut Vec<f64>) {
+        out.reserve(self.len());
+        #[allow(clippy::unnecessary_cast)] // the Double arm casts f64->f64
+        {
+            with_slice!(self, xs => out.extend(xs.iter().map(|&v| v as f64)));
+        }
+    }
+
+    /// All elements widened to `f64` (typed-loop equivalent of
+    /// `iter_f64().collect()`).
+    pub fn to_f64_vec(&self) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.append_f64_to(&mut out);
+        out
     }
 
     /// Minimum and maximum of the array widened to `f64`, or `None` if empty.
@@ -390,6 +417,25 @@ mod tests {
         for tv in cases {
             let collected: Vec<f64> = tv.iter_f64().collect();
             assert_eq!(collected, vec![1.0, 2.0], "variant {:?}", tv.pdc_type());
+        }
+    }
+
+    #[test]
+    fn to_f64_vec_matches_iter_f64() {
+        let cases: Vec<TypedVec> = vec![
+            vec![1.5f32, -2.0].into(),
+            vec![1.5f64, -2.0].into(),
+            vec![1i32, -2].into(),
+            vec![1u32, 2].into(),
+            vec![1i64, -2].into(),
+            vec![1u64, 2].into(),
+        ];
+        for tv in cases {
+            let expect: Vec<f64> = tv.iter_f64().collect();
+            assert_eq!(tv.to_f64_vec(), expect, "variant {:?}", tv.pdc_type());
+            let mut appended = vec![9.0];
+            tv.append_f64_to(&mut appended);
+            assert_eq!(appended[1..], expect[..], "variant {:?}", tv.pdc_type());
         }
     }
 

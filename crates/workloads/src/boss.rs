@@ -173,12 +173,8 @@ mod tests {
         let mut total = 0u64;
         for &o in &data.objects {
             let payload = odms.read_region(o, 0).unwrap();
-            for i in 0..payload.len() {
-                total += 1;
-                if iv.contains(payload.get_f64(i)) {
-                    hits += 1;
-                }
-            }
+            total += payload.len() as u64;
+            hits += pdc_types::kernels::count_matches(&payload, &iv);
         }
         let got = hits as f64 / total as f64;
         assert!((got - 0.40).abs() < 0.02, "selectivity {got}, want 0.40");
