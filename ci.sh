@@ -24,6 +24,27 @@ cargo test -q $OFFLINE
 echo "== fault-tolerance gate =="
 cargo test -q $OFFLINE -- fault
 
+echo "== integrity gate =="
+cargo test -q $OFFLINE -- integrity
+# Corruption smoke: a run with 5% of regions corrupted must exit 0 and
+# return the same selection (hits + runs) as the clean run.
+cargo build --release $OFFLINE -p pdc-cli
+PDC=target/release/pdc
+SMOKE_Q="2.1 < Energy < 2.2"
+SMOKE_ARGS="--particles 100000 --servers 4 --seed 42"
+clean_hits=$($PDC query "$SMOKE_Q" $SMOKE_ARGS | grep -o '[0-9]* hits ([0-9]* runs)')
+corrupt_out=$($PDC query "$SMOKE_Q" $SMOKE_ARGS --corrupt-regions 0.05 --fault-seed 7)
+corrupt_hits=$(echo "$corrupt_out" | grep -o '[0-9]* hits ([0-9]* runs)')
+if [ "$clean_hits" != "$corrupt_hits" ]; then
+    echo "ci: integrity smoke FAILED: clean '$clean_hits' vs corrupt '$corrupt_hits'" >&2
+    exit 1
+fi
+echo "$corrupt_out" | grep -q '^integrity:' || {
+    echo "ci: integrity smoke FAILED: no integrity report in corrupt run" >&2
+    exit 1
+}
+echo "integrity smoke: '$corrupt_hits' identical under 5% corruption"
+
 echo "== clippy gate =="
 cargo clippy --release $OFFLINE --workspace --all-targets -- -D warnings
 

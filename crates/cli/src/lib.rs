@@ -12,7 +12,7 @@
 
 use pdc_odms::{ImportOptions, Odms};
 use pdc_query::{parse_query, EngineConfig, QueryEngine, Strategy};
-use pdc_server::FaultPlan;
+use pdc_server::{CorruptionSpec, FaultPlan};
 use pdc_storage::CostModel;
 use pdc_workloads::{VpicConfig, VpicData};
 use std::sync::Arc;
@@ -55,6 +55,12 @@ pub struct CommonOpts {
     pub fault_seed: Option<u64>,
     /// Kill exactly this many servers (crash on an early region access).
     pub kill_servers: u32,
+    /// Fraction of stored data regions (and aux structures) to corrupt
+    /// deterministically before queries run (`0.0` = no corruption).
+    pub corrupt_regions: f64,
+    /// Seed for corruption site selection (`None` = fault seed, then RNG
+    /// seed).
+    pub corrupt_seed: Option<u64>,
     /// Wall-clock threads per region scan (0 = auto, 1 = sequential).
     pub scan_threads: u32,
 }
@@ -69,6 +75,8 @@ impl Default for CommonOpts {
             seed: 0x5EED_201C,
             fault_seed: None,
             kill_servers: 0,
+            corrupt_regions: 0.0,
+            corrupt_seed: None,
             scan_threads: 0,
         }
     }
@@ -99,6 +107,13 @@ OPTIONS:
                      slowdowns, transient errors); queries still succeed
                      via retry + region reassignment
   --kill-servers <K> crash exactly K servers early in evaluation (K < servers)
+  --corrupt-regions <F>
+                     deterministically corrupt about fraction F (0..=1) of the
+                     stored data regions and auxiliary structures; checksums
+                     detect the damage and queries repair, rebuild, or fall
+                     back — results stay exact
+  --corrupt-seed <N> seed for corruption site selection (default: the fault
+                     seed, then the RNG seed)
   --scan-threads <N> wall-clock threads per region scan; 0 = auto, 1 disables
                      the chunk-parallel kernel path (default 0)
   --get-data <var>   fetch that variable's values for the matches (query only)
@@ -165,6 +180,18 @@ fn parse_options<I: Iterator<Item = String>>(
                     .parse()
                     .map_err(|e| format!("--kill-servers: {e}"))?;
             }
+            "--corrupt-regions" => {
+                opts.corrupt_regions = value("--corrupt-regions")?
+                    .parse()
+                    .map_err(|e| format!("--corrupt-regions: {e}"))?;
+            }
+            "--corrupt-seed" => {
+                opts.corrupt_seed = Some(
+                    value("--corrupt-seed")?
+                        .parse()
+                        .map_err(|e| format!("--corrupt-seed: {e}"))?,
+                );
+            }
             "--scan-threads" => {
                 opts.scan_threads = value("--scan-threads")?
                     .parse()
@@ -211,9 +238,16 @@ pub fn build_world(opts: &CommonOpts) -> (Arc<Odms>, VpicData) {
 }
 
 /// The fault plan implied by the options, if any. `--kill-servers` wins
-/// when both are given (the seed then only picks which servers die).
+/// over `--fault-seed` when both are given (the seed then only picks
+/// which servers die); `--corrupt-regions` composes with either.
 pub fn fault_plan(opts: &CommonOpts) -> Result<Option<FaultPlan>, String> {
-    if opts.kill_servers > 0 {
+    if !(0.0..=1.0).contains(&opts.corrupt_regions) {
+        return Err(format!(
+            "--corrupt-regions {} must be within [0, 1]",
+            opts.corrupt_regions
+        ));
+    }
+    let mut plan = if opts.kill_servers > 0 {
         if opts.kill_servers >= opts.servers {
             return Err(format!(
                 "--kill-servers {} must leave at least one of {} servers alive",
@@ -221,12 +255,16 @@ pub fn fault_plan(opts: &CommonOpts) -> Result<Option<FaultPlan>, String> {
             ));
         }
         let seed = opts.fault_seed.unwrap_or(opts.seed);
-        Ok(Some(FaultPlan::kill_count(opts.kill_servers, opts.servers, seed)))
-    } else if let Some(seed) = opts.fault_seed {
-        Ok(Some(FaultPlan::seeded(seed, opts.servers)))
+        Some(FaultPlan::kill_count(opts.kill_servers, opts.servers, seed))
     } else {
-        Ok(None)
+        opts.fault_seed.map(|seed| FaultPlan::seeded(seed, opts.servers))
+    };
+    if opts.corrupt_regions > 0.0 {
+        let seed = opts.corrupt_seed.or(opts.fault_seed).unwrap_or(opts.seed);
+        let spec = CorruptionSpec::new(opts.corrupt_regions, opts.corrupt_regions, seed);
+        plan = Some(plan.unwrap_or_else(FaultPlan::new).with_corruption(spec));
     }
+    Ok(plan)
 }
 
 /// An engine per the options, with the scale-appropriate cost model.
@@ -274,6 +312,17 @@ pub fn run(cmd: Command) -> Result<String, String> {
                     "faults: servers {:?} failed; recovered in {} retry round(s), \
                      recovery overhead {}\n",
                     outcome.failed_servers, outcome.retry_rounds, outcome.breakdown.recovery,
+                ));
+            }
+            if outcome.integrity.any() {
+                out.push_str(&format!(
+                    "integrity: {} checksum failure(s), {} region(s) repaired, \
+                     {} aux rebuild(s), {} fallback region(s), overhead {}\n",
+                    outcome.integrity.checksum_failures,
+                    outcome.integrity.repaired_regions,
+                    outcome.integrity.aux_rebuilds,
+                    outcome.integrity.fallback_regions,
+                    outcome.breakdown.integrity,
                 ));
             }
             if let Some(var) = get_data {
@@ -407,6 +456,53 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn corrupt_flags_parse_and_validate() {
+        let cmd = parse_args(argv("demo --corrupt-regions 0.25 --corrupt-seed 99")).unwrap();
+        match cmd {
+            Command::Demo { opts } => {
+                assert_eq!(opts.corrupt_regions, 0.25);
+                assert_eq!(opts.corrupt_seed, Some(99));
+                let plan = fault_plan(&opts).unwrap().unwrap();
+                let spec = plan.corruption().unwrap();
+                assert_eq!(spec.seed, 99);
+                assert_eq!(spec.data_fraction, 0.25);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Out-of-range fractions are rejected before the import runs.
+        let cmd = parse_args(argv("demo --corrupt-regions 1.5")).unwrap();
+        match cmd {
+            Command::Demo { ref opts } => assert!(fault_plan(opts).is_err()),
+            ref other => panic!("{other:?}"),
+        }
+        assert!(run(cmd).is_err());
+    }
+
+    #[test]
+    fn query_with_corruption_matches_clean_run() {
+        let base = CommonOpts { particles: 50_000, servers: 4, ..CommonOpts::default() };
+        let clean = run(Command::Query {
+            expr: "2.1 < Energy < 2.2".to_string(),
+            opts: base.clone(),
+            get_data: None,
+        })
+        .unwrap();
+        let corrupt = run(Command::Query {
+            expr: "2.1 < Energy < 2.2".to_string(),
+            opts: CommonOpts { corrupt_regions: 0.1, corrupt_seed: Some(7), ..base },
+            get_data: None,
+        })
+        .unwrap();
+        let hits = |s: &str| {
+            s.lines().find(|l| l.contains(" hits ")).unwrap().split(':').nth(1).unwrap()
+                .trim().split(' ').next().unwrap().to_string()
+        };
+        assert_eq!(hits(&clean), hits(&corrupt), "clean: {clean}\ncorrupt: {corrupt}");
+        assert!(corrupt.contains("integrity:"), "{corrupt}");
+        assert!(!clean.contains("integrity:"), "{clean}");
     }
 
     #[test]

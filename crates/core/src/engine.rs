@@ -10,7 +10,7 @@ use pdc_histogram::Histogram;
 use pdc_odms::Odms;
 use pdc_server::{FaultPlan, ServerPool};
 use pdc_storage::{
-    CostBreakdown, CostModel, IoCounters, SimDuration, WorkCounters,
+    CostBreakdown, CostModel, IntegrityCounters, IoCounters, SimDuration, WorkCounters,
 };
 use pdc_types::{ObjectId, PdcResult, PdcType, Run, Selection, TypedVec};
 use std::sync::Arc;
@@ -134,6 +134,11 @@ pub struct QueryOutcome {
     pub failed_servers: Vec<u32>,
     /// Retry rounds the query needed (0 on a fault-free run).
     pub retry_rounds: u32,
+    /// Integrity events this query absorbed: checksum failures detected,
+    /// regions repaired from the durable copy, auxiliary structures
+    /// rebuilt, regions answered by the fallback scan path. All zero on a
+    /// clean run.
+    pub integrity: IntegrityCounters,
 }
 
 /// The result of a `PDCquery_get_data` call.
@@ -170,6 +175,15 @@ pub(crate) fn diff_io(after: &IoCounters, before: &IoCounters) -> IoCounters {
     }
 }
 
+fn diff_integrity(after: &IntegrityCounters, before: &IntegrityCounters) -> IntegrityCounters {
+    IntegrityCounters {
+        checksum_failures: after.checksum_failures - before.checksum_failures,
+        repaired_regions: after.repaired_regions - before.repaired_regions,
+        aux_rebuilds: after.aux_rebuilds - before.aux_rebuilds,
+        fallback_regions: after.fallback_regions - before.fallback_regions,
+    }
+}
+
 fn diff_work(after: &WorkCounters, before: &WorkCounters) -> WorkCounters {
     WorkCounters {
         elements_scanned: after.elements_scanned - before.elements_scanned,
@@ -181,7 +195,10 @@ fn diff_work(after: &WorkCounters, before: &WorkCounters) -> WorkCounters {
 }
 
 impl QueryEngine {
-    /// Start a query service over an ODMS.
+    /// Start a query service over an ODMS. When the fault plan carries a
+    /// [`pdc_server::CorruptionSpec`], the data plane is damaged
+    /// deterministically up front — queries then detect, repair, and
+    /// charge the recovery work to the breakdown's `integrity` lane.
     pub fn new(odms: Arc<Odms>, cfg: EngineConfig) -> Self {
         let cache = cfg.cache_bytes_per_server;
         let plan = cfg.fault_plan.clone();
@@ -192,7 +209,19 @@ impl QueryEngine {
             }
             st
         });
-        Self { odms, pool, cfg }
+        let engine = Self { odms, pool, cfg };
+        engine.apply_planned_corruption();
+        engine
+    }
+
+    /// Damage the store and aux structures per the fault plan's corruption
+    /// spec (no-op without one). The spec only addresses objects already
+    /// in the registry, so failure here is an internal invariant breach.
+    fn apply_planned_corruption(&self) {
+        if let Some(spec) = self.cfg.fault_plan.as_ref().and_then(|p| p.corruption()) {
+            crate::integrity::apply_corruption(&self.odms, spec)
+                .expect("corruption spec addresses only registered objects");
+        }
     }
 
     /// The recovery policy derived from the config.
@@ -255,7 +284,8 @@ impl QueryEngine {
 
     /// Reset all per-server state (caches, clocks, counters) — used
     /// between experiment configurations. Fault probes are reinstalled
-    /// fresh, so crashed servers come back up with their schedule rearmed.
+    /// fresh, so crashed servers come back up with their schedule rearmed;
+    /// a corruption spec is re-applied, re-damaging the same sites.
     pub fn reset_state(&self) {
         let bytes = self.cfg.cache_bytes_per_server;
         let plan = self.cfg.fault_plan.clone();
@@ -265,6 +295,7 @@ impl QueryEngine {
                 st.fault = p.probe_for(id.raw());
             }
         });
+        self.apply_planned_corruption();
     }
 
     /// `PDCquery_get_nhits`: evaluate and return the number of matches.
@@ -284,6 +315,18 @@ impl QueryEngine {
     /// fail, their slots are re-evaluated by the survivors, so the query
     /// result is identical as long as at least one server stays alive.
     pub fn run(&self, query: &PdcQuery) -> PdcResult<QueryOutcome> {
+        // Verify-and-repair preflight, before planning: corrupt region
+        // histograms must be rebuilt before selectivity ordering reads the
+        // re-merged globals, and repairing shared data regions on the
+        // single-threaded client keeps the repair charges deterministic
+        // (point checks cross slot boundaries). Skipped entirely without
+        // an active corruption spec.
+        let (mut integrity, preflight_time) =
+            if self.cfg.fault_plan.as_ref().and_then(|p| p.corruption()).is_some() {
+                crate::integrity::preflight(&self.odms, &self.cfg.cost, self.cfg.num_servers)?
+            } else {
+                (IntegrityCounters::default(), SimDuration::ZERO)
+            };
         let plan = QueryPlan::build_with_ordering(query, &self.odms, self.cfg.order_by_selectivity)?;
         let n = self.cfg.num_servers;
         let cost = self.cfg.cost;
@@ -314,7 +357,9 @@ impl QueryEngine {
             &cost,
             &self.recovery_policy(),
             &weights,
-            |r: &(Selection, IoCounters, WorkCounters)| r.0.wire_size_bytes(),
+            |r: &(Selection, IoCounters, WorkCounters, IntegrityCounters, SimDuration)| {
+                r.0.wire_size_bytes()
+            },
             |slot, st| {
                 let ctx = EvalCtx {
                     odms: &odms,
@@ -327,17 +372,28 @@ impl QueryEngine {
                 };
                 let io0 = st.io;
                 let w0 = st.work;
+                let i0 = st.integrity;
+                let t0 = st.integrity_time;
                 let sel = eval_plan(&ctx, st, &plan)?;
-                Ok((sel, diff_io(&st.io, &io0), diff_work(&st.work, &w0)))
+                Ok((
+                    sel,
+                    diff_io(&st.io, &io0),
+                    diff_work(&st.work, &w0),
+                    diff_integrity(&st.integrity, &i0),
+                    st.integrity_time.saturating_sub(t0),
+                ))
             },
         )?;
 
         let mut selection = Selection::empty();
         let mut io = IoCounters::default();
         let mut work = WorkCounters::default();
-        for (sel, io_d, work_d) in &out.per_slot {
+        let mut slot_integrity_time = SimDuration::ZERO;
+        for (sel, io_d, work_d, integ_d, integ_t) in &out.per_slot {
             io.merge(io_d);
             work.merge(work_d);
+            integrity.merge(integ_d);
+            slot_integrity_time += *integ_t;
             // "Remove the duplicates with a merge sort" on the client.
             selection = selection.union(sel);
         }
@@ -345,7 +401,7 @@ impl QueryEngine {
         let merge_cpu =
             SimDuration::from_secs_f64(selection.num_runs() as f64 * 20.0 / 1e9);
 
-        let elapsed = broadcast + out.eval_time + merge_cpu;
+        let elapsed = broadcast + out.eval_time + merge_cpu + preflight_time;
         let breakdown = CostBreakdown {
             io: cost.pfs.read_cost(
                 io.pfs_bytes_read,
@@ -356,6 +412,7 @@ impl QueryEngine {
             cpu: cost.cpu.work_cost(&work),
             net: broadcast + merge_cpu,
             recovery: out.recovery,
+            integrity: preflight_time + slot_integrity_time,
         };
 
         let sorted_hint = self.sorted_hint(&plan);
@@ -369,6 +426,12 @@ impl QueryEngine {
             }
             failed_servers.sort_unstable();
             retry_rounds += pre.retry_rounds;
+            // Integrity events absorbed during the pre-load count toward
+            // the query's totals (its timing stays outside latency, like
+            // the rest of the pre-load).
+            for ic in &pre.per_slot {
+                integrity.merge(ic);
+            }
         }
         Ok(QueryOutcome {
             nhits: selection.count(),
@@ -381,6 +444,7 @@ impl QueryEngine {
             sorted_hint,
             failed_servers,
             retry_rounds,
+            integrity,
         })
     }
 
@@ -411,7 +475,7 @@ impl QueryEngine {
         &self,
         objects: &[ObjectId],
         weights: &[u64],
-    ) -> PdcResult<crate::recover::SlotRunOutput<()>> {
+    ) -> PdcResult<crate::recover::SlotRunOutput<IntegrityCounters>> {
         let n = self.cfg.num_servers;
         let cost = self.cfg.cost;
         let odms = Arc::clone(&self.odms);
@@ -420,8 +484,9 @@ impl QueryEngine {
             &cost,
             &self.recovery_policy(),
             weights,
-            |_: &()| 0,
+            |_: &IntegrityCounters| 0,
             |slot, st| {
+                let i0 = st.integrity;
                 for &obj in objects {
                     let meta = odms.meta().get(obj)?;
                     for r in 0..meta.num_regions() {
@@ -436,7 +501,7 @@ impl QueryEngine {
                         )?;
                     }
                 }
-                Ok(())
+                Ok(diff_integrity(&st.integrity, &i0))
             },
         )
     }

@@ -24,8 +24,10 @@ use crate::engine::Strategy;
 use crate::plan::{ObjConstraint, PlanNode, QueryPlan};
 use crate::state::ServerState;
 use pdc_odms::Odms;
-use pdc_storage::CostModel;
-use pdc_types::{kernels, Interval, NdRegion, ObjectId, PdcResult, RegionId, Run, Selection};
+use pdc_storage::{CostModel, WorkCounters};
+use pdc_types::{
+    kernels, Interval, NdRegion, ObjectId, PdcError, PdcResult, RegionId, Run, Selection,
+};
 
 /// Everything a server needs to evaluate a plan.
 pub struct EvalCtx<'a> {
@@ -225,6 +227,12 @@ fn eval_region_scan(
 
 /// Answer one region from its bitmap index (HistogramIndex strategy); the
 /// raw data is read only when boundary bins need a candidate check.
+///
+/// A region whose index fails validation — stored checksum mismatch,
+/// undecodable bytes, or an element count that disagrees with the region
+/// span — is quarantined and answered by the exact full-scan path instead
+/// ([`fallback_scan_and_rebuild`]); only infrastructure errors
+/// (`ServerFailed`, missing prerequisites) propagate.
 fn eval_region_indexed(
     ctx: &EvalCtx,
     state: &mut ServerState,
@@ -234,7 +242,22 @@ fn eval_region_indexed(
     interval: &Interval,
 ) -> PdcResult<Selection> {
     let before = state.work;
-    let idx = state.read_index_region(ctx.odms, ctx.cost, object, region, ctx.n_servers)?;
+    let idx = match state.read_index_region(ctx.odms, ctx.cost, object, region, ctx.n_servers) {
+        Ok(idx) if idx.num_elements() == span.len => idx,
+        Ok(_) => {
+            // Decoded cleanly but describes the wrong number of elements:
+            // treat as invalid, same as a failed decode.
+            return fallback_scan_and_rebuild(ctx, state, object, region, span, interval);
+        }
+        Err(PdcError::CorruptRegion { .. }) => {
+            state.integrity.checksum_failures += 1;
+            return fallback_scan_and_rebuild(ctx, state, object, region, span, interval);
+        }
+        Err(PdcError::Codec(_)) => {
+            return fallback_scan_and_rebuild(ctx, state, object, region, span, interval);
+        }
+        Err(e) => return Err(e),
+    };
     state.work.bitmap_words += idx.size_bytes_serialized() / 4;
     let ans = idx.query(interval);
     let local = if ans.needs_candidate_check() {
@@ -253,6 +276,32 @@ fn eval_region_indexed(
     };
     state.settle_cpu(ctx.cost, &before);
     Ok(local.shifted(span.offset))
+}
+
+/// Graceful degradation for a region whose bitmap index failed validation:
+/// answer the region exactly by scanning its data (which transparently
+/// repairs a corrupt data copy too), then rebuild the index from the clean
+/// data and write it back so later queries take the indexed path again.
+/// The rebuild's write and scan work land on the integrity lane.
+fn fallback_scan_and_rebuild(
+    ctx: &EvalCtx,
+    state: &mut ServerState,
+    object: ObjectId,
+    region: u32,
+    span: pdc_types::RegionSpec,
+    interval: &Interval,
+) -> PdcResult<Selection> {
+    let sel = eval_region_scan(ctx, state, object, region, span, interval)?;
+    let rebuilt = ctx.odms.rebuild_index_region(object, region)?;
+    state.integrity.aux_rebuilds += 1;
+    state.integrity.fallback_regions += 1;
+    state.io.bytes_written += rebuilt;
+    state.io.write_requests += 1;
+    let scan = WorkCounters { elements_scanned: span.len, ..Default::default() };
+    let t = ctx.cost.pfs.write_cost(rebuilt, 1, ctx.n_servers) + ctx.cost.cpu.work_cost(&scan);
+    state.clock.advance(t);
+    state.integrity_time += t;
+    Ok(sel)
 }
 
 /// Answer the primary constraint from the value-sorted replica

@@ -1,0 +1,247 @@
+//! Data-plane integrity: deterministic corruption injection and the
+//! client-side preflight sweep that repairs it.
+//!
+//! Two halves:
+//!
+//! * [`apply_corruption`] — damage the store and the auxiliary structures
+//!   according to a [`CorruptionSpec`]: flip a bit in each victim data /
+//!   index region (keeping the pristine copy as the durable authority for
+//!   [`pdc_storage::ObjectStore::repair`]), and swap in invalid copies of
+//!   victim region histograms and sorted replicas. Fully deterministic per
+//!   seed, so two engines built from the same spec damage the same sites.
+//! * [`preflight`] — the client-side verification sweep the engine runs
+//!   before building a query plan when a corruption spec is active:
+//!   checksum-verify every data region (repairing from the pristine copy),
+//!   self-check every region histogram and sorted replica (rebuilding from
+//!   the repaired data). Runs single-threaded on the client so the repair
+//!   work is charged deterministically — `point_check` reads regions across
+//!   slot boundaries, so leaving shared-region repair to the server threads
+//!   would let thread scheduling decide which slot pays, breaking
+//!   [`pdc_storage::CostBreakdown`] determinism. Bitmap-index regions are
+//!   *not* swept here: each is read only by its owning slot, so the lazy
+//!   fallback-and-rebuild path in `exec` handles them deterministically.
+//!
+//! All repair/rebuild time lands on the dedicated `integrity` lane of the
+//! cost breakdown (and the server clocks), never on the query's I/O or CPU
+//! counters — the breakdown's lanes stay disjoint.
+
+use pdc_odms::Odms;
+use pdc_server::CorruptionSpec;
+use pdc_storage::{CostModel, IntegrityCounters, ReadPattern, SimDuration, WorkCounters};
+use pdc_types::{PdcError, PdcResult, RegionId};
+
+/// Salts separating the victim draws of the three auxiliary structures
+/// (so damaging an object's index says nothing about its histograms).
+const INDEX_SALT: u64 = 0x1D05_EED5_0000_0001;
+const HIST_SALT: u64 = 0x4157_0610_0000_0002;
+const SORT_SALT: u64 = 0x50F7_ED00_0000_0003;
+
+/// What [`apply_corruption`] actually damaged. Deterministic per
+/// `(spec, registry)` pair.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CorruptionReport {
+    /// Data regions with a flipped bit.
+    pub data_regions: u64,
+    /// Bitmap-index regions with a flipped bit.
+    pub index_regions: u64,
+    /// Region histograms replaced with invalid copies.
+    pub histograms: u64,
+    /// Sorted replicas replaced with invalid copies.
+    pub sorted_objects: u64,
+}
+
+impl CorruptionReport {
+    /// Total number of damaged sites.
+    pub fn total(&self) -> u64 {
+        self.data_regions + self.index_regions + self.histograms + self.sorted_objects
+    }
+}
+
+/// SplitMix64 finalizer (same family the fault plan uses) for deriving
+/// per-site seeds and the sorted-replica coin.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic uniform draw in `[0, 1)`.
+fn unit(z: u64) -> f64 {
+    (mix(z) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Damage the store and auxiliary structures per `spec`. Safe to call
+/// repeatedly (a region's pristine copy is stashed only on its first
+/// corruption, so re-applying after a repair re-damages the same sites).
+pub fn apply_corruption(odms: &Odms, spec: &CorruptionSpec) -> PdcResult<CorruptionReport> {
+    let mut report = CorruptionReport::default();
+    for meta in odms.meta().all_objects() {
+        let salt = meta.id.raw();
+        let n_regions = meta.num_regions() as usize;
+        for r in spec.data_victims(n_regions, salt) {
+            if odms.store().corrupt(RegionId::new(meta.id, r as u32), spec.seed ^ salt)? {
+                report.data_regions += 1;
+            }
+        }
+        if let Some(idx_obj) = meta.index_object {
+            for r in spec.aux_victims(n_regions, salt ^ INDEX_SALT) {
+                let rid = RegionId::new(idx_obj, r as u32);
+                if odms.store().corrupt(rid, spec.seed ^ salt ^ INDEX_SALT)? {
+                    report.index_regions += 1;
+                }
+            }
+        }
+        let hist_victims = spec.aux_victims(n_regions, salt ^ HIST_SALT);
+        if !hist_victims.is_empty() {
+            let hists = odms.meta().region_histograms(meta.id)?;
+            for r in hist_victims {
+                let bad = hists[r].corrupted_copy(mix(spec.seed ^ salt ^ HIST_SALT ^ r as u64));
+                odms.meta().replace_region_histogram(meta.id, r as u32, bad)?;
+                report.histograms += 1;
+            }
+        }
+        // The sorted replica is one structure per object; a deterministic
+        // coin at `aux_fraction` decides whether it is damaged.
+        if meta.has_sorted_replica && unit(spec.seed ^ salt ^ SORT_SALT) < spec.aux_fraction {
+            let replica = odms.meta().sorted_replica(meta.id)?;
+            odms.meta()
+                .set_sorted_replica(meta.id, replica.corrupted_copy(mix(spec.seed ^ salt)));
+            report.sorted_objects += 1;
+        }
+    }
+    Ok(report)
+}
+
+/// Client-side verification sweep: checksum every data region (repairing
+/// corrupt ones from the pristine durable copy), self-check every region
+/// histogram and sorted replica (rebuilding invalid ones from the repaired
+/// data). Returns the integrity counters and the simulated time the sweep
+/// charges to the `integrity` cost lane.
+pub fn preflight(
+    odms: &Odms,
+    cost: &CostModel,
+    n_servers: u32,
+) -> PdcResult<(IntegrityCounters, SimDuration)> {
+    let mut counters = IntegrityCounters::default();
+    let mut time = SimDuration::ZERO;
+    for meta in odms.meta().all_objects() {
+        let elem_bytes = meta.pdc_type.size_bytes();
+        // 1. Data regions: verify the stored checksum; a mismatch is
+        //    repaired by re-reading the pristine durable copy.
+        for r in 0..meta.num_regions() {
+            let rid = RegionId::new(meta.id, r);
+            match odms.store().verify(rid) {
+                Ok(()) => {}
+                Err(PdcError::CorruptRegion { .. }) => {
+                    counters.checksum_failures += 1;
+                    let bytes = odms.store().repair(rid)?;
+                    counters.repaired_regions += 1;
+                    time += cost.pfs.read_cost(bytes, 1, n_servers, ReadPattern::Aggregated);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        // 2. Region histograms: rebuilt by re-scanning the (now clean)
+        //    region data.
+        let hists = odms.meta().region_histograms(meta.id)?;
+        for r in 0..meta.num_regions() {
+            let span = meta.region_span(r);
+            if !hists[r as usize].self_check(span.len) {
+                odms.rebuild_region_histogram(meta.id, r)?;
+                counters.aux_rebuilds += 1;
+                let scan = WorkCounters { elements_scanned: span.len, ..Default::default() };
+                time += cost.pfs.read_cost(
+                    span.len * elem_bytes,
+                    1,
+                    n_servers,
+                    ReadPattern::Aggregated,
+                ) + cost.cpu.work_cost(&scan);
+            }
+        }
+        // 3. The sorted replica: rebuilt by re-reading the whole object
+        //    and re-sorting (n log n comparisons).
+        if meta.has_sorted_replica {
+            let replica = odms.meta().sorted_replica(meta.id)?;
+            if !replica.self_check(meta.num_elements()) {
+                odms.rebuild_sorted_replica(meta.id)?;
+                counters.aux_rebuilds += 1;
+                let log2n = (meta.num_elements().max(2) as f64).log2().ceil() as u64;
+                let sort = WorkCounters {
+                    elements_scanned: meta.num_elements() * log2n,
+                    ..Default::default()
+                };
+                time += cost.pfs.read_cost(
+                    meta.size_bytes(),
+                    u64::from(meta.num_regions()),
+                    n_servers,
+                    ReadPattern::Aggregated,
+                ) + cost.cpu.work_cost(&sort);
+            }
+        }
+    }
+    Ok((counters, time))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdc_odms::ImportOptions;
+    use pdc_types::TypedVec;
+
+    fn world(seed: u64) -> Odms {
+        let odms = Odms::new(4);
+        let c = odms.create_container("t");
+        let data = TypedVec::Float(
+            (0..6000).map(|i| ((i as f32) * 0.37 + seed as f32).sin() * 100.0).collect(),
+        );
+        let opts = ImportOptions {
+            region_bytes: 2048,
+            build_index: true,
+            build_sorted: true,
+            ..Default::default()
+        };
+        odms.import_array(c, "energy", data, &opts).unwrap();
+        odms
+    }
+
+    fn spec() -> CorruptionSpec {
+        CorruptionSpec::new(0.2, 0.5, 7)
+    }
+
+    #[test]
+    fn apply_corruption_is_deterministic() {
+        let (a, b) = (world(1), world(1));
+        let ra = apply_corruption(&a, &spec()).unwrap();
+        let rb = apply_corruption(&b, &spec()).unwrap();
+        assert_eq!(ra, rb);
+        assert!(ra.total() > 0, "fractions this large must damage something: {ra:?}");
+        assert_eq!(a.store().quarantined(), b.store().quarantined());
+    }
+
+    #[test]
+    fn preflight_repairs_everything_it_sweeps() {
+        let odms = world(3);
+        let report = apply_corruption(&odms, &spec()).unwrap();
+        assert!(report.data_regions > 0);
+        let cost = pdc_storage::CostModel::cori_like();
+        let (counters, time) = preflight(&odms, &cost, 4).unwrap();
+        assert_eq!(counters.repaired_regions, report.data_regions);
+        assert_eq!(counters.checksum_failures, report.data_regions);
+        assert_eq!(counters.aux_rebuilds, report.histograms + report.sorted_objects);
+        assert!(time > SimDuration::ZERO);
+        // A second sweep finds nothing: the data plane is clean again.
+        let (again, t2) = preflight(&odms, &cost, 4).unwrap();
+        assert!(!again.any(), "{again:?}");
+        assert_eq!(t2, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn preflight_on_healthy_world_is_free() {
+        let odms = world(9);
+        let cost = pdc_storage::CostModel::cori_like();
+        let (counters, time) = preflight(&odms, &cost, 4).unwrap();
+        assert!(!counters.any());
+        assert_eq!(time, SimDuration::ZERO);
+    }
+}

@@ -20,10 +20,15 @@
 //!   `get_data` / `get_data_batch` / `get_histogram`.
 //! * [`multi`] — combined metadata + data queries over many small objects
 //!   (the H5BOSS scenario of §VI-C).
+//! * [`integrity`] — data-plane integrity: deterministic corruption
+//!   injection and the client-side verify-and-repair preflight sweep;
+//!   repair work is charged to the breakdown's dedicated `integrity`
+//!   lane.
 
 pub mod ast;
 pub mod engine;
 pub mod exec;
+pub mod integrity;
 pub mod multi;
 pub mod parse;
 pub mod plan;
@@ -33,6 +38,7 @@ pub mod state;
 pub use ast::PdcQuery;
 pub use parse::parse_query;
 pub use engine::{EngineConfig, GetDataOutcome, QueryEngine, QueryOutcome, Strategy};
+pub use integrity::{apply_corruption, preflight, CorruptionReport};
 pub use multi::MetaDataQueryOutcome;
 pub use plan::QueryPlan;
 pub use state::ServerState;

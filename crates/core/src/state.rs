@@ -4,7 +4,8 @@ use pdc_bitmap::BinnedBitmapIndex;
 use pdc_odms::Odms;
 use pdc_server::FaultProbe;
 use pdc_storage::{
-    CostModel, IoCounters, ReadPattern, RegionCache, SimClock, SimDuration, WorkCounters,
+    CostModel, IntegrityCounters, IoCounters, ReadPattern, RegionCache, SimClock, SimDuration,
+    WorkCounters,
 };
 use pdc_types::{ObjectId, PdcResult, RegionId, TypedVec};
 use std::collections::{HashMap, HashSet};
@@ -37,6 +38,14 @@ pub struct ServerState {
     pub io: IoCounters,
     /// Evaluation-work counters.
     pub work: WorkCounters,
+    /// Integrity counters: checksum failures detected, regions repaired,
+    /// aux structures rebuilt, regions answered by fallback scan.
+    pub integrity: IntegrityCounters,
+    /// Simulated time spent on integrity work (repair re-reads, aux
+    /// rebuilds). Advances the clock too, but is tracked separately so
+    /// the cost breakdown's `integrity` lane stays disjoint from I/O and
+    /// CPU.
+    pub integrity_time: SimDuration,
     /// Installed fault probe (deterministic fault injection); `None` for
     /// a healthy server.
     pub fault: Option<FaultProbe>,
@@ -58,6 +67,8 @@ impl ServerState {
             metadata_loaded: HashSet::new(),
             io: IoCounters::default(),
             work: WorkCounters::default(),
+            integrity: IntegrityCounters::default(),
+            integrity_time: SimDuration::ZERO,
             fault: None,
             failed: false,
         }
@@ -137,7 +148,24 @@ impl ServerState {
         rid: RegionId,
         concurrency: u32,
     ) -> PdcResult<Arc<TypedVec>> {
-        let (payload, tier) = odms.store().get(rid)?;
+        let (payload, tier) = match odms.store().get(rid) {
+            Ok(pt) => pt,
+            Err(pdc_types::PdcError::CorruptRegion { .. }) => {
+                // Checksum mismatch: restore the region from its pristine
+                // durable copy (one extra modeled read, charged to the
+                // integrity lane — not the query's I/O counters) and
+                // retry. When no pristine copy verifies, the corruption
+                // is unrecoverable and the typed error propagates.
+                self.integrity.checksum_failures += 1;
+                let bytes = odms.store().repair(rid)?;
+                self.integrity.repaired_regions += 1;
+                let t = cost.pfs.read_cost(bytes, 1, concurrency, ReadPattern::Aggregated);
+                self.clock.advance(t);
+                self.integrity_time += t;
+                odms.store().get(rid)?
+            }
+            Err(e) => return Err(e),
+        };
         let payload = match payload {
             pdc_storage::StoredPayload::Typed(v) => v,
             pdc_storage::StoredPayload::Raw(_) => {
@@ -165,6 +193,15 @@ impl ServerState {
                     ReadPattern::Aggregated,
                 ));
             }
+        }
+        // Transient corrupt read injected by the fault probe: the checksum
+        // catches it on arrival and one re-read satisfies the request
+        // (charged to the integrity lane only).
+        if self.fault.as_mut().is_some_and(|p| p.take_corrupt_read()) {
+            self.integrity.checksum_failures += 1;
+            let t = cost.pfs.read_cost(bytes, 1, concurrency, ReadPattern::Aggregated);
+            self.clock.advance(t);
+            self.integrity_time += t;
         }
         Ok(payload)
     }

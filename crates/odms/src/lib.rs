@@ -23,6 +23,6 @@ pub mod system;
 
 pub use meta::{MetaValue, ObjectMeta};
 pub use movement::MoveReport;
-pub use persist::MetadataSnapshot;
+pub use persist::{MetadataSnapshot, SnapshotJournal};
 pub use service::MetadataService;
 pub use system::{ImportOptions, ImportReport, Odms};

@@ -83,7 +83,7 @@ impl From<f64> for MetaValue {
 }
 
 /// Metadata of one data object.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ObjectMeta {
     /// Object id.
     pub id: ObjectId,

@@ -202,10 +202,41 @@ impl MetadataService {
             .ok_or_else(|| PdcError::MissingPrerequisite(format!("sorted replica of {id}")))
     }
 
+    /// Replace one region's local histogram and re-merge the object's
+    /// global histogram — the integrity path after a region histogram
+    /// fails [`Histogram::self_check`] and is rebuilt from data.
+    pub fn replace_region_histogram(
+        &self,
+        id: ObjectId,
+        region: u32,
+        hist: Histogram,
+    ) -> PdcResult<()> {
+        let mut hists = self.region_histograms(id)?.as_ref().clone();
+        let slot = hists.get_mut(region as usize).ok_or_else(|| {
+            PdcError::NotFound(format!("histogram of region {region} of {id}"))
+        })?;
+        *slot = hist;
+        self.set_region_histograms(id, hists);
+        Ok(())
+    }
+
     /// Record the serialized per-region index sizes of an object's bitmap
     /// index (used for I/O accounting and the E6 overhead experiment).
     pub fn set_index_sizes(&self, data_object: ObjectId, sizes: Vec<u64>) {
         self.index_sizes.write().insert(data_object, Arc::new(sizes));
+    }
+
+    /// Update one region's recorded serialized index size after an
+    /// integrity rebuild (the rebuilt index may differ in size when the
+    /// original binning configuration was non-default).
+    pub fn update_index_size(&self, data_object: ObjectId, region: u32, size: u64) -> PdcResult<()> {
+        let mut sizes = self.index_sizes(data_object)?.as_ref().clone();
+        let slot = sizes.get_mut(region as usize).ok_or_else(|| {
+            PdcError::NotFound(format!("index size of region {region} of {data_object}"))
+        })?;
+        *slot = size;
+        self.set_index_sizes(data_object, sizes);
+        Ok(())
     }
 
     /// Serialized per-region index sizes.

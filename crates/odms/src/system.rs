@@ -221,6 +221,92 @@ impl Odms {
         })?;
         self.store.get_raw(RegionId::new(idx_obj, region))
     }
+
+    /// Rebuild one region's bitmap index from its (verified) data payload
+    /// and store it back, replacing a copy that failed checksum or decode
+    /// validation. The original binning configuration is not persisted, so
+    /// the rebuild uses the default — any valid index yields exact
+    /// answers, so query results are unaffected. Returns the serialized
+    /// size of the rebuilt index (for cost charging).
+    pub fn rebuild_index_region(&self, data_object: ObjectId, region: u32) -> PdcResult<u64> {
+        let meta = self.meta.get(data_object)?;
+        let idx_obj = meta.index_object.ok_or_else(|| {
+            pdc_types::PdcError::MissingPrerequisite(format!("index of {data_object}"))
+        })?;
+        let payload = self.store.get_typed(RegionId::new(data_object, region))?;
+        let values = payload.to_f64_vec();
+        let domain = match meta.pdc_type {
+            pdc_types::PdcType::Float => ValueDomain::F32,
+            pdc_types::PdcType::Double => ValueDomain::F64,
+            _ => ValueDomain::Integer,
+        };
+        let index = BinnedBitmapIndex::build_with_domain(&values, &BinningConfig::default(), domain)
+            .ok_or_else(|| {
+                pdc_types::PdcError::Codec(format!(
+                    "cannot rebuild index for empty region {region} of {data_object}"
+                ))
+            })?;
+        let bytes = index.to_bytes();
+        let size = bytes.len() as u64;
+        self.store.put(RegionId::new(idx_obj, region), StoredPayload::Raw(bytes), StorageTier::Pfs);
+        self.meta.update_index_size(data_object, region, size)?;
+        Ok(size)
+    }
+
+    /// Rebuild one region's local histogram from its data payload and
+    /// re-register it (re-merging the object's global histogram),
+    /// replacing a copy that failed [`Histogram::self_check`]. Uses the
+    /// default histogram configuration — any valid histogram yields true
+    /// upper bounds, so pruning stays exact. Returns the rebuilt
+    /// histogram's metadata footprint in bytes.
+    pub fn rebuild_region_histogram(&self, object: ObjectId, region: u32) -> PdcResult<u64> {
+        let payload = self.store.get_typed(RegionId::new(object, region))?;
+        let values = payload.to_f64_vec();
+        let hist = Histogram::build(&values, &HistogramConfig::default()).ok_or_else(|| {
+            pdc_types::PdcError::Codec(format!(
+                "cannot rebuild histogram for empty region {region} of {object}"
+            ))
+        })?;
+        let size = hist.size_bytes();
+        self.meta.replace_region_histogram(object, region, hist)?;
+        Ok(size)
+    }
+
+    /// Rebuild an object's sorted replica from its stored regions,
+    /// replacing a copy that failed [`SortedReplica::self_check`]. Returns
+    /// the replica's storage footprint in bytes (for cost charging).
+    pub fn rebuild_sorted_replica(&self, object: ObjectId) -> PdcResult<u64> {
+        let meta = self.meta.get(object)?;
+        if !meta.has_sorted_replica {
+            return Err(pdc_types::PdcError::MissingPrerequisite(format!(
+                "sorted replica of {object}"
+            )));
+        }
+        let mut values = Vec::with_capacity(meta.num_elements() as usize);
+        for r in 0..meta.num_regions() {
+            let payload = self.read_region(object, r)?;
+            payload.append_f64_to(&mut values);
+        }
+        let replica = SortedReplica::build(&values, meta.region_elems);
+        let size = replica.size_bytes(meta.pdc_type.size_bytes());
+        self.meta.set_sorted_replica(object, replica);
+        Ok(size)
+    }
+
+    /// Remove one region from the system: the data payload plus the
+    /// auxiliary structures derived from it (the serialized bitmap-index
+    /// region). Quarantine marks are purged along with the payloads, so a
+    /// corrupt region that is removed rather than repaired leaves no
+    /// stale integrity state behind. Returns whether the data region
+    /// existed.
+    pub fn remove_region(&self, object: ObjectId, region: u32) -> PdcResult<bool> {
+        let meta = self.meta.get(object)?;
+        let removed = self.store.remove(RegionId::new(object, region));
+        if let Some(idx_obj) = meta.index_object {
+            self.store.remove(RegionId::new(idx_obj, region));
+        }
+        Ok(removed)
+    }
 }
 
 #[cfg(test)]
@@ -320,6 +406,75 @@ mod tests {
             reassembled.extend_from_range(&payload, 0..payload.len()).unwrap();
         }
         assert_eq!(reassembled, data);
+    }
+
+    #[test]
+    fn rebuild_index_region_replaces_corrupt_copy() {
+        let opts =
+            ImportOptions { region_bytes: 4096, build_index: true, ..Default::default() };
+        let (odms, report) = system_with_import(5000, &opts);
+        let meta = odms.meta().get(report.object).unwrap();
+        let idx_obj = meta.index_object.unwrap();
+        let irid = RegionId::new(idx_obj, 1);
+        assert!(odms.store().corrupt(irid, 42).unwrap());
+        assert!(odms.read_index_region(report.object, 1).is_err());
+        let size = odms.rebuild_index_region(report.object, 1).unwrap();
+        assert!(size > 0);
+        assert_eq!(odms.meta().index_sizes(report.object).unwrap()[1], size);
+        let bytes = odms.read_index_region(report.object, 1).unwrap();
+        let idx = BinnedBitmapIndex::from_bytes(&bytes).unwrap();
+        assert_eq!(idx.num_elements(), meta.region_span(1).len);
+        assert!(!odms.store().is_quarantined(irid));
+    }
+
+    #[test]
+    fn rebuild_region_histogram_restores_valid_state() {
+        let opts = ImportOptions { region_bytes: 4096, ..Default::default() };
+        let (odms, report) = system_with_import(5000, &opts);
+        let meta = odms.meta().get(report.object).unwrap();
+        let hists = odms.meta().region_histograms(report.object).unwrap();
+        let bad = hists[2].corrupted_copy(7);
+        assert!(!bad.self_check(meta.region_span(2).len));
+        odms.meta().replace_region_histogram(report.object, 2, bad).unwrap();
+        odms.rebuild_region_histogram(report.object, 2).unwrap();
+        let hists = odms.meta().region_histograms(report.object).unwrap();
+        assert!(hists[2].self_check(meta.region_span(2).len));
+        // global histogram re-merged to the true total
+        assert_eq!(odms.meta().global_histogram(report.object).unwrap().total(), 5000);
+    }
+
+    #[test]
+    fn rebuild_sorted_replica_from_stored_regions() {
+        let opts =
+            ImportOptions { region_bytes: 4096, build_sorted: true, ..Default::default() };
+        let (odms, report) = system_with_import(5000, &opts);
+        let good = odms.meta().sorted_replica(report.object).unwrap();
+        odms.meta().set_sorted_replica(report.object, good.corrupted_copy(3));
+        assert!(!odms.meta().sorted_replica(report.object).unwrap().self_check(5000));
+        let size = odms.rebuild_sorted_replica(report.object).unwrap();
+        assert!(size > 0);
+        let rebuilt = odms.meta().sorted_replica(report.object).unwrap();
+        assert!(rebuilt.self_check(5000));
+        assert_eq!(*rebuilt, *good);
+    }
+
+    #[test]
+    fn remove_region_purges_aux_and_quarantine() {
+        let opts =
+            ImportOptions { region_bytes: 4096, build_index: true, ..Default::default() };
+        let (odms, report) = system_with_import(5000, &opts);
+        let meta = odms.meta().get(report.object).unwrap();
+        let idx_obj = meta.index_object.unwrap();
+        let rid = RegionId::new(report.object, 3);
+        assert!(odms.store().corrupt(rid, 11).unwrap());
+        let _ = odms.store().get(rid); // quarantines
+        assert!(odms.store().is_quarantined(rid));
+        assert!(odms.remove_region(report.object, 3).unwrap());
+        assert!(!odms.store().is_quarantined(rid));
+        assert!(odms.store().get(rid).is_err());
+        assert!(odms.store().get_raw(RegionId::new(idx_obj, 3)).is_err());
+        // removing again reports absence
+        assert!(!odms.remove_region(report.object, 3).unwrap());
     }
 
     #[test]

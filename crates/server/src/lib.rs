@@ -22,5 +22,5 @@ pub mod fault;
 pub mod pool;
 
 pub use assign::{balanced_by_weight, round_robin};
-pub use fault::{FaultPlan, FaultProbe, ServerFaultSpec};
+pub use fault::{CorruptionSpec, FaultPlan, FaultProbe, ServerFaultSpec};
 pub use pool::{ServerPanic, ServerPool};

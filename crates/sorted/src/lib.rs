@@ -149,6 +149,46 @@ impl SortedReplica {
             .collect()
     }
 
+    /// Validate the replica against the object it claims to mirror: the
+    /// length must match, `perm` must be a permutation of the original
+    /// coordinates (no duplicates, none out of range), and the keys must be
+    /// ascending (NaN-tolerant — NaNs sort to a stable position, so only a
+    /// strict descent is evidence of corruption). A replica failing this
+    /// check could silently drop or duplicate hits and must be rebuilt.
+    pub fn self_check(&self, expected_len: u64) -> bool {
+        if self.len() != expected_len || self.perm.len() != self.keys.len() {
+            return false;
+        }
+        if self.region_len == 0 {
+            return false;
+        }
+        let n = self.keys.len();
+        let mut seen = vec![false; n];
+        for &p in &self.perm {
+            let Some(slot) = seen.get_mut(p as usize) else { return false };
+            if *slot {
+                return false;
+            }
+            *slot = true;
+        }
+        self.keys
+            .windows(2)
+            .all(|w| !matches!(w[0].partial_cmp(&w[1]), Some(std::cmp::Ordering::Greater)))
+    }
+
+    /// A deterministically corrupted clone for integrity-injection tests:
+    /// one permutation entry is overwritten with a duplicate of its
+    /// neighbour, which [`Self::self_check`] is guaranteed to reject for
+    /// any replica of at least two elements.
+    pub fn corrupted_copy(&self, seed: u64) -> SortedReplica {
+        let mut bad = self.clone();
+        if bad.perm.len() >= 2 {
+            let i = (seed as usize) % (bad.perm.len() - 1);
+            bad.perm[i] = bad.perm[i + 1];
+        }
+        bad
+    }
+
     /// The sorted regions containing the matching span (equivalent to
     /// [`Self::regions_overlapping`] but computed from the span).
     pub fn regions_of_span(&self, span: &Run) -> Vec<u32> {
@@ -312,5 +352,24 @@ mod tests {
     #[should_panic(expected = "region length must be positive")]
     fn zero_region_len_panics() {
         SortedReplica::build(&[1.0], 0);
+    }
+
+    #[test]
+    fn self_check_accepts_freshly_built() {
+        let values = sample(3000);
+        let r = SortedReplica::build(&values, 512);
+        assert!(r.self_check(values.len() as u64));
+        assert!(!r.self_check(values.len() as u64 + 1));
+    }
+
+    #[test]
+    fn corrupted_copy_always_fails_self_check() {
+        let values = sample(2000);
+        let r = SortedReplica::build(&values, 256);
+        for seed in 0..32u64 {
+            let bad = r.corrupted_copy(seed);
+            assert!(!bad.self_check(values.len() as u64), "seed {seed} escaped detection");
+            assert_eq!(bad, r.corrupted_copy(seed));
+        }
     }
 }

@@ -82,6 +82,42 @@ impl NetCounters {
     }
 }
 
+/// Data-plane integrity event counters: checksum failures observed,
+/// repairs from the durable copy, auxiliary-structure rebuilds, and
+/// regions answered by the full-scan fallback after their index failed
+/// validation. Deterministic for a fixed seed, like every other counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IntegrityCounters {
+    /// Payload checksum mismatches detected at read time.
+    pub checksum_failures: u64,
+    /// Regions restored from their pristine durable copy.
+    pub repaired_regions: u64,
+    /// Auxiliary structures (bitmap index, histogram, sorted replica)
+    /// rebuilt from data after failing validation.
+    pub aux_rebuilds: u64,
+    /// Regions answered via the full-scan fallback path because their
+    /// bitmap index could not be trusted.
+    pub fallback_regions: u64,
+}
+
+impl IntegrityCounters {
+    /// Merge another counter set into this one.
+    pub fn merge(&mut self, other: &IntegrityCounters) {
+        self.checksum_failures += other.checksum_failures;
+        self.repaired_regions += other.repaired_regions;
+        self.aux_rebuilds += other.aux_rebuilds;
+        self.fallback_regions += other.fallback_regions;
+    }
+
+    /// Whether any integrity event fired.
+    pub fn any(&self) -> bool {
+        self.checksum_failures != 0
+            || self.repaired_regions != 0
+            || self.aux_rebuilds != 0
+            || self.fallback_regions != 0
+    }
+}
+
 /// A decomposed simulated cost: where did the time go?
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CostBreakdown {
@@ -94,12 +130,16 @@ pub struct CostBreakdown {
     /// Time spent detecting and recovering from server failures (timeout
     /// waits plus retry rounds); zero on a fault-free run.
     pub recovery: SimDuration,
+    /// Time spent on data-plane integrity: verifying checksums that
+    /// failed, re-reading durable copies, and rebuilding auxiliary
+    /// structures; zero on a corruption-free run.
+    pub integrity: SimDuration,
 }
 
 impl CostBreakdown {
     /// Total of all components.
     pub fn total(&self) -> SimDuration {
-        self.io + self.cpu + self.net + self.recovery
+        self.io + self.cpu + self.net + self.recovery + self.integrity
     }
 
     /// Merge another breakdown into this one.
@@ -108,6 +148,7 @@ impl CostBreakdown {
         self.cpu += other.cpu;
         self.net += other.net;
         self.recovery += other.recovery;
+        self.integrity += other.integrity;
     }
 }
 
@@ -144,12 +185,24 @@ mod tests {
     }
 
     #[test]
+    fn integrity_merge_and_any() {
+        let mut a = IntegrityCounters { checksum_failures: 1, ..Default::default() };
+        assert!(a.any());
+        a.merge(&IntegrityCounters { repaired_regions: 2, fallback_regions: 3, ..Default::default() });
+        assert_eq!(a.checksum_failures, 1);
+        assert_eq!(a.repaired_regions, 2);
+        assert_eq!(a.fallback_regions, 3);
+        assert!(!IntegrityCounters::default().any());
+    }
+
+    #[test]
     fn breakdown_total() {
         let b = CostBreakdown {
             io: SimDuration::from_millis(5),
             cpu: SimDuration::from_millis(2),
             net: SimDuration::from_millis(1),
             recovery: SimDuration::from_millis(4),
+            integrity: SimDuration::from_millis(0),
         };
         assert_eq!(b.total().as_millis_f64(), 12.0);
         let mut c = CostBreakdown::default();

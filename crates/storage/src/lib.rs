@@ -38,8 +38,8 @@ pub mod store;
 
 pub use cache::RegionCache;
 pub use cost::{BurstBufferModel, CostModel, CpuModel, NetworkModel, PfsModel, ReadPattern};
-pub use counters::{CostBreakdown, IoCounters, NetCounters, WorkCounters};
+pub use counters::{CostBreakdown, IntegrityCounters, IoCounters, NetCounters, WorkCounters};
 pub use sim::{SimClock, SimDuration};
-pub use store::{ObjectStore, StorageTier, StoredPayload};
+pub use store::{fnv1a64, payload_checksum, ObjectStore, StorageTier, StoredPayload};
 
 pub use bytes;

@@ -10,8 +10,8 @@
 
 use bytes::Bytes;
 use parking_lot::RwLock;
-use pdc_types::{PdcError, PdcResult, RegionId, TypedVec};
-use std::collections::HashMap;
+use pdc_types::{with_slice, PdcError, PdcResult, RegionId, TypedVec};
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 /// Storage tier a region resides on.
@@ -23,6 +23,103 @@ pub enum StorageTier {
     BurstBuffer,
     /// The Lustre-like parallel file system.
     Pfs,
+}
+
+impl StorageTier {
+    /// Human-readable tier name (used in corruption error context).
+    pub fn name(&self) -> &'static str {
+        match self {
+            StorageTier::Dram => "dram",
+            StorageTier::BurstBuffer => "burst-buffer",
+            StorageTier::Pfs => "pfs",
+        }
+    }
+}
+
+/// FNV-1a 64-bit over a byte slice — the checksum primitive shared by
+/// payload verification and the metadata snapshot frame.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// FNV-1a 64-bit over a payload's typed bytes (little-endian element
+/// encoding for typed arrays, the bytes themselves for raw payloads).
+/// Cheap, dependency-free, and plenty for detecting injected bit flips.
+pub fn payload_checksum(payload: &StoredPayload) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut step = |b: u8| {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    };
+    match payload {
+        StoredPayload::Typed(v) => {
+            with_slice!(&**v, xs => {
+                for x in xs {
+                    for b in x.to_le_bytes() {
+                        step(b);
+                    }
+                }
+            });
+        }
+        StoredPayload::Raw(bytes) => return fnv1a64(bytes),
+    }
+    h
+}
+
+/// SplitMix64 step used to derive deterministic corruption sites.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministically flip one bit of one element/byte of a payload.
+/// Returns `None` when the payload is empty (nothing to flip).
+fn flipped_payload(payload: &StoredPayload, seed: u64) -> Option<StoredPayload> {
+    let r0 = mix64(seed);
+    let r1 = mix64(r0);
+    match payload {
+        StoredPayload::Typed(v) => {
+            let len = v.len();
+            if len == 0 {
+                return None;
+            }
+            let idx = (r0 % len as u64) as usize;
+            let mut copy = (**v).clone();
+            match &mut copy {
+                TypedVec::Float(xs) => {
+                    xs[idx] = f32::from_bits(xs[idx].to_bits() ^ (1 << (r1 % 32)));
+                }
+                TypedVec::Double(xs) => {
+                    xs[idx] = f64::from_bits(xs[idx].to_bits() ^ (1 << (r1 % 64)));
+                }
+                TypedVec::Int32(xs) => xs[idx] ^= 1 << (r1 % 32),
+                TypedVec::UInt32(xs) => xs[idx] ^= 1 << (r1 % 32),
+                TypedVec::Int64(xs) => xs[idx] ^= 1 << (r1 % 64),
+                TypedVec::UInt64(xs) => xs[idx] ^= 1 << (r1 % 64),
+            }
+            Some(StoredPayload::Typed(Arc::new(copy)))
+        }
+        StoredPayload::Raw(bytes) => {
+            if bytes.is_empty() {
+                return None;
+            }
+            let idx = (r0 % bytes.len() as u64) as usize;
+            let mut copy = bytes.to_vec();
+            copy[idx] ^= 1 << (r1 % 8);
+            Some(StoredPayload::Raw(Bytes::from(copy)))
+        }
+    }
 }
 
 /// A region's payload.
@@ -49,21 +146,35 @@ struct StoredRegion {
     payload: StoredPayload,
     tier: StorageTier,
     ost: u32,
+    /// FNV-1a over the payload bytes, computed at `put` time.
+    checksum: u64,
+    /// The last-known-good payload, stashed when corruption is injected.
+    /// Models the durable PFS copy a real deployment re-reads to repair a
+    /// bad replica; `None` means no verified fallback exists.
+    pristine: Option<StoredPayload>,
 }
 
 /// The shared object store.
 ///
 /// Thread-safe: servers read concurrently; imports write up front.
+/// Every `get` re-derives the payload checksum and compares it against
+/// the one recorded at `put`; a mismatch quarantines the region and
+/// surfaces as [`PdcError::CorruptRegion`] with the tier it was found on.
 #[derive(Debug, Default)]
 pub struct ObjectStore {
     regions: RwLock<HashMap<RegionId, StoredRegion>>,
+    quarantine: RwLock<HashSet<RegionId>>,
     num_osts: u32,
 }
 
 impl ObjectStore {
     /// A store striped over `num_osts` simulated OSTs.
     pub fn new(num_osts: u32) -> Self {
-        Self { regions: RwLock::new(HashMap::new()), num_osts: num_osts.max(1) }
+        Self {
+            regions: RwLock::new(HashMap::new()),
+            quarantine: RwLock::new(HashSet::new()),
+            num_osts: num_osts.max(1),
+        }
     }
 
     /// Number of simulated OSTs.
@@ -76,16 +187,28 @@ impl ObjectStore {
     /// data across the parallel file system's storage devices".
     pub fn put(&self, id: RegionId, payload: StoredPayload, tier: StorageTier) {
         let ost = (id.index + id.object.raw() as u32) % self.num_osts;
-        self.regions.write().insert(id, StoredRegion { payload, tier, ost });
+        let checksum = payload_checksum(&payload);
+        self.regions
+            .write()
+            .insert(id, StoredRegion { payload, tier, ost, checksum, pristine: None });
+        self.quarantine.write().remove(&id);
     }
 
-    /// Fetch a region's payload and tier.
+    /// Fetch a region's payload and tier, verifying the payload checksum
+    /// recorded at `put`. A mismatch quarantines the region and reports
+    /// the tier the corrupt copy was found on.
     pub fn get(&self, id: RegionId) -> PdcResult<(StoredPayload, StorageTier)> {
-        self.regions
+        let (payload, tier, checksum) = self
+            .regions
             .read()
             .get(&id)
-            .map(|r| (r.payload.clone(), r.tier))
-            .ok_or(PdcError::NoSuchRegion(id))
+            .map(|r| (r.payload.clone(), r.tier, r.checksum))
+            .ok_or(PdcError::NoSuchRegion(id))?;
+        if payload_checksum(&payload) != checksum {
+            self.quarantine.write().insert(id);
+            return Err(PdcError::CorruptRegion { region: id, tier: tier.name().into() });
+        }
+        Ok((payload, tier))
     }
 
     /// Fetch a typed-array region (most callers).
@@ -118,18 +241,90 @@ impl ObjectStore {
         self.regions.read().contains_key(&id)
     }
 
-    /// Remove a region; returns whether it existed.
+    /// Remove a region; returns whether it existed. Also clears any
+    /// quarantine entry so a later `put` at the same id starts clean.
     pub fn remove(&self, id: RegionId) -> bool {
+        self.quarantine.write().remove(&id);
         self.regions.write().remove(&id).is_some()
     }
 
     /// Move a region to a different tier (data movement across the
-    /// hierarchy). Returns the payload size moved.
+    /// hierarchy). The payload is verified before it moves — migrating a
+    /// corrupt copy would spread it. Returns the payload size moved.
     pub fn migrate(&self, id: RegionId, tier: StorageTier) -> PdcResult<u64> {
         let mut map = self.regions.write();
         let r = map.get_mut(&id).ok_or(PdcError::NoSuchRegion(id))?;
+        if payload_checksum(&r.payload) != r.checksum {
+            let found_on = r.tier;
+            drop(map);
+            self.quarantine.write().insert(id);
+            return Err(PdcError::CorruptRegion { region: id, tier: found_on.name().into() });
+        }
         r.tier = tier;
         Ok(r.payload.size_bytes())
+    }
+
+    /// Deterministically corrupt a region in place: flip one bit of the
+    /// stored payload (site chosen from `seed`), keeping the previous
+    /// payload as the pristine durable copy for [`ObjectStore::repair`].
+    /// Empty payloads are left untouched. Returns whether a bit flipped.
+    pub fn corrupt(&self, id: RegionId, seed: u64) -> PdcResult<bool> {
+        let mut map = self.regions.write();
+        let r = map.get_mut(&id).ok_or(PdcError::NoSuchRegion(id))?;
+        let site_seed = seed ^ id.object.raw().rotate_left(32) ^ id.index as u64;
+        match flipped_payload(&r.payload, site_seed) {
+            Some(bad) => {
+                if r.pristine.is_none() {
+                    r.pristine = Some(r.payload.clone());
+                }
+                r.payload = bad;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    /// Restore a quarantined region from its pristine durable copy
+    /// (models re-reading the authoritative PFS copy). Clears the
+    /// quarantine mark and returns the number of bytes re-read. Errors
+    /// with [`PdcError::CorruptRegion`] when no pristine copy exists.
+    pub fn repair(&self, id: RegionId) -> PdcResult<u64> {
+        let mut map = self.regions.write();
+        let r = map.get_mut(&id).ok_or(PdcError::NoSuchRegion(id))?;
+        let Some(pristine) = r.pristine.take() else {
+            return Err(PdcError::CorruptRegion { region: id, tier: r.tier.name().into() });
+        };
+        if payload_checksum(&pristine) != r.checksum {
+            // The "durable" copy is bad too: keep the region quarantined.
+            let tier = r.tier;
+            r.pristine = Some(pristine);
+            drop(map);
+            return Err(PdcError::CorruptRegion { region: id, tier: tier.name().into() });
+        }
+        r.payload = pristine;
+        let bytes = r.payload.size_bytes();
+        drop(map);
+        self.quarantine.write().remove(&id);
+        Ok(bytes)
+    }
+
+    /// Whether a region has failed checksum verification and not yet been
+    /// repaired or replaced.
+    pub fn is_quarantined(&self, id: RegionId) -> bool {
+        self.quarantine.read().contains(&id)
+    }
+
+    /// All currently quarantined regions (sorted for determinism).
+    pub fn quarantined(&self) -> Vec<RegionId> {
+        let mut out: Vec<RegionId> = self.quarantine.read().iter().copied().collect();
+        out.sort();
+        out
+    }
+
+    /// Re-derive and verify a region's checksum without returning the
+    /// payload. Quarantines on mismatch, like [`ObjectStore::get`].
+    pub fn verify(&self, id: RegionId) -> PdcResult<()> {
+        self.get(id).map(|_| ())
     }
 
     /// Total stored bytes per tier.
@@ -235,5 +430,96 @@ mod tests {
         store.put(rid(1, 0), StoredPayload::Typed(Arc::new(v)), StorageTier::Pfs);
         assert!(store.remove(rid(1, 0)));
         assert!(!store.remove(rid(1, 0)));
+    }
+
+    #[test]
+    fn corrupt_get_reports_tier_and_quarantines() {
+        let store = ObjectStore::new(2);
+        let v: TypedVec = vec![1.0f64; 16].into();
+        store.put(rid(4, 1), StoredPayload::Typed(Arc::new(v)), StorageTier::BurstBuffer);
+        assert!(store.corrupt(rid(4, 1), 7).unwrap());
+        match store.get(rid(4, 1)) {
+            Err(PdcError::CorruptRegion { region, tier }) => {
+                assert_eq!(region, rid(4, 1));
+                assert_eq!(tier, "burst-buffer");
+            }
+            other => panic!("expected CorruptRegion, got {other:?}"),
+        }
+        assert!(store.is_quarantined(rid(4, 1)));
+        assert_eq!(store.quarantined(), vec![rid(4, 1)]);
+        // Migration must refuse to spread the corrupt copy.
+        assert!(matches!(
+            store.migrate(rid(4, 1), StorageTier::Dram),
+            Err(PdcError::CorruptRegion { .. })
+        ));
+    }
+
+    #[test]
+    fn repair_restores_pristine_copy() {
+        let store = ObjectStore::new(2);
+        let v: TypedVec = vec![3.5f32; 8].into();
+        store.put(rid(5, 0), StoredPayload::Typed(Arc::new(v.clone())), StorageTier::Pfs);
+        store.corrupt(rid(5, 0), 99).unwrap();
+        assert!(store.get(rid(5, 0)).is_err());
+        let bytes = store.repair(rid(5, 0)).unwrap();
+        assert_eq!(bytes, 32);
+        assert!(!store.is_quarantined(rid(5, 0)));
+        assert_eq!(&*store.get_typed(rid(5, 0)).unwrap(), &v);
+    }
+
+    #[test]
+    fn repair_without_pristine_is_typed_error() {
+        let store = ObjectStore::new(2);
+        let v: TypedVec = vec![0i64; 4].into();
+        store.put(rid(6, 0), StoredPayload::Typed(Arc::new(v)), StorageTier::Pfs);
+        assert!(matches!(store.repair(rid(6, 0)), Err(PdcError::CorruptRegion { .. })));
+    }
+
+    #[test]
+    fn corrupt_raw_payload_detected() {
+        let store = ObjectStore::new(2);
+        store.put(rid(7, 2), StoredPayload::Raw(Bytes::from(vec![9u8; 64])), StorageTier::Pfs);
+        assert!(store.corrupt(rid(7, 2), 1).unwrap());
+        assert!(matches!(store.get_raw(rid(7, 2)), Err(PdcError::CorruptRegion { .. })));
+        store.repair(rid(7, 2)).unwrap();
+        assert_eq!(store.get_raw(rid(7, 2)).unwrap(), Bytes::from(vec![9u8; 64]));
+    }
+
+    #[test]
+    fn corruption_site_is_seed_deterministic() {
+        let make = |seed: u64| {
+            let store = ObjectStore::new(2);
+            let v: TypedVec = (0..128u32).collect::<Vec<u32>>().into();
+            store.put(rid(8, 0), StoredPayload::Typed(Arc::new(v)), StorageTier::Pfs);
+            store.corrupt(rid(8, 0), seed).unwrap();
+            let map = store.regions.read();
+            payload_checksum(&map[&rid(8, 0)].payload)
+        };
+        assert_eq!(make(42), make(42));
+        assert_ne!(make(42), make(43));
+    }
+
+    #[test]
+    fn put_and_remove_clear_quarantine() {
+        let store = ObjectStore::new(2);
+        let v: TypedVec = vec![1u32; 8].into();
+        store.put(rid(9, 0), StoredPayload::Typed(Arc::new(v.clone())), StorageTier::Pfs);
+        store.corrupt(rid(9, 0), 3).unwrap();
+        let _ = store.get(rid(9, 0));
+        assert!(store.is_quarantined(rid(9, 0)));
+        store.put(rid(9, 0), StoredPayload::Typed(Arc::new(v)), StorageTier::Pfs);
+        assert!(!store.is_quarantined(rid(9, 0)), "rewrite must clear quarantine");
+        store.corrupt(rid(9, 0), 3).unwrap();
+        let _ = store.get(rid(9, 0));
+        assert!(store.remove(rid(9, 0)));
+        assert!(!store.is_quarantined(rid(9, 0)), "remove must clear quarantine");
+    }
+
+    #[test]
+    fn empty_payload_cannot_be_corrupted() {
+        let store = ObjectStore::new(2);
+        store.put(rid(10, 0), StoredPayload::Raw(Bytes::new()), StorageTier::Pfs);
+        assert!(!store.corrupt(rid(10, 0), 5).unwrap());
+        assert!(store.get_raw(rid(10, 0)).is_ok());
     }
 }

@@ -71,6 +71,19 @@ pub enum PdcError {
         /// Evaluation rounds attempted (initial round + retries).
         attempts: u32,
     },
+    /// A stored region's payload failed checksum verification and no
+    /// pristine durable copy was available to repair it from.
+    CorruptRegion {
+        /// The region whose payload failed verification.
+        region: RegionId,
+        /// The storage tier the corrupt copy was found on ("dram",
+        /// "burst-buffer", "pfs").
+        tier: String,
+    },
+    /// A metadata snapshot blob failed frame validation (bad magic,
+    /// unsupported version, truncated payload, or checksum mismatch) and
+    /// no older journal entry verified either.
+    SnapshotCorrupt(String),
 }
 
 impl fmt::Display for PdcError {
@@ -101,6 +114,12 @@ impl fmt::Display for PdcError {
             }
             PdcError::RetriesExhausted { attempts } => {
                 write!(f, "query failed after {attempts} evaluation rounds: retry budget exhausted")
+            }
+            PdcError::CorruptRegion { region, tier } => {
+                write!(f, "region {region} failed checksum verification on tier {tier}")
+            }
+            PdcError::SnapshotCorrupt(why) => {
+                write!(f, "metadata snapshot corrupt: {why}")
             }
         }
     }

@@ -54,10 +54,13 @@ fn lost_index_region_fails_only_the_index_strategy() {
 }
 
 #[test]
-fn corrupt_index_bytes_surface_codec_error() {
-    let (odms, obj, _) = small_world();
+fn undecodable_index_bytes_fall_back_to_exact_scan_and_rebuild() {
+    let (odms, obj, data) = small_world();
     let meta = odms.meta().get(obj).unwrap();
     let idx_obj = meta.index_object.unwrap();
+    // Overwrite one index region with garbage that passes the checksum
+    // (put recomputes it) but cannot decode: the codec layer is the last
+    // line of defense, and the query degrades to scanning that region.
     odms.store().put(
         RegionId::new(idx_obj, 1),
         pdc_suite::storage::StoredPayload::Raw(pdc_suite::storage::bytes::Bytes::from_static(b"garbage")),
@@ -65,8 +68,15 @@ fn corrupt_index_bytes_surface_codec_error() {
     );
     let eng = engine(&odms, Strategy::HistogramIndex);
     let q = PdcQuery::create(obj, QueryOp::Gt, 0.0f32);
-    let err = eng.run(&q).unwrap_err();
-    assert!(matches!(err, PdcError::Codec(_)), "got {err:?}");
+    let expect = data.iter().filter(|&&v| v > 0.0).count() as u64;
+    let out = eng.run(&q).unwrap();
+    assert_eq!(out.nhits, expect, "fallback scan must stay exact");
+    assert_eq!(out.integrity.fallback_regions, 1);
+    assert_eq!(out.integrity.aux_rebuilds, 1);
+    // The rebuild restored a decodable index: the next run is clean.
+    let again = eng.run(&q).unwrap();
+    assert_eq!(again.nhits, expect);
+    assert_eq!(again.integrity.fallback_regions, 0, "{:?}", again.integrity);
 }
 
 #[test]
