@@ -45,6 +45,26 @@ echo "$corrupt_out" | grep -q '^integrity:' || {
 }
 echo "integrity smoke: '$corrupt_hits' identical under 5% corruption"
 
+echo "== batch-throughput gate =="
+# The concurrent query-series engine must beat the sequential loop by
+# >= 3x wall clock on a 32-query overlapping series (the bin exits
+# non-zero below that floor) while producing bit-identical results
+# (asserted inside the bin). A CLI batch smoke checks the user-facing
+# path end to end: batched hits must equal the single-run hits.
+cargo build --release $OFFLINE -p pdc-bench
+target/release/throughput /tmp/ci_throughput.json
+batch_out=$($PDC query "$SMOKE_Q" $SMOKE_ARGS --queries 8)
+batch_hits=$(echo "$batch_out" | grep -o '[0-9]* hits ([0-9]* runs)')
+if [ "$clean_hits" != "$batch_hits" ]; then
+    echo "ci: batch smoke FAILED: single '$clean_hits' vs batched '$batch_hits'" >&2
+    exit 1
+fi
+echo "$batch_out" | grep -q '^batch: 8 queries' || {
+    echo "ci: batch smoke FAILED: no throughput report in batch run" >&2
+    exit 1
+}
+echo "batch smoke: '$batch_hits' identical across 8-query batch"
+
 echo "== clippy gate =="
 cargo clippy --release $OFFLINE --workspace --all-targets -- -D warnings
 

@@ -320,6 +320,36 @@ impl BinnedBitmapIndex {
         IndexAnswer { sure, candidates }
     }
 
+    /// Evaluate a conjunction of intervals over this region in one pass.
+    ///
+    /// An element surely matches the conjunction iff it surely matches
+    /// every interval; it is a candidate iff it possibly matches every
+    /// interval without surely matching all of them. Both sets are
+    /// computed at the compressed-word level with
+    /// [`WahBitVector::and_many`] (in-place, buffer-recycling), so an
+    /// `n`-term chain costs `n - 1` word-stream passes and no per-AND
+    /// bitvector allocations. `query_conj(&[iv])` is exactly
+    /// [`Self::query`]`(iv)`.
+    pub fn query_conj(&self, intervals: &[Interval]) -> IndexAnswer {
+        if let [iv] = intervals {
+            return self.query(iv);
+        }
+        let per: Vec<(WahBitVector, WahBitVector)> = intervals
+            .iter()
+            .map(|iv| {
+                let a = self.query(iv);
+                let sure = WahBitVector::from_selection(self.nbits, &a.sure);
+                let possible =
+                    sure.or(&WahBitVector::from_selection(self.nbits, &a.candidates));
+                (sure, possible)
+            })
+            .collect();
+        let sure = WahBitVector::and_many(self.nbits, per.iter().map(|(s, _)| s));
+        let possible = WahBitVector::and_many(self.nbits, per.iter().map(|(_, p)| p));
+        let candidates = possible.and(&sure.not());
+        IndexAnswer { sure: sure.to_selection(), candidates: candidates.to_selection() }
+    }
+
     /// Serialize to a byte buffer (the on-"disk" index file format; what
     /// the simulated storage layer charges I/O for).
     pub fn to_bytes(&self) -> Bytes {
@@ -501,6 +531,46 @@ mod tests {
             let ans = idx.query(&iv);
             let resolved = ans.resolve(&iv, |i| values[i as usize]);
             assert_eq!(resolved.iter_coords().collect::<Vec<_>>(), exact(&values, &iv), "{iv}");
+        }
+    }
+
+    #[test]
+    fn query_conj_matches_single_and_intersection() {
+        let values = sample_values(3000);
+        let idx = BinnedBitmapIndex::build(&values, &BinningConfig::default()).unwrap();
+        // Single-interval conjunction is literally `query`.
+        let iv = Interval::open(2.1, 2.2);
+        let a = idx.query(&iv);
+        let c = idx.query_conj(std::slice::from_ref(&iv));
+        assert_eq!(a.sure, c.sure);
+        assert_eq!(a.candidates, c.candidates);
+        // A multi-term chain resolves to the same exact coordinates as
+        // the fused interval (resolving each term's membership).
+        let chain = [
+            Interval::from_op(QueryOp::Gt, 2.1),
+            Interval::from_op(QueryOp::Lt, 6.4),
+            Interval::from_op(QueryOp::Gte, 3.0),
+        ];
+        let fused = chain.iter().fold(Interval::ALL, |acc, i| acc.intersect(i));
+        let ans = idx.query_conj(&chain);
+        // Sure hits really satisfy every term; candidates are disjoint
+        // from them and cover everything else that matches.
+        for coord in ans.sure.iter_coords() {
+            assert!(fused.contains(values[coord as usize]), "false sure hit at {coord}");
+            assert!(!ans.candidates.contains(coord));
+        }
+        let resolved = ans.resolve(&fused, |i| values[i as usize]);
+        assert_eq!(
+            resolved.iter_coords().collect::<Vec<_>>(),
+            exact(&values, &fused),
+            "conjunction answer must resolve to the exact fused result"
+        );
+        // And it refines each individual term's answer: sure ⊆ term-sure∪cand.
+        for term in &chain {
+            let t = idx.query(term);
+            for coord in ans.sure.iter_coords() {
+                assert!(t.sure.contains(coord) || t.candidates.contains(coord));
+            }
         }
     }
 

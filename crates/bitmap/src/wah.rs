@@ -393,10 +393,22 @@ impl WahBitVector {
     }
 
     fn binary_op(&self, other: &WahBitVector, op: impl Fn(u32, u32) -> u32) -> WahBitVector {
+        self.binary_op_reusing(other, op, Vec::new())
+    }
+
+    /// [`Self::binary_op`] writing into a recycled word buffer (cleared
+    /// first), so chained operations reach a zero-allocation steady state.
+    fn binary_op_reusing(
+        &self,
+        other: &WahBitVector,
+        op: impl Fn(u32, u32) -> u32,
+        mut scratch: Vec<u32>,
+    ) -> WahBitVector {
         assert_eq!(self.nbits, other.nbits, "bitvector length mismatch");
         let mut a = Cursor::new(self);
         let mut bcur = Cursor::new(other);
-        let mut out = WahBuilder::new();
+        scratch.clear();
+        let mut out = WahBuilder { words: scratch, ..WahBuilder::default() };
         let mut remaining_groups = self.nbits.div_ceil(GROUP_BITS);
         while remaining_groups > 0 {
             let (ca, cb) = match (a.peek(), bcur.peek()) {
@@ -523,14 +535,61 @@ impl WahBitVector {
     }
 
     /// OR together many bitvectors (the hot path of a range query: one OR
-    /// per fully-covered bin).
+    /// per fully-covered bin). The accumulator's word buffer ping-pongs
+    /// with a scratch buffer, so the whole fold allocates O(1) vectors.
     pub fn or_many<'a, I: IntoIterator<Item = &'a WahBitVector>>(
         nbits: u64,
         vs: I,
     ) -> WahBitVector {
         let mut acc = WahBitVector::zeros(nbits);
+        let mut scratch = Vec::new();
         for v in vs {
-            acc = acc.or(v);
+            acc.or_assign(v, &mut scratch);
+        }
+        acc
+    }
+
+    /// In-place AND: `*self &= other`. The result is computed into
+    /// `scratch` (cleared first) and swapped into `self`; `self`'s old
+    /// word buffer becomes the next `scratch`, so a conjunction chain
+    /// reuses two buffers instead of allocating per AND.
+    pub fn and_assign(&mut self, other: &WahBitVector, scratch: &mut Vec<u32>) {
+        let buf = std::mem::take(scratch);
+        let res = self.binary_op_reusing(other, |a, b| a & b, buf);
+        *scratch = std::mem::replace(&mut self.words, res.words);
+        self.nbits = res.nbits;
+    }
+
+    /// In-place OR: `*self |= other`, with the same two-buffer recycling
+    /// as [`Self::and_assign`].
+    pub fn or_assign(&mut self, other: &WahBitVector, scratch: &mut Vec<u32>) {
+        let buf = std::mem::take(scratch);
+        let res = self.binary_op_reusing(other, |a, b| a | b, buf);
+        *scratch = std::mem::replace(&mut self.words, res.words);
+        self.nbits = res.nbits;
+    }
+
+    /// AND together many bitvectors (a conjunction chain over index bins),
+    /// mirroring [`Self::or_many`]. The empty conjunction is all ones;
+    /// the fold short-circuits once the accumulator is empty. Buffers are
+    /// recycled via [`Self::and_assign`], so the chain allocates O(1)
+    /// vectors regardless of length.
+    pub fn and_many<'a, I: IntoIterator<Item = &'a WahBitVector>>(
+        nbits: u64,
+        vs: I,
+    ) -> WahBitVector {
+        let mut it = vs.into_iter();
+        let Some(first) = it.next() else {
+            return WahBitVector::ones(nbits);
+        };
+        assert_eq!(first.nbits, nbits, "bitvector length mismatch");
+        let mut acc = first.clone();
+        let mut scratch = Vec::new();
+        for v in it {
+            if acc.count_ones() == 0 {
+                break;
+            }
+            acc.and_assign(v, &mut scratch);
         }
         acc
     }
@@ -682,6 +741,38 @@ mod tests {
         let c = WahBitVector::from_selection(100, &Selection::from_span(5, 10));
         let u = WahBitVector::or_many(100, [&a, &b, &c]);
         assert_eq!(u.count_ones(), 25);
+    }
+
+    #[test]
+    fn and_many_intersects_and_matches_pairwise() {
+        let a = WahBitVector::from_selection(100, &Selection::from_span(0, 60));
+        let b = WahBitVector::from_selection(100, &Selection::from_span(40, 60));
+        let c = WahBitVector::from_selection(100, &Selection::from_span(50, 10));
+        let m = WahBitVector::and_many(100, [&a, &b, &c]);
+        assert_eq!(m.to_selection(), a.and(&b).and(&c).to_selection());
+        assert_eq!(m.count_ones(), 10);
+        // empty conjunction is the identity (all ones)
+        assert_eq!(WahBitVector::and_many(100, []).count_ones(), 100);
+        // disjoint inputs short-circuit to zero
+        let d = WahBitVector::from_selection(100, &Selection::from_span(90, 5));
+        assert_eq!(WahBitVector::and_many(100, [&a, &d, &b]).count_ones(), 0);
+    }
+
+    #[test]
+    fn assign_ops_recycle_buffers_and_match_pure_ops() {
+        let bits_a: Vec<bool> = (0..937).map(|i| (i * 11) % 17 < 6).collect();
+        let bits_b: Vec<bool> = (0..937).map(|i| (i * 5) % 23 < 9).collect();
+        let a = WahBitVector::from_bools(&bits_a);
+        let b = WahBitVector::from_bools(&bits_b);
+        let mut scratch = Vec::new();
+        let mut x = a.clone();
+        x.and_assign(&b, &mut scratch);
+        assert_eq!(x, a.and(&b));
+        assert!(!scratch.is_empty(), "old accumulator buffer should be recycled");
+        let mut y = a.clone();
+        y.or_assign(&b, &mut scratch);
+        assert_eq!(y, a.or(&b));
+        assert_eq!(y.nbits(), 937);
     }
 
     #[test]

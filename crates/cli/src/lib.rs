@@ -20,7 +20,7 @@ use std::sync::Arc;
 /// Parsed command line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
-    /// Run one textual query.
+    /// Run one textual query, or a concurrent batch of queries.
     Query {
         /// The query expression.
         expr: String,
@@ -28,6 +28,11 @@ pub enum Command {
         opts: CommonOpts,
         /// Also fetch the named variable's values for the matches.
         get_data: Option<String>,
+        /// Admit the expression this many times as one concurrent batch
+        /// (`> 1` switches to `run_batch` and prints throughput).
+        queries: u32,
+        /// Extra expressions (one per line) admitted in the same batch.
+        batch_file: Option<String>,
     },
     /// Compare all four strategies on a few standard queries.
     Demo {
@@ -117,6 +122,13 @@ OPTIONS:
   --scan-threads <N> wall-clock threads per region scan; 0 = auto, 1 disables
                      the chunk-parallel kernel path (default 0)
   --get-data <var>   fetch that variable's values for the matches (query only)
+  --queries <N>      (query only) admit the expression N times as one
+                     concurrent batch: shared-scan prewarm + plan/artifact
+                     caching; prints a throughput report (results are
+                     bit-identical to running each query alone)
+  --batch-file <P>   (query only) file of extra expressions, one per line
+                     ('#' comments and blank lines skipped), admitted in
+                     the same batch
 ";
 
 /// Parse `argv[1..]` into a command.
@@ -131,9 +143,18 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, St
         "query" => {
             let expr = args.next().ok_or("query requires an expression".to_string())?;
             let mut opts = CommonOpts::default();
-            let mut get_data = None;
-            parse_options(args, &mut opts, Some(&mut get_data))?;
-            Ok(Command::Query { expr, opts, get_data })
+            let mut batch = BatchOpts::default();
+            parse_options(args, &mut opts, Some(&mut batch))?;
+            if batch.queries == 0 {
+                return Err("--queries must be at least 1".to_string());
+            }
+            Ok(Command::Query {
+                expr,
+                opts,
+                get_data: batch.get_data,
+                queries: batch.queries,
+                batch_file: batch.batch_file,
+            })
         }
         "demo" => {
             let mut opts = CommonOpts::default();
@@ -144,10 +165,23 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, St
     }
 }
 
+/// Options valid only for `pdc query`.
+struct BatchOpts {
+    get_data: Option<String>,
+    queries: u32,
+    batch_file: Option<String>,
+}
+
+impl Default for BatchOpts {
+    fn default() -> Self {
+        Self { get_data: None, queries: 1, batch_file: None }
+    }
+}
+
 fn parse_options<I: Iterator<Item = String>>(
     mut args: std::iter::Peekable<I>,
     opts: &mut CommonOpts,
-    mut get_data: Option<&mut Option<String>>,
+    mut query_only: Option<&mut BatchOpts>,
 ) -> Result<(), String> {
     while let Some(flag) = args.next() {
         let mut value = |name: &str| {
@@ -200,9 +234,20 @@ fn parse_options<I: Iterator<Item = String>>(
             "--strategy" => {
                 opts.strategy = parse_strategy(&value("--strategy")?)?;
             }
-            "--get-data" => match get_data.as_deref_mut() {
-                Some(slot) => *slot = Some(value("--get-data")?),
+            "--get-data" => match query_only.as_deref_mut() {
+                Some(b) => b.get_data = Some(value("--get-data")?),
                 None => return Err("--get-data is only valid for 'pdc query'".to_string()),
+            },
+            "--queries" => match query_only.as_deref_mut() {
+                Some(b) => {
+                    b.queries =
+                        value("--queries")?.parse().map_err(|e| format!("--queries: {e}"))?;
+                }
+                None => return Err("--queries is only valid for 'pdc query'".to_string()),
+            },
+            "--batch-file" => match query_only.as_deref_mut() {
+                Some(b) => b.batch_file = Some(value("--batch-file")?),
+                None => return Err("--batch-file is only valid for 'pdc query'".to_string()),
             },
             other => return Err(format!("unknown option '{other}'")),
         }
@@ -289,14 +334,57 @@ pub fn build_engine(odms: &Arc<Odms>, opts: &CommonOpts) -> QueryEngine {
 pub fn run(cmd: Command) -> Result<String, String> {
     match cmd {
         Command::Help => Ok(USAGE.to_string()),
-        Command::Query { expr, opts, get_data } => {
+        Command::Query { expr, opts, get_data, queries, batch_file } => {
             let mut out = String::new();
             fault_plan(&opts)?; // validate before the expensive import
             let (odms, _data) = build_world(&opts);
             let engine = build_engine(&odms, &opts);
             let query = parse_query(&expr, &odms).map_err(|e| e.to_string())?;
             out.push_str(&format!("query: {query}\n"));
-            let outcome = engine.run(&query).map_err(|e| e.to_string())?;
+
+            // Assemble the admitted series: the main expression repeated
+            // `--queries` times, plus every expression from the batch file.
+            let mut series = vec![query.clone(); queries.max(1) as usize];
+            if let Some(path) = &batch_file {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("--batch-file {path}: {e}"))?;
+                for line in text.lines() {
+                    let line = line.trim();
+                    if line.is_empty() || line.starts_with('#') {
+                        continue;
+                    }
+                    series.push(
+                        parse_query(line, &odms).map_err(|e| format!("{line}: {e}"))?,
+                    );
+                }
+            }
+
+            let outcome = if series.len() > 1 {
+                let batch = engine.run_batch(&series).map_err(|e| e.to_string())?;
+                // Throughput in simulated time: the CLI's output contract is
+                // byte-identical runs for identical flags, so the report must
+                // not include host wall clock (BENCH_throughput.json records
+                // that side).
+                let sim_secs = batch.batch_elapsed.as_secs_f64().max(1e-9);
+                let s = &batch.stats;
+                out.push_str(&format!(
+                    "batch: {} queries in simulated {} ({:.2} queries/simulated-s) — \
+                     plan cache {}/{} hits, artifact hit ratio {:.1}%, \
+                     shared reads saved {}/{}, prewarmed {} regions\n",
+                    s.queries,
+                    batch.batch_elapsed,
+                    s.queries as f64 / sim_secs,
+                    s.plan_hits,
+                    s.plan_hits + s.plan_misses,
+                    s.artifact_hit_ratio() * 100.0,
+                    s.resident_reads,
+                    s.region_touches,
+                    s.prewarm_regions,
+                ));
+                batch.outcomes.into_iter().next().expect("non-empty batch")
+            } else {
+                engine.run(&query).map_err(|e| e.to_string())?
+            };
             out.push_str(&format!(
                 "{}: {} hits ({} runs) in simulated {} — PFS {} B / {} requests, scanned {}\n",
                 opts.strategy,
@@ -412,11 +500,13 @@ mod tests {
         ])
         .unwrap();
         match cmd {
-            Command::Query { expr, opts, get_data } => {
+            Command::Query { expr, opts, get_data, queries, batch_file } => {
                 assert_eq!(expr, "Energy > 2.0");
                 assert_eq!(opts.strategy, Strategy::HistogramIndex);
                 assert_eq!(opts.particles, 1000);
                 assert_eq!(get_data.as_deref(), Some("x"));
+                assert_eq!(queries, 1);
+                assert_eq!(batch_file, None);
             }
             other => panic!("{other:?}"),
         }
@@ -488,12 +578,16 @@ mod tests {
             expr: "2.1 < Energy < 2.2".to_string(),
             opts: base.clone(),
             get_data: None,
+            queries: 1,
+            batch_file: None,
         })
         .unwrap();
         let corrupt = run(Command::Query {
             expr: "2.1 < Energy < 2.2".to_string(),
             opts: CommonOpts { corrupt_regions: 0.1, corrupt_seed: Some(7), ..base },
             get_data: None,
+            queries: 1,
+            batch_file: None,
         })
         .unwrap();
         let hits = |s: &str| {
@@ -533,12 +627,16 @@ mod tests {
             expr: "2.1 < Energy < 2.2".to_string(),
             opts: base.clone(),
             get_data: None,
+            queries: 1,
+            batch_file: None,
         })
         .unwrap();
         let faulty = run(Command::Query {
             expr: "2.1 < Energy < 2.2".to_string(),
             opts: CommonOpts { kill_servers: 2, ..base },
             get_data: None,
+            queries: 1,
+            batch_file: None,
         })
         .unwrap();
         // Same hit count despite two dead servers; fault report present.
@@ -569,6 +667,61 @@ mod tests {
         let out = run(cmd).unwrap();
         assert!(out.contains("hits"), "{out}");
         assert!(out.contains("get_data(Energy)"), "{out}");
+    }
+
+    #[test]
+    fn batch_flags_parse() {
+        let cmd = parse_args(argv("query Energy>2 --queries 8 --batch-file qs.txt")).unwrap();
+        match cmd {
+            Command::Query { queries, batch_file, .. } => {
+                assert_eq!(queries, 8);
+                assert_eq!(batch_file.as_deref(), Some("qs.txt"));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_args(argv("query E>1 --queries 0")).is_err());
+        assert!(parse_args(argv("demo --queries 4")).is_err());
+        assert!(parse_args(argv("demo --batch-file qs.txt")).is_err());
+    }
+
+    #[test]
+    fn batch_query_reports_throughput_and_matches_single_run() {
+        let opts = CommonOpts { particles: 50_000, servers: 4, ..CommonOpts::default() };
+        let single = run(Command::Query {
+            expr: "2.1 < Energy < 2.2".to_string(),
+            opts: opts.clone(),
+            get_data: None,
+            queries: 1,
+            batch_file: None,
+        })
+        .unwrap();
+        let batched = run(Command::Query {
+            expr: "2.1 < Energy < 2.2".to_string(),
+            opts,
+            get_data: None,
+            queries: 8,
+            batch_file: None,
+        })
+        .unwrap();
+        assert!(batched.contains("batch: 8 queries"), "{batched}");
+        assert!(batched.contains("queries/simulated-s"), "{batched}");
+        assert!(batched.contains("artifact hit ratio"), "{batched}");
+        // The per-query hits line is identical to the single run's.
+        let hits = |s: &str| s.lines().find(|l| l.contains(" hits (")).unwrap().to_string();
+        assert_eq!(hits(&single), hits(&batched), "single: {single}\nbatched: {batched}");
+        assert!(!single.contains("batch:"), "{single}");
+    }
+
+    #[test]
+    fn batch_file_missing_is_an_error() {
+        let out = run(Command::Query {
+            expr: "Energy > 2.0".to_string(),
+            opts: CommonOpts { particles: 10_000, servers: 2, ..CommonOpts::default() },
+            get_data: None,
+            queries: 1,
+            batch_file: Some("/nonexistent/queries.txt".to_string()),
+        });
+        assert!(out.is_err());
     }
 
     #[test]

@@ -147,6 +147,54 @@ impl PdcQuery {
         out
     }
 
+    /// A canonical, bit-exact structural encoding of the query: tree
+    /// shape, object ids, operators, the comparison constants' raw bit
+    /// patterns, and the spatial region. Two queries produce the same
+    /// key iff they are structurally identical, which is what keys the
+    /// engine's plan cache (floats are compared by bits, so `-0.0` and
+    /// `0.0`, or distinct NaN payloads, never collide into one entry).
+    pub fn canonical_key(&self) -> String {
+        use std::fmt::Write as _;
+        fn value_bits(v: &PdcValue) -> (u8, u64) {
+            match v {
+                PdcValue::Float(x) => (0, u64::from(x.to_bits())),
+                PdcValue::Double(x) => (1, x.to_bits()),
+                PdcValue::Int32(x) => (2, u64::from(*x as u32)),
+                PdcValue::UInt32(x) => (3, u64::from(*x)),
+                PdcValue::Int64(x) => (4, *x as u64),
+                PdcValue::UInt64(x) => (5, *x),
+            }
+        }
+        fn node(n: &QueryNode, out: &mut String) {
+            match n {
+                QueryNode::Constraint { object, op, value } => {
+                    let (tag, bits) = value_bits(value);
+                    let _ = write!(out, "c{:x}.{:?}.{}.{:x};", object.raw(), op, tag, bits);
+                }
+                QueryNode::And(a, b) => {
+                    out.push('(');
+                    node(a, out);
+                    out.push('&');
+                    node(b, out);
+                    out.push(')');
+                }
+                QueryNode::Or(a, b) => {
+                    out.push('(');
+                    node(a, out);
+                    out.push('|');
+                    node(b, out);
+                    out.push(')');
+                }
+            }
+        }
+        let mut key = String::new();
+        node(&self.root, &mut key);
+        if let Some(r) = &self.region {
+            let _ = write!(key, "@{:?}x{:?}", r.offsets, r.lens);
+        }
+        key
+    }
+
     /// Serialized size of the query for the broadcast (what the client
     /// ships to every server).
     pub fn wire_size_bytes(&self) -> u64 {

@@ -4,16 +4,19 @@
 use crate::ast::PdcQuery;
 use crate::exec::{eval_plan, EvalCtx};
 use crate::plan::{PlanNode, QueryPlan};
+use crate::qcache::IntervalKey;
 use crate::recover::{run_slots, RecoveryPolicy};
 use crate::state::ServerState;
 use pdc_histogram::Histogram;
 use pdc_odms::Odms;
 use pdc_server::{FaultPlan, ServerPool};
 use pdc_storage::{
-    CostBreakdown, CostModel, IntegrityCounters, IoCounters, SimDuration, WorkCounters,
+    CostBreakdown, CostModel, IntegrityCounters, IoCounters, SimDuration, StoredPayload,
+    WorkCounters,
 };
-use pdc_types::{ObjectId, PdcResult, PdcType, Run, Selection, TypedVec};
-use std::sync::Arc;
+use pdc_types::{Interval, ObjectId, PdcResult, PdcType, RegionId, Run, Selection, TypedVec};
+use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, Mutex};
 
 /// The evaluation strategy (paper §VI: `PDC-F`, `PDC-H`, `PDC-HI`,
 /// `PDC-SH`). "Each can be activated by the user through the setting of an
@@ -156,11 +159,94 @@ pub struct GetDataOutcome {
     pub servers_involved: u32,
 }
 
+/// The result of a [`QueryEngine::run_batch`] call: every query's full
+/// outcome (bit-identical to running it alone) plus the batch-level
+/// schedule time and cache statistics.
+#[derive(Debug, Clone)]
+pub struct BatchOutcome {
+    /// Per-query outcomes, in submission order. Each is identical —
+    /// selection, counters, breakdown, per-server times — to what
+    /// [`QueryEngine::run`] returns for the same query on a fresh pool.
+    pub outcomes: Vec<QueryOutcome>,
+    /// Simulated end-to-end time of the batch under the admission
+    /// scheduler: per-query client overheads (broadcast, merge,
+    /// preflight) are serial, but server evaluation overlaps across
+    /// queries, so the evaluation contribution is the per-server
+    /// *makespan* `max_s Σ_q per_server[s]` instead of the sum of
+    /// per-query critical paths. Always ≤ the sum of the individual
+    /// `elapsed` values.
+    pub batch_elapsed: SimDuration,
+    /// Cache and shared-read statistics for the batch.
+    pub stats: BatchStats,
+}
+
+/// Cache effectiveness counters for one [`QueryEngine::run_batch`] call.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BatchStats {
+    /// Number of queries in the batch.
+    pub queries: u64,
+    /// Plan-cache hits (canonical query tree already planned this epoch).
+    pub plan_hits: u64,
+    /// Plan-cache misses (plans built from scratch).
+    pub plan_misses: u64,
+    /// Artifact-cache hits across all servers (prune verdicts, region
+    /// scans, index answers served without recomputation).
+    pub artifact_hits: u64,
+    /// Artifact-cache misses across all servers.
+    pub artifact_misses: u64,
+    /// Regions the shared-scan prewarm pass loaded and evaluated once
+    /// (in a fused kernel pass) on behalf of the whole batch.
+    pub prewarm_regions: u64,
+    /// Data-region reads served from already-resident copies during
+    /// evaluation (the shared reads the batch did not re-fetch).
+    pub resident_reads: u64,
+    /// Total data-region reads during evaluation (resident + fetched).
+    pub region_touches: u64,
+}
+
+impl BatchStats {
+    /// Artifact-cache hits / lookups; 0 when no lookups happened.
+    pub fn artifact_hit_ratio(&self) -> f64 {
+        let total = self.artifact_hits + self.artifact_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.artifact_hits as f64 / total as f64
+        }
+    }
+
+    /// Plan-cache hits / lookups; 0 when no lookups happened.
+    pub fn plan_hit_ratio(&self) -> f64 {
+        let total = self.plan_hits + self.plan_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.plan_hits as f64 / total as f64
+        }
+    }
+}
+
+/// The client-side canonical-plan cache: normalized query tree (by
+/// [`PdcQuery::canonical_key`]) → built, selectivity-ordered plan.
+/// Entries are validated against the store epoch at lookup, so any data
+/// mutation or aux rebuild (which can change the histograms behind the
+/// selectivity ordering) invalidates them.
+struct PlanCache {
+    map: HashMap<String, (u64, QueryPlan)>,
+    hits: u64,
+    misses: u64,
+}
+
+/// Whole-map reset threshold for the plan cache (plans are tiny; the
+/// cap only guards unbounded ad-hoc query streams).
+const PLAN_CACHE_CAP: usize = 512;
+
 /// The parallel query service.
 pub struct QueryEngine {
     odms: Arc<Odms>,
     pool: ServerPool<ServerState>,
     cfg: EngineConfig,
+    plans: Mutex<PlanCache>,
 }
 
 pub(crate) fn diff_io(after: &IoCounters, before: &IoCounters) -> IoCounters {
@@ -209,7 +295,12 @@ impl QueryEngine {
             }
             st
         });
-        let engine = Self { odms, pool, cfg };
+        let engine = Self {
+            odms,
+            pool,
+            cfg,
+            plans: Mutex::new(PlanCache { map: HashMap::new(), hits: 0, misses: 0 }),
+        };
         engine.apply_planned_corruption();
         engine
     }
@@ -295,7 +386,42 @@ impl QueryEngine {
                 st.fault = p.probe_for(id.raw());
             }
         });
+        {
+            let mut pc = self.plans.lock().unwrap();
+            pc.map.clear();
+            pc.hits = 0;
+            pc.misses = 0;
+        }
         self.apply_planned_corruption();
+    }
+
+    /// Plan `query` through the canonical-plan cache: a hit replays the
+    /// built, selectivity-ordered plan for the same canonical tree at the
+    /// same store epoch; a miss builds and admits it. Host-work only —
+    /// planning carries no simulated charge either way.
+    fn plan_cached(&self, query: &PdcQuery) -> PdcResult<QueryPlan> {
+        let key = query.canonical_key();
+        let epoch = self.odms.store().epoch();
+        {
+            let mut pc = self.plans.lock().unwrap();
+            if let Some(plan) = pc
+                .map
+                .get(&key)
+                .and_then(|(e, plan)| (*e == epoch).then(|| plan.clone()))
+            {
+                pc.hits += 1;
+                return Ok(plan);
+            }
+        }
+        let plan =
+            QueryPlan::build_with_ordering(query, &self.odms, self.cfg.order_by_selectivity)?;
+        let mut pc = self.plans.lock().unwrap();
+        pc.misses += 1;
+        if pc.map.len() >= PLAN_CACHE_CAP {
+            pc.map.clear();
+        }
+        pc.map.insert(key, (epoch, plan.clone()));
+        Ok(plan)
     }
 
     /// `PDCquery_get_nhits`: evaluate and return the number of matches.
@@ -315,6 +441,22 @@ impl QueryEngine {
     /// fail, their slots are re-evaluated by the survivors, so the query
     /// result is identical as long as at least one server stays alive.
     pub fn run(&self, query: &PdcQuery) -> PdcResult<QueryOutcome> {
+        self.run_impl(query, false).map(|(outcome, _)| outcome)
+    }
+
+    /// Shared implementation behind [`Self::run`] (cold, cache-free) and
+    /// [`Self::run_batch`] (`use_cache = true`: plans come from the
+    /// canonical-plan cache and servers may serve artifacts from their
+    /// epoch-validated [`crate::qcache::QueryArtifactCache`]). Also
+    /// returns the slot-evaluation time so the batch scheduler can
+    /// separate it from the serial client overheads. Caching affects
+    /// host wall-clock only: the returned outcome is bit-identical
+    /// either way.
+    fn run_impl(
+        &self,
+        query: &PdcQuery,
+        use_cache: bool,
+    ) -> PdcResult<(QueryOutcome, SimDuration)> {
         // Verify-and-repair preflight, before planning: corrupt region
         // histograms must be rebuilt before selectivity ordering reads the
         // re-merged globals, and repairing shared data regions on the
@@ -327,7 +469,11 @@ impl QueryEngine {
             } else {
                 (IntegrityCounters::default(), SimDuration::ZERO)
             };
-        let plan = QueryPlan::build_with_ordering(query, &self.odms, self.cfg.order_by_selectivity)?;
+        let plan = if use_cache {
+            self.plan_cached(query)?
+        } else {
+            QueryPlan::build_with_ordering(query, &self.odms, self.cfg.order_by_selectivity)?
+        };
         let n = self.cfg.num_servers;
         let cost = self.cfg.cost;
         let mut objects = Vec::new();
@@ -361,6 +507,11 @@ impl QueryEngine {
                 r.0.wire_size_bytes()
             },
             |slot, st| {
+                if use_cache {
+                    // Epoch check at slot start: any data mutation or aux
+                    // rebuild since the artifacts were cached drops them.
+                    st.qcache.validate(odms.store().epoch());
+                }
                 let ctx = EvalCtx {
                     odms: &odms,
                     cost: &cost,
@@ -369,6 +520,7 @@ impl QueryEngine {
                     server: slot,
                     scan_threads,
                     scan_kernels,
+                    use_cache,
                 };
                 let io0 = st.io;
                 let w0 = st.work;
@@ -385,18 +537,19 @@ impl QueryEngine {
             },
         )?;
 
-        let mut selection = Selection::empty();
         let mut io = IoCounters::default();
         let mut work = WorkCounters::default();
         let mut slot_integrity_time = SimDuration::ZERO;
-        for (sel, io_d, work_d, integ_d, integ_t) in &out.per_slot {
+        for (_, io_d, work_d, integ_d, integ_t) in &out.per_slot {
             io.merge(io_d);
             work.merge(work_d);
             integrity.merge(integ_d);
             slot_integrity_time += *integ_t;
-            // "Remove the duplicates with a merge sort" on the client.
-            selection = selection.union(sel);
         }
+        // "Remove the duplicates with a merge sort" on the client: a
+        // single O(n log k) k-way merge over all slot results (canonical
+        // RLE output — bit-identical to the old pairwise union fold).
+        let selection = Selection::union_many(out.per_slot.iter().map(|t| &t.0));
         // Client-side aggregation cost (background thread merging runs).
         let merge_cpu =
             SimDuration::from_secs_f64(selection.num_runs() as f64 * 20.0 / 1e9);
@@ -433,19 +586,209 @@ impl QueryEngine {
                 integrity.merge(ic);
             }
         }
-        Ok(QueryOutcome {
-            nhits: selection.count(),
-            selection,
-            elapsed,
-            per_server: out.per_server,
-            io,
-            work,
-            breakdown,
-            sorted_hint,
-            failed_servers,
-            retry_rounds,
-            integrity,
-        })
+        Ok((
+            QueryOutcome {
+                nhits: selection.count(),
+                selection,
+                elapsed,
+                per_server: out.per_server,
+                io,
+                work,
+                breakdown,
+                sorted_hint,
+                failed_servers,
+                retry_rounds,
+                integrity,
+            },
+            out.eval_time,
+        ))
+    }
+
+    /// Evaluate a series of queries as one admitted batch.
+    ///
+    /// Per-query results are **bit-identical** to [`Self::run`] on the
+    /// same pool state — selections, counters, cost breakdowns,
+    /// per-server times, fault and integrity reports (property-tested in
+    /// `tests/batch_equivalence.rs`). What changes is *host* work and
+    /// the batch-level schedule:
+    ///
+    /// - plans are built once per canonical query tree (plan cache);
+    /// - a prewarm pass computes, per server slot, the union of regions
+    ///   the batch touches, and evaluates every pending predicate
+    ///   against each resident typed slice in one fused kernel pass,
+    ///   seeding the per-server artifact caches (shared-scan batching);
+    /// - per-query evaluation then serves prune verdicts, scan
+    ///   selections, and index answers from the caches while replaying
+    ///   the exact simulated accounting of a cold run;
+    /// - `batch_elapsed` charges the serial client overheads per query
+    ///   but overlaps server evaluation across queries (per-server
+    ///   makespan), modelling concurrent in-flight queries.
+    ///
+    /// With an active corruption spec the prewarm pass is skipped (each
+    /// query's preflight must observe the damaged state exactly as a
+    /// sequential run would); caches still warm across the batch.
+    pub fn run_batch(&self, queries: &[PdcQuery]) -> PdcResult<BatchOutcome> {
+        let corruption =
+            self.cfg.fault_plan.as_ref().and_then(|p| p.corruption()).is_some();
+        let (plan0, art0) = self.cache_counters();
+
+        let prewarm_regions = if corruption || queries.is_empty() {
+            0
+        } else {
+            let mut plans = Vec::with_capacity(queries.len());
+            for q in queries {
+                plans.push(self.plan_cached(q)?);
+            }
+            self.prewarm_batch(&plans)
+        };
+
+        let mut outcomes = Vec::with_capacity(queries.len());
+        let mut client_overhead = SimDuration::ZERO;
+        let mut per_server_total = vec![SimDuration::ZERO; self.cfg.num_servers as usize];
+        for q in queries {
+            let (outcome, eval_time) = self.run_impl(q, true)?;
+            // elapsed = overheads + eval_time; keep the overheads serial
+            // and fold eval into the per-server schedule below.
+            client_overhead += outcome.elapsed.saturating_sub(eval_time);
+            for (s, t) in outcome.per_server.iter().enumerate() {
+                per_server_total[s] += *t;
+            }
+            outcomes.push(outcome);
+        }
+        let makespan =
+            per_server_total.iter().copied().max().unwrap_or(SimDuration::ZERO);
+
+        let (plan1, art1) = self.cache_counters();
+        let mut stats = BatchStats {
+            queries: queries.len() as u64,
+            plan_hits: plan1.0 - plan0.0,
+            plan_misses: plan1.1 - plan0.1,
+            artifact_hits: art1.0 - art0.0,
+            artifact_misses: art1.1 - art0.1,
+            prewarm_regions,
+            resident_reads: 0,
+            region_touches: 0,
+        };
+        for o in &outcomes {
+            stats.resident_reads += o.io.cache_hits;
+            stats.region_touches += o.io.cache_hits + o.io.cache_misses;
+        }
+        Ok(BatchOutcome { outcomes, batch_elapsed: client_overhead + makespan, stats })
+    }
+
+    /// Snapshot (plan-cache, artifact-cache) hit/miss totals:
+    /// `((plan_hits, plan_misses), (artifact_hits, artifact_misses))`.
+    fn cache_counters(&self) -> ((u64, u64), (u64, u64)) {
+        let pc = self.plans.lock().unwrap();
+        let plan = (pc.hits, pc.misses);
+        drop(pc);
+        let per_server = self.pool.broadcast(|_, st| st.qcache.stats);
+        let art = per_server
+            .iter()
+            .fold((0, 0), |(h, m), s| (h + s.hits, m + s.misses));
+        (plan, art)
+    }
+
+    /// The shared-scan prewarm pass: for each server slot, walk the
+    /// union of `(object, interval)` predicates the batch's plans touch,
+    /// seed histogram prune verdicts, and evaluate all still-pending
+    /// intervals of a region in **one fused kernel pass** over the typed
+    /// slice, caching each per-interval selection. Pure host work — no
+    /// simulated clocks, counters, or fault probes are touched, so
+    /// per-query accounting is unaffected. Returns the number of region
+    /// passes performed on behalf of the whole batch.
+    fn prewarm_batch(&self, plans: &[QueryPlan]) -> u64 {
+        // Deduplicated predicate set, grouped by object.
+        let mut seen: HashSet<(ObjectId, IntervalKey)> = HashSet::new();
+        let mut targets: Vec<(ObjectId, Vec<Interval>)> = Vec::new();
+        fn collect(
+            node: &PlanNode,
+            seen: &mut HashSet<(ObjectId, IntervalKey)>,
+            targets: &mut Vec<(ObjectId, Vec<Interval>)>,
+        ) {
+            match node {
+                PlanNode::Conj(cs) => {
+                    for c in cs {
+                        if c.interval.is_empty() {
+                            continue;
+                        }
+                        if seen.insert((c.object, IntervalKey::of(&c.interval))) {
+                            match targets.iter_mut().find(|(o, _)| *o == c.object) {
+                                Some((_, ivs)) => ivs.push(c.interval),
+                                None => targets.push((c.object, vec![c.interval])),
+                            }
+                        }
+                    }
+                }
+                PlanNode::And(children) | PlanNode::Or(children) => {
+                    for c in children {
+                        collect(c, seen, targets);
+                    }
+                }
+            }
+        }
+        for p in plans {
+            collect(&p.root, &mut seen, &mut targets);
+        }
+        if targets.is_empty() {
+            return 0;
+        }
+
+        let odms = Arc::clone(&self.odms);
+        let n = self.cfg.num_servers;
+        let epoch = self.odms.store().epoch();
+        let loaded: Vec<u64> = self.pool.broadcast(|id, st| {
+            st.qcache.validate(epoch);
+            let mut count = 0u64;
+            for (obj, ivs) in &targets {
+                let Ok(meta) = odms.meta().get(*obj) else { continue };
+                let hists = odms.meta().region_histograms(*obj).ok();
+                for r in 0..meta.num_regions() {
+                    if r % n != id.raw() {
+                        continue;
+                    }
+                    // Seed prune verdicts (exactly the verdict the
+                    // evaluator computes) and collect the intervals that
+                    // still need a scan of this region.
+                    let mut pending: Vec<Interval> = Vec::new();
+                    for iv in ivs {
+                        let pruned = match hists.as_ref().and_then(|h| h.get(r as usize)) {
+                            Some(h) => st.qcache.prune_or_compute(*obj, r, iv, || {
+                                h.estimate_hits(iv).upper == 0
+                            }),
+                            None => false,
+                        };
+                        if !pruned && st.qcache.peek_scan(*obj, r, iv).is_none() {
+                            pending.push(*iv);
+                        }
+                    }
+                    if pending.is_empty() {
+                        continue;
+                    }
+                    // Advisory read straight from the store: no server
+                    // clocks, no fault probes, and no checksum re-derive
+                    // (every artifact is epoch-keyed, and any mutation —
+                    // including corrupt/repair — bumps the epoch, so an
+                    // unverified read can never leak into results). Skip
+                    // anything unreadable — the per-query path handles it
+                    // with full accounting.
+                    let Ok((StoredPayload::Typed(payload), _)) =
+                        odms.store().get_unverified(RegionId::new(*obj, r))
+                    else {
+                        continue;
+                    };
+                    let span = meta.region_span(r);
+                    let sels =
+                        pdc_types::kernels::scan_intervals(&payload, &pending, span.offset);
+                    for (iv, sel) in pending.iter().zip(sels) {
+                        st.qcache.put_scan(*obj, r, iv, sel);
+                    }
+                    count += 1;
+                }
+            }
+            count
+        });
+        loaded.iter().sum()
     }
 
     /// When SortedHistogram answered the primary constraint from the

@@ -49,6 +49,12 @@ pub struct EvalCtx<'a> {
     /// per-element reference path; results and simulated costs are
     /// identical either way).
     pub scan_kernels: bool,
+    /// Consult the per-server [`crate::qcache::QueryArtifactCache`]
+    /// (batch mode). A hit skips host recomputation only — every
+    /// simulated counter and clock charge is replayed exactly as on a
+    /// miss, so results and cost breakdowns are bit-identical either
+    /// way.
+    pub use_cache: bool,
 }
 
 /// Evaluate the full plan on this server; returns the server's partial
@@ -79,13 +85,14 @@ fn eval_node(
     match node {
         PlanNode::Conj(constraints) => eval_conj(ctx, state, constraints, region, candidates),
         PlanNode::Or(children) => {
-            // Union with duplicate removal ("merge sort" in the paper).
-            let mut acc = Selection::empty();
+            // Union with duplicate removal ("merge sort" in the paper):
+            // one k-way run merge over all children instead of a
+            // pairwise fold.
+            let mut sels = Vec::with_capacity(children.len());
             for child in children {
-                let sel = eval_node(ctx, state, child, region, candidates)?;
-                acc = acc.union(&sel);
+                sels.push(eval_node(ctx, state, child, region, candidates)?);
             }
-            Ok(acc)
+            Ok(Selection::union_many(&sels))
         }
         PlanNode::And(children) => {
             // Children are selectivity-ordered; the first evaluates with
@@ -188,8 +195,18 @@ fn eval_primary(
         // miss the interval — see DESIGN.md §6.
         if let Some(hs) = &hists {
             let h = &hs[r as usize];
+            // The bin walk is charged whether or not the verdict is
+            // cached — a cache hit only skips the host-side
+            // `estimate_hits` recomputation.
             state.work.histogram_bins += h.num_bins() as u64;
-            if h.estimate_hits(&c.interval).upper == 0 {
+            let pruned = if ctx.use_cache {
+                state.qcache.prune_or_compute(c.object, r, &c.interval, || {
+                    h.estimate_hits(&c.interval).upper == 0
+                })
+            } else {
+                h.estimate_hits(&c.interval).upper == 0
+            };
+            if pruned {
                 continue;
             }
         }
@@ -216,10 +233,23 @@ fn eval_region_scan(
     let before = state.work;
     let payload = state.read_data_region(ctx.odms, ctx.cost, RegionId::new(object, region), ctx.n_servers)?;
     state.work.elements_scanned += payload.len() as u64;
-    let sel = if ctx.scan_kernels {
-        kernels::scan_interval_threaded(&payload, interval, span.offset, ctx.scan_threads)
-    } else {
-        kernels::scan_interval_scalar(&payload, interval, span.offset)
+    // The read and the scan charge above are unconditional; only the
+    // kernel invocation itself is served from the cache, so the
+    // simulated accounting of a hit equals a miss exactly.
+    let cached = if ctx.use_cache { state.qcache.get_scan(object, region, interval) } else { None };
+    let sel = match cached {
+        Some(sel) => sel,
+        None => {
+            let sel = if ctx.scan_kernels {
+                kernels::scan_interval_threaded(&payload, interval, span.offset, ctx.scan_threads)
+            } else {
+                kernels::scan_interval_scalar(&payload, interval, span.offset)
+            };
+            if ctx.use_cache {
+                state.qcache.put_scan(object, region, interval, sel.clone());
+            }
+            sel
+        }
     };
     state.settle_cpu(ctx.cost, &before);
     Ok(sel)
@@ -259,12 +289,29 @@ fn eval_region_indexed(
         Err(e) => return Err(e),
     };
     state.work.bitmap_words += idx.size_bytes_serialized() / 4;
-    let ans = idx.query(interval);
-    let local = if ans.needs_candidate_check() {
+    // Cached replay: the index read and word charge above already
+    // happened; a hit re-issues the conditional candidate data read and
+    // its scan charge from the recorded answer, then returns the stored
+    // selection — byte-for-byte what the probe below would produce.
+    let cached = if ctx.use_cache { state.qcache.get_indexed(object, region, interval) } else { None };
+    if let Some(entry) = cached {
+        if entry.needs_data_read {
+            state.read_data_region(ctx.odms, ctx.cost, RegionId::new(object, region), ctx.n_servers)?;
+            state.work.elements_scanned += entry.candidates_count;
+        }
+        state.settle_cpu(ctx.cost, &before);
+        return Ok(entry.selection);
+    }
+    // The planner fuses per-object conjunction chains into one interval,
+    // so this is the 1-chain case of the index's conjunction API.
+    let ans = idx.query_conj(std::slice::from_ref(interval));
+    let needs_data_read = ans.needs_candidate_check();
+    let candidates_count = ans.candidates.count();
+    let local = if needs_data_read {
         // Boundary bins: read the region's data and verify candidates.
         let payload =
             state.read_data_region(ctx.odms, ctx.cost, RegionId::new(object, region), ctx.n_servers)?;
-        state.work.elements_scanned += ans.candidates.count();
+        state.work.elements_scanned += candidates_count;
         if ctx.scan_kernels {
             let confirmed = kernels::filter_selection(&payload, interval, &ans.candidates);
             ans.sure.union(&confirmed)
@@ -275,7 +322,20 @@ fn eval_region_indexed(
         ans.sure
     };
     state.settle_cpu(ctx.cost, &before);
-    Ok(local.shifted(span.offset))
+    let shifted = local.shifted(span.offset);
+    if ctx.use_cache {
+        state.qcache.put_indexed(
+            object,
+            region,
+            interval,
+            crate::qcache::IndexedEntry {
+                needs_data_read,
+                candidates_count,
+                selection: shifted.clone(),
+            },
+        );
+    }
+    Ok(shifted)
 }
 
 /// Graceful degradation for a region whose bitmap index failed validation:
@@ -396,7 +456,13 @@ pub fn point_check(
                     .map(|hs| {
                         let h = &hs[r as usize];
                         state.work.histogram_bins += h.num_bins() as u64;
-                        h.estimate_hits(interval).upper == 0
+                        if ctx.use_cache {
+                            state.qcache.prune_or_compute(object, r, interval, || {
+                                h.estimate_hits(interval).upper == 0
+                            })
+                        } else {
+                            h.estimate_hits(interval).upper == 0
+                        }
                     })
                     .unwrap_or(false);
             if !prunable {
@@ -406,9 +472,22 @@ pub fn point_check(
                     RegionId::new(object, r),
                     ctx.n_servers,
                 )?;
+                // Opportunistic reuse: when some earlier query in the
+                // batch already scanned this whole (region, interval)
+                // pair, answer each candidate run by clipping the cached
+                // full-region selection instead of rescanning — the
+                // clipped coordinate set is exactly what `scan_range`
+                // would emit, and the scan charge stays per-run.
+                let cached_full = if ctx.use_cache {
+                    state.qcache.peek_scan(object, r, interval).cloned()
+                } else {
+                    None
+                };
                 for run in &in_region {
                     state.work.elements_scanned += run.len;
-                    if ctx.scan_kernels {
+                    if let Some(full) = &cached_full {
+                        out.extend_from_slice(full.restrict_to_span(run.start, run.len).runs());
+                    } else if ctx.scan_kernels {
                         kernels::scan_range(
                             &payload,
                             interval,

@@ -20,6 +20,10 @@
 //!   `get_data` / `get_data_batch` / `get_histogram`.
 //! * [`multi`] — combined metadata + data queries over many small objects
 //!   (the H5BOSS scenario of §VI-C).
+//! * [`qcache`] — per-server, epoch-invalidated caches of query
+//!   artifacts (prune verdicts, region-scan selections, index answers)
+//!   powering [`QueryEngine::run_batch`]'s shared-scan batching. Hits
+//!   skip host recomputation only; simulated costs replay exactly.
 //! * [`integrity`] — data-plane integrity: deterministic corruption
 //!   injection and the client-side verify-and-repair preflight sweep;
 //!   repair work is charged to the breakdown's dedicated `integrity`
@@ -32,12 +36,16 @@ pub mod integrity;
 pub mod multi;
 pub mod parse;
 pub mod plan;
+pub mod qcache;
 pub(crate) mod recover;
 pub mod state;
 
 pub use ast::PdcQuery;
 pub use parse::parse_query;
-pub use engine::{EngineConfig, GetDataOutcome, QueryEngine, QueryOutcome, Strategy};
+pub use engine::{
+    BatchOutcome, BatchStats, EngineConfig, GetDataOutcome, QueryEngine, QueryOutcome, Strategy,
+};
+pub use qcache::{CacheStats, QueryArtifactCache};
 pub use integrity::{apply_corruption, preflight, CorruptionReport};
 pub use multi::MetaDataQueryOutcome;
 pub use plan::QueryPlan;

@@ -78,6 +78,11 @@ impl QueryEngine {
         type ObjectHitsResult = PdcResult<(Vec<(ObjectId, u64)>, SimDuration, IoCounters)>;
         let results: Vec<ObjectHitsResult> = self
             .pool_broadcast(move |id, st: &mut ServerState| {
+                // Prune verdicts are served from the epoch-validated
+                // artifact cache across repeated metadata+data queries;
+                // bin charges below stay unconditional so the simulated
+                // accounting is identical either way.
+                st.qcache.validate(odms.store().epoch());
                 let t0 = st.clock.now();
                 let io0 = st.io;
                 let w0 = st.work;
@@ -94,7 +99,9 @@ impl QueryEngine {
                             if let Ok(hs) = odms.meta().region_histograms(obj) {
                                 let h = &hs[r as usize];
                                 st.work.histogram_bins += h.num_bins() as u64;
-                                if h.estimate_hits(&iv).upper == 0 {
+                                if st.qcache.prune_or_compute(obj, r, &iv, || {
+                                    h.estimate_hits(&iv).upper == 0
+                                }) {
                                     continue;
                                 }
                             }

@@ -1,0 +1,314 @@
+//! Per-server cache of query-evaluation artifacts for batched query
+//! series: histogram prune verdicts, full-region scan selections, and
+//! bitmap-index answers, keyed by `(object, region, interval)`.
+//!
+//! The cache trades **host CPU** only. A hit lets the server skip
+//! recomputing a pure artifact (a kernel scan, an `estimate_hits` walk,
+//! an index probe) while the simulated accounting — reads, counters,
+//! clock charges — is replayed exactly as on a miss, so batched results
+//! and cost breakdowns stay bit-identical to a cache-free sequential
+//! run (property-tested in `tests/batch_equivalence.rs`).
+//!
+//! **Invalidation** is epoch-based: [`pdc_storage::ObjectStore`] bumps a
+//! monotonic epoch on every data mutation (put / remove / migrate /
+//! corrupt / repair) and the ODMS bumps it on metadata-only rebuilds
+//! (region histograms, sorted replicas). [`QueryArtifactCache::validate`]
+//! clears all entries when the observed epoch moved — called at the top
+//! of every cached slot evaluation, so repairs, index rebuilds, and
+//! region migrations can never serve a stale artifact.
+//!
+//! The cache is **budgeted**: entries are charged by their run-list wire
+//! size and the whole cache resets when the budget would overflow (the
+//! same whole-map policy the index cache uses — entries are cheap to
+//! refill from the next batch pass).
+
+use pdc_types::{Interval, ObjectId, Selection};
+use std::collections::HashMap;
+
+/// Bit-exact hashable image of an [`Interval`]: raw endpoint bits plus
+/// presence/inclusivity flags. Two intervals map to the same key iff
+/// they are structurally identical (NaN payloads included), so a cached
+/// artifact is only ever served for the exact predicate that built it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct IntervalKey {
+    lo: (u64, u8),
+    hi: (u64, u8),
+}
+
+impl IntervalKey {
+    /// Encode an interval.
+    pub fn of(iv: &Interval) -> Self {
+        let enc = |b: Option<pdc_types::interval::Bound>| match b {
+            None => (0u64, 0u8),
+            Some(b) => (b.value.to_bits(), if b.inclusive { 2 } else { 1 }),
+        };
+        IntervalKey { lo: enc(iv.lo), hi: enc(iv.hi) }
+    }
+}
+
+type Key = (ObjectId, u32, IntervalKey);
+
+/// Replay record for a region answered from its bitmap index: enough to
+/// reproduce the simulated accounting of [`crate::exec`]'s indexed path
+/// (conditional data read + candidate-count scan charge) without
+/// re-probing the index.
+#[derive(Debug, Clone)]
+pub struct IndexedEntry {
+    /// Whether boundary bins forced a candidate check (a data read).
+    pub needs_data_read: bool,
+    /// `candidates.count()` of the index answer (the scan charge).
+    pub candidates_count: u64,
+    /// The region's final selection, already in global coordinates.
+    pub selection: Selection,
+}
+
+/// Hit/miss counters, reported by the batch frontend.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CacheStats {
+    /// Artifact lookups served from the cache.
+    pub hits: u64,
+    /// Artifact lookups that had to compute.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Hits / (hits + misses); 0 when empty.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// The per-server artifact cache (one per [`crate::state::ServerState`]).
+pub struct QueryArtifactCache {
+    epoch: u64,
+    budget_bytes: u64,
+    bytes: u64,
+    prune: HashMap<Key, bool>,
+    scans: HashMap<Key, Selection>,
+    indexed: HashMap<Key, IndexedEntry>,
+    /// Lookup statistics (survive epoch invalidation).
+    pub stats: CacheStats,
+}
+
+/// Approximate footprint of a map entry beyond its selection payload.
+const ENTRY_OVERHEAD: u64 = 48;
+
+impl QueryArtifactCache {
+    /// Empty cache with the given byte budget.
+    pub fn new(budget_bytes: u64) -> Self {
+        Self {
+            epoch: 0,
+            budget_bytes,
+            bytes: 0,
+            prune: HashMap::new(),
+            scans: HashMap::new(),
+            indexed: HashMap::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Drop every entry when the store epoch moved since the last call:
+    /// any put, remove, migrate, corrupt, repair, or aux rebuild
+    /// invalidates all derived artifacts.
+    pub fn validate(&mut self, epoch: u64) {
+        if self.epoch != epoch {
+            self.clear();
+            self.epoch = epoch;
+        }
+    }
+
+    /// Drop all entries (budget and stats handling preserved).
+    pub fn clear(&mut self) {
+        self.prune.clear();
+        self.scans.clear();
+        self.indexed.clear();
+        self.bytes = 0;
+    }
+
+    /// Number of resident entries across all artifact kinds.
+    pub fn len(&self) -> usize {
+        self.prune.len() + self.scans.len() + self.indexed.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn charge(&mut self, add: u64) {
+        if self.bytes + add > self.budget_bytes {
+            self.clear();
+        }
+        self.bytes += add;
+    }
+
+    /// The cached histogram prune verdict for `(object, region,
+    /// interval)`, computing and caching it with `compute` on a miss.
+    pub fn prune_or_compute(
+        &mut self,
+        object: ObjectId,
+        region: u32,
+        interval: &Interval,
+        compute: impl FnOnce() -> bool,
+    ) -> bool {
+        let key = (object, region, IntervalKey::of(interval));
+        if let Some(&v) = self.prune.get(&key) {
+            self.stats.hits += 1;
+            return v;
+        }
+        self.stats.misses += 1;
+        let v = compute();
+        self.charge(ENTRY_OVERHEAD);
+        self.prune.insert(key, v);
+        v
+    }
+
+    /// The cached full-region scan selection, if present.
+    pub fn get_scan(&mut self, object: ObjectId, region: u32, interval: &Interval) -> Option<Selection> {
+        let key = (object, region, IntervalKey::of(interval));
+        match self.scans.get(&key) {
+            Some(sel) => {
+                self.stats.hits += 1;
+                Some(sel.clone())
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Cache a full-region scan selection (global coordinates).
+    pub fn put_scan(&mut self, object: ObjectId, region: u32, interval: &Interval, sel: Selection) {
+        self.charge(ENTRY_OVERHEAD + sel.wire_size_bytes());
+        self.scans.insert((object, region, IntervalKey::of(interval)), sel);
+    }
+
+    /// Peek a full-region scan selection without touching the hit/miss
+    /// stats (used by opportunistic consumers like `point_check`, where
+    /// a miss is the expected common case, and by the prewarm pass).
+    pub fn peek_scan(&self, object: ObjectId, region: u32, interval: &Interval) -> Option<&Selection> {
+        self.scans.get(&(object, region, IntervalKey::of(interval)))
+    }
+
+    /// The cached index-answer replay record, if present.
+    pub fn get_indexed(
+        &mut self,
+        object: ObjectId,
+        region: u32,
+        interval: &Interval,
+    ) -> Option<IndexedEntry> {
+        let key = (object, region, IntervalKey::of(interval));
+        match self.indexed.get(&key) {
+            Some(e) => {
+                self.stats.hits += 1;
+                Some(e.clone())
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Cache an index-answer replay record.
+    pub fn put_indexed(
+        &mut self,
+        object: ObjectId,
+        region: u32,
+        interval: &Interval,
+        entry: IndexedEntry,
+    ) {
+        self.charge(ENTRY_OVERHEAD + entry.selection.wire_size_bytes());
+        self.indexed.insert((object, region, IntervalKey::of(interval)), entry);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(lo: f64, hi: f64) -> Interval {
+        Interval::open(lo, hi)
+    }
+
+    #[test]
+    fn interval_key_is_bit_exact() {
+        assert_eq!(IntervalKey::of(&iv(1.0, 2.0)), IntervalKey::of(&iv(1.0, 2.0)));
+        assert_ne!(IntervalKey::of(&iv(1.0, 2.0)), IntervalKey::of(&iv(1.0, 2.5)));
+        assert_ne!(
+            IntervalKey::of(&Interval::open(1.0, 2.0)),
+            IntervalKey::of(&Interval::closed(1.0, 2.0)),
+            "inclusivity must distinguish keys"
+        );
+        assert_ne!(
+            IntervalKey::of(&Interval::from_op(pdc_types::QueryOp::Gt, 0.0)),
+            IntervalKey::of(&Interval::from_op(pdc_types::QueryOp::Lt, 0.0)),
+            "lo-only vs hi-only bounds must distinguish keys"
+        );
+    }
+
+    #[test]
+    fn prune_hits_skip_compute() {
+        let mut c = QueryArtifactCache::new(1 << 20);
+        let obj = ObjectId(1);
+        let mut calls = 0;
+        let v1 = c.prune_or_compute(obj, 0, &iv(0.0, 1.0), || {
+            calls += 1;
+            true
+        });
+        let v2 = c.prune_or_compute(obj, 0, &iv(0.0, 1.0), || {
+            calls += 1;
+            false
+        });
+        assert!(v1 && v2, "hit must replay the first verdict");
+        assert_eq!(calls, 1);
+        assert_eq!(c.stats.hits, 1);
+        assert_eq!(c.stats.misses, 1);
+    }
+
+    #[test]
+    fn epoch_change_invalidates_everything() {
+        let mut c = QueryArtifactCache::new(1 << 20);
+        let obj = ObjectId(3);
+        c.validate(7);
+        c.put_scan(obj, 0, &iv(0.0, 1.0), Selection::from_span(0, 10));
+        c.prune_or_compute(obj, 1, &iv(0.0, 1.0), || true);
+        c.put_indexed(
+            obj,
+            2,
+            &iv(0.0, 1.0),
+            IndexedEntry {
+                needs_data_read: false,
+                candidates_count: 0,
+                selection: Selection::empty(),
+            },
+        );
+        assert_eq!(c.len(), 3);
+        c.validate(7);
+        assert_eq!(c.len(), 3, "same epoch keeps entries");
+        c.validate(8);
+        assert!(c.is_empty(), "epoch bump must clear all artifact kinds");
+        assert!(c.get_scan(obj, 0, &iv(0.0, 1.0)).is_none());
+    }
+
+    #[test]
+    fn budget_overflow_resets_whole_cache() {
+        let mut c = QueryArtifactCache::new(200);
+        let obj = ObjectId(9);
+        c.put_scan(obj, 0, &iv(0.0, 1.0), Selection::from_span(0, 5));
+        assert_eq!(c.len(), 1);
+        // A large entry blows the budget: the cache resets, then admits it.
+        let big: Vec<pdc_types::Run> =
+            (0..50).map(|i| pdc_types::Run::new(i * 10, 2)).collect();
+        c.put_scan(obj, 1, &iv(2.0, 3.0), Selection::from_canonical_runs(big));
+        assert_eq!(c.len(), 1, "old entries evicted wholesale");
+        assert!(c.peek_scan(obj, 1, &iv(2.0, 3.0)).is_some());
+        assert!(c.peek_scan(obj, 0, &iv(0.0, 1.0)).is_none());
+    }
+}

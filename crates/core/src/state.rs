@@ -1,5 +1,6 @@
 //! Per-logical-server state: caches, clock, counters.
 
+use crate::qcache::QueryArtifactCache;
 use pdc_bitmap::BinnedBitmapIndex;
 use pdc_odms::Odms;
 use pdc_server::FaultProbe;
@@ -34,6 +35,12 @@ pub struct ServerState {
     /// ("the metadata is cached in all servers after the metadata
     /// distribution").
     pub metadata_loaded: HashSet<ObjectId>,
+    /// Epoch-validated cache of query artifacts (prune verdicts, scan
+    /// selections, index answers) for batched query series. Only
+    /// consulted when the engine evaluates with caching enabled; skips
+    /// host recomputation while the simulated accounting replays
+    /// identically.
+    pub qcache: QueryArtifactCache,
     /// Storage counters.
     pub io: IoCounters,
     /// Evaluation-work counters.
@@ -65,6 +72,7 @@ impl ServerState {
             index_cache_budget: cache_bytes / 4,
             sorted_resident: HashSet::new(),
             metadata_loaded: HashSet::new(),
+            qcache: QueryArtifactCache::new(cache_bytes / 4),
             io: IoCounters::default(),
             work: WorkCounters::default(),
             integrity: IntegrityCounters::default(),

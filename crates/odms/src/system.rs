@@ -269,6 +269,9 @@ impl Odms {
         })?;
         let size = hist.size_bytes();
         self.meta.replace_region_histogram(object, region, hist)?;
+        // Metadata-only mutation: no store write happens, so invalidate
+        // epoch-keyed prune/plan caches explicitly.
+        self.store.bump_epoch();
         Ok(size)
     }
 
@@ -290,6 +293,8 @@ impl Odms {
         let replica = SortedReplica::build(&values, meta.region_elems);
         let size = replica.size_bytes(meta.pdc_type.size_bytes());
         self.meta.set_sorted_replica(object, replica);
+        // Metadata-only mutation (see rebuild_region_histogram).
+        self.store.bump_epoch();
         Ok(size)
     }
 

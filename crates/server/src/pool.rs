@@ -60,16 +60,27 @@ impl<S: Send> ServerPool<S> {
     /// Run `handler` once per logical server ("broadcast"), giving it the
     /// server's id and exclusive access to its persistent state. Results
     /// are returned indexed by server. Handlers run concurrently across
-    /// worker threads; each logical server runs exactly once.
+    /// worker threads; each logical server runs exactly once. With a
+    /// single worker the dispatch runs inline on the caller's thread —
+    /// spawning an OS thread per broadcast on a 1-core host costs more
+    /// than the whole handler sweep.
     pub fn broadcast<R, F>(&self, handler: F) -> Vec<R>
     where
         R: Send,
         F: Fn(ServerId, &mut S) -> R + Sync,
     {
         let n = self.states.len();
+        let workers = self.worker_threads.min(n).max(1);
+        if workers == 1 {
+            return self
+                .states
+                .iter()
+                .enumerate()
+                .map(|(i, s)| handler(ServerId(i as u32), &mut s.lock()))
+                .collect();
+        }
         let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
-        let workers = self.worker_threads.min(n).max(1);
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
@@ -105,10 +116,29 @@ impl<S: Send> ServerPool<S> {
         F: Fn(ServerId, &mut S) -> R + Sync,
     {
         let n = self.states.len();
+        let workers = self.worker_threads.min(n).max(1);
+        if workers == 1 {
+            return self
+                .states
+                .iter()
+                .enumerate()
+                .map(|(i, s)| {
+                    let r = {
+                        let mut state = s.lock();
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            handler(ServerId(i as u32), &mut state)
+                        }))
+                    };
+                    r.map_err(|payload| ServerPanic {
+                        server: ServerId(i as u32),
+                        message: panic_message(&*payload),
+                    })
+                })
+                .collect();
+        }
         let results: Vec<Mutex<Option<Result<R, ServerPanic>>>> =
             (0..n).map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
-        let workers = self.worker_threads.min(n).max(1);
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {

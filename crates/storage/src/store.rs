@@ -165,6 +165,14 @@ pub struct ObjectStore {
     regions: RwLock<HashMap<RegionId, StoredRegion>>,
     quarantine: RwLock<HashSet<RegionId>>,
     num_osts: u32,
+    /// Monotonic data-plane epoch: bumped by every mutation that can
+    /// change what a read of any region would return (put, remove,
+    /// migrate, corrupt, repair) and by metadata-only rebuilds via
+    /// [`ObjectStore::bump_epoch`]. Caches derived from region contents
+    /// (prune verdicts, partial selections, built plans) key their
+    /// entries to the epoch they were computed at and drop them when it
+    /// moves.
+    epoch: std::sync::atomic::AtomicU64,
 }
 
 impl ObjectStore {
@@ -174,12 +182,26 @@ impl ObjectStore {
             regions: RwLock::new(HashMap::new()),
             quarantine: RwLock::new(HashSet::new()),
             num_osts: num_osts.max(1),
+            epoch: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
     /// Number of simulated OSTs.
     pub fn num_osts(&self) -> u32 {
         self.num_osts
+    }
+
+    /// The current data-plane epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    /// Advance the data-plane epoch, invalidating all epoch-keyed caches.
+    /// Called internally by every mutating store operation; exposed for
+    /// mutations that bypass the store (metadata-only histogram or
+    /// sorted-replica rebuilds).
+    pub fn bump_epoch(&self) {
+        self.epoch.fetch_add(1, std::sync::atomic::Ordering::AcqRel);
     }
 
     /// Insert (or replace) a region payload on a tier. Placement is
@@ -192,6 +214,7 @@ impl ObjectStore {
             .write()
             .insert(id, StoredRegion { payload, tier, ost, checksum, pristine: None });
         self.quarantine.write().remove(&id);
+        self.bump_epoch();
     }
 
     /// Fetch a region's payload and tier, verifying the payload checksum
@@ -209,6 +232,20 @@ impl ObjectStore {
             return Err(PdcError::CorruptRegion { region: id, tier: tier.name().into() });
         }
         Ok((payload, tier))
+    }
+
+    /// Fetch a region's payload and tier WITHOUT re-deriving its checksum.
+    /// For advisory reads only (e.g. batch prewarm seeding caches keyed by
+    /// the store epoch): skipping verification is safe there because every
+    /// mutation — including `corrupt` and repair — bumps the epoch, which
+    /// invalidates whatever the advisory reader derived. Anything that
+    /// feeds query results or durability must use [`Self::get`].
+    pub fn get_unverified(&self, id: RegionId) -> PdcResult<(StoredPayload, StorageTier)> {
+        self.regions
+            .read()
+            .get(&id)
+            .map(|r| (r.payload.clone(), r.tier))
+            .ok_or(PdcError::NoSuchRegion(id))
     }
 
     /// Fetch a typed-array region (most callers).
@@ -245,7 +282,11 @@ impl ObjectStore {
     /// quarantine entry so a later `put` at the same id starts clean.
     pub fn remove(&self, id: RegionId) -> bool {
         self.quarantine.write().remove(&id);
-        self.regions.write().remove(&id).is_some()
+        let existed = self.regions.write().remove(&id).is_some();
+        if existed {
+            self.bump_epoch();
+        }
+        existed
     }
 
     /// Move a region to a different tier (data movement across the
@@ -261,7 +302,10 @@ impl ObjectStore {
             return Err(PdcError::CorruptRegion { region: id, tier: found_on.name().into() });
         }
         r.tier = tier;
-        Ok(r.payload.size_bytes())
+        let bytes = r.payload.size_bytes();
+        drop(map);
+        self.bump_epoch();
+        Ok(bytes)
     }
 
     /// Deterministically corrupt a region in place: flip one bit of the
@@ -278,6 +322,8 @@ impl ObjectStore {
                     r.pristine = Some(r.payload.clone());
                 }
                 r.payload = bad;
+                drop(map);
+                self.bump_epoch();
                 Ok(true)
             }
             None => Ok(false),
@@ -305,6 +351,7 @@ impl ObjectStore {
         let bytes = r.payload.size_bytes();
         drop(map);
         self.quarantine.write().remove(&id);
+        self.bump_epoch();
         Ok(bytes)
     }
 
@@ -513,6 +560,34 @@ mod tests {
         let _ = store.get(rid(9, 0));
         assert!(store.remove(rid(9, 0)));
         assert!(!store.is_quarantined(rid(9, 0)), "remove must clear quarantine");
+    }
+
+    #[test]
+    fn epoch_advances_on_every_data_mutation() {
+        let store = ObjectStore::new(2);
+        let v: TypedVec = vec![1.0f32; 8].into();
+        let e0 = store.epoch();
+        store.put(rid(11, 0), StoredPayload::Typed(Arc::new(v)), StorageTier::Pfs);
+        let e1 = store.epoch();
+        assert!(e1 > e0, "put must bump");
+        store.migrate(rid(11, 0), StorageTier::Dram).unwrap();
+        let e2 = store.epoch();
+        assert!(e2 > e1, "migrate must bump");
+        store.corrupt(rid(11, 0), 5).unwrap();
+        let e3 = store.epoch();
+        assert!(e3 > e2, "corrupt must bump");
+        store.repair(rid(11, 0)).unwrap();
+        let e4 = store.epoch();
+        assert!(e4 > e3, "repair must bump");
+        store.remove(rid(11, 0));
+        let e5 = store.epoch();
+        assert!(e5 > e4, "remove must bump");
+        assert_eq!(store.epoch(), e5, "reads must not bump");
+        store.bump_epoch();
+        assert_eq!(store.epoch(), e5 + 1);
+        // removing a missing region is a no-op
+        assert!(!store.remove(rid(11, 0)));
+        assert_eq!(store.epoch(), e5 + 1);
     }
 
     #[test]

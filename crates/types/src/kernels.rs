@@ -363,6 +363,36 @@ pub fn scan_interval(tv: &TypedVec, interval: &Interval, base: u64) -> Selection
     Selection::from_canonical_runs(out)
 }
 
+/// Fused multi-interval scan: evaluate `k` intervals against one region
+/// payload in a single pass over its 64-element blocks, so the data is
+/// decoded and streamed through the cache hierarchy once instead of `k`
+/// times (the batched query engine's shared-scan kernel). Every interval
+/// is lowered once up front; each output selection is bit-identical to
+/// [`scan_interval`] run alone, because per block the same
+/// [`block_mask`] / [`mask_runs`] pipeline executes per interval.
+pub fn scan_intervals(tv: &TypedVec, intervals: &[Interval], base: u64) -> Vec<Selection> {
+    crate::with_slice!(tv, xs => scan_intervals_slice(xs, intervals, base))
+}
+
+fn scan_intervals_slice<T: ScanElem>(
+    xs: &[T],
+    intervals: &[Interval],
+    base: u64,
+) -> Vec<Selection> {
+    let lowered: Vec<(T, T)> = intervals.iter().map(T::lower).collect();
+    let mut outs: Vec<Vec<Run>> = vec![Vec::new(); intervals.len()];
+    for (bi, chunk) in xs.chunks(64).enumerate() {
+        let blk_base = base + bi as u64 * 64;
+        for (k, &(lo, hi)) in lowered.iter().enumerate() {
+            let m = block_mask(chunk, lo, hi);
+            if m != 0 {
+                mask_runs(m, blk_base, &mut outs[k]);
+            }
+        }
+    }
+    outs.into_iter().map(Selection::from_canonical_runs).collect()
+}
+
 /// The pre-kernel reference scan: per-element enum dispatch through
 /// [`TypedVec::get_f64`] and a branchy run state machine. Kept as the
 /// correctness oracle for the kernels (property-tested equal) and as the
@@ -708,6 +738,24 @@ mod tests {
         assert_eq!(sel.runs(), &[Run::new(71, 1), Run::new(73, 2)]);
     }
 
+    #[test]
+    fn fused_scan_equals_independent_scans() {
+        let tv = TypedVec::Float((0..777).map(|i| ((i * 37) % 1000) as f32 / 100.0).collect());
+        let intervals = [
+            Interval::open(2.1, 2.2),
+            Interval::closed(0.0, 9.99),
+            Interval::empty(),
+            Interval::from_op(crate::QueryOp::Gt, 8.0),
+            Interval::ALL,
+        ];
+        let fused = scan_intervals(&tv, &intervals, 310);
+        assert_eq!(fused.len(), intervals.len());
+        for (k, iv) in intervals.iter().enumerate() {
+            assert_eq!(fused[k], scan_interval(&tv, iv, 310), "interval {k} ({iv})");
+        }
+        assert!(scan_intervals(&tv, &[], 0).is_empty());
+    }
+
     // -- parallel path ------------------------------------------------------
 
     #[test]
@@ -879,6 +927,24 @@ mod tests {
                 scan_interval_split(&tv, &iv, 7, threads, min_chunk),
                 scan_interval(&tv, &iv, 7)
             );
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 100, ..ProptestConfig::default() })]
+        #[test]
+        fn fused_scan_equals_per_interval(seed in 0u64..u64::MAX) {
+            let mut rng = TestRng::new(seed);
+            let ty = rng.below(6);
+            let len = rng.below(400);
+            let tv = gen_data(&mut rng, ty, len);
+            let k = 1 + rng.below(6);
+            let ivs: Vec<Interval> = (0..k).map(|_| gen_interval(&mut rng, 25.0)).collect();
+            let base = rng.next_u64() % 1_000_000;
+            let fused = scan_intervals(&tv, &ivs, base);
+            for (i, iv) in ivs.iter().enumerate() {
+                prop_assert_eq!(&fused[i], &scan_interval(&tv, iv, base), "interval {}", i);
+            }
         }
     }
 

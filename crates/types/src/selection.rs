@@ -199,6 +199,45 @@ impl Selection {
         Selection { runs: merged }
     }
 
+    /// K-way set union: merge the runs of many selections in a single
+    /// O(n log k) heap-driven pass (n total runs, k inputs) instead of k
+    /// pairwise [`Selection::union`] merges, which degrade to O(k·n) when
+    /// an accumulator re-walks its own runs on every fold step. The result
+    /// is canonical RLE, so it is bit-identical to any fold of `union`.
+    pub fn union_many<'a, I: IntoIterator<Item = &'a Selection>>(sels: I) -> Selection {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let sources: Vec<&[Run]> =
+            sels.into_iter().map(|s| s.runs()).filter(|r| !r.is_empty()).collect();
+        match sources.len() {
+            0 => return Selection::empty(),
+            1 => return Selection { runs: sources[0].to_vec() },
+            _ => {}
+        }
+        // Heap entries are (next run start, source, run index); the source
+        // index breaks ties deterministically.
+        let mut heap: BinaryHeap<Reverse<(u64, usize, usize)>> = sources
+            .iter()
+            .enumerate()
+            .map(|(k, runs)| Reverse((runs[0].start, k, 0)))
+            .collect();
+        let mut merged: Vec<Run> = Vec::with_capacity(sources.iter().map(|r| r.len()).sum());
+        while let Some(Reverse((_, k, i))) = heap.pop() {
+            let r = sources[k][i];
+            if let Some(next) = sources[k].get(i + 1) {
+                heap.push(Reverse((next.start, k, i + 1)));
+            }
+            match merged.last_mut() {
+                Some(last) if r.start <= last.end() => {
+                    let end = last.end().max(r.end());
+                    last.len = end - last.start;
+                }
+                _ => merged.push(r),
+            }
+        }
+        Selection { runs: merged }
+    }
+
     /// Set intersection — the paper's AND combination.
     pub fn intersect(&self, other: &Selection) -> Selection {
         let mut out = Vec::new();
@@ -342,6 +381,40 @@ mod tests {
         let a = sel(&[4, 5, 9]);
         assert_eq!(a.union(&Selection::empty()), a);
         assert_eq!(Selection::empty().union(&a), a);
+    }
+
+    #[test]
+    fn union_many_matches_pairwise_fold() {
+        let inputs = [
+            sel(&[1, 2, 3, 10]),
+            sel(&[3, 4, 5, 20]),
+            Selection::empty(),
+            Selection::from_span(9, 3), // bridges 10 and introduces 9, 11
+            sel(&[0, 21]),              // adjacent to 1 and 20
+        ];
+        let folded = inputs.iter().fold(Selection::empty(), |acc, s| acc.union(s));
+        assert_eq!(Selection::union_many(inputs.iter()), folded);
+        assert_eq!(Selection::union_many([].into_iter()), Selection::empty());
+        let single = sel(&[7, 9]);
+        assert_eq!(Selection::union_many([&single]), single);
+    }
+
+    #[test]
+    fn union_many_pseudorandom_inputs_match_fold() {
+        // Deterministic pseudo-random run soup across many sources.
+        let mut state = 0x9E37_79B9u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let sources: Vec<Selection> = (0..13)
+            .map(|_| {
+                let coords: Vec<u64> = (0..200).map(|_| next() % 1500).collect();
+                Selection::from_unsorted_coords(coords)
+            })
+            .collect();
+        let folded = sources.iter().fold(Selection::empty(), |acc, s| acc.union(s));
+        assert_eq!(Selection::union_many(sources.iter()), folded);
     }
 
     #[test]
