@@ -65,6 +65,30 @@ echo "$batch_out" | grep -q '^batch: 8 queries' || {
 }
 echo "batch smoke: '$batch_hits' identical across 8-query batch"
 
+echo "== adaptive-strategy gate =="
+# PDC-A must return exactly the full-scan selection (operator choices
+# may differ per region; answers may not), and the cost-model gate in
+# the bench bin asserts the adaptive series total is no worse than the
+# best fixed strategy at the recorded baseline scale.
+adaptive_hits=$($PDC query "$SMOKE_Q" $SMOKE_ARGS --strategy A | grep -o '[0-9]* hits ([0-9]* runs)')
+fullscan_hits=$($PDC query "$SMOKE_Q" $SMOKE_ARGS --strategy F | grep -o '[0-9]* hits ([0-9]* runs)')
+if [ "$adaptive_hits" != "$fullscan_hits" ]; then
+    echo "ci: adaptive smoke FAILED: adaptive '$adaptive_hits' vs full-scan '$fullscan_hits'" >&2
+    exit 1
+fi
+echo "adaptive smoke: '$adaptive_hits' identical to full scan"
+explain_out=$($PDC query "$SMOKE_Q" $SMOKE_ARGS --strategy A --explain)
+echo "$explain_out" | grep -q '^explain: strategy PDC-A' || {
+    echo "ci: explain smoke FAILED: no explain header in --explain run" >&2
+    exit 1
+}
+echo "$explain_out" | grep -q 'est(lo..hi)' || {
+    echo "ci: explain smoke FAILED: no operator table in --explain run" >&2
+    exit 1
+}
+echo "explain smoke: operator table rendered"
+target/release/adaptive /tmp/ci_adaptive.json
+
 echo "== clippy gate =="
 cargo clippy --release $OFFLINE --workspace --all-targets -- -D warnings
 

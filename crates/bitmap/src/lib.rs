@@ -31,3 +31,9 @@ pub mod wah;
 pub use binning::{precision_edges, BinningConfig};
 pub use index::{BinnedBitmapIndex, IndexAnswer, ValueDomain};
 pub use wah::WahBitVector;
+
+/// Typical serialized index size as a fraction of the indexed data's
+/// bytes — the cost model's calibration target ("the index file is ≈15 %
+/// of data bytes"). Planners use it to estimate index-read cost when a
+/// region's index size isn't known without a charged read.
+pub const TYPICAL_INDEX_RATIO: f64 = 0.15;

@@ -11,7 +11,7 @@
 //! ```
 
 use pdc_odms::{ImportOptions, Odms};
-use pdc_query::{parse_query, EngineConfig, QueryEngine, Strategy};
+use pdc_query::{parse_query, EngineConfig, ExplainPlan, QueryEngine, Strategy};
 use pdc_server::{CorruptionSpec, FaultPlan};
 use pdc_storage::CostModel;
 use pdc_workloads::{VpicConfig, VpicData};
@@ -34,7 +34,7 @@ pub enum Command {
         /// Extra expressions (one per line) admitted in the same batch.
         batch_file: Option<String>,
     },
-    /// Compare all four strategies on a few standard queries.
+    /// Compare all five strategies on a few standard queries.
     Demo {
         /// Common options.
         opts: CommonOpts,
@@ -68,6 +68,9 @@ pub struct CommonOpts {
     pub corrupt_seed: Option<u64>,
     /// Wall-clock threads per region scan (0 = auto, 1 = sequential).
     pub scan_threads: u32,
+    /// Print the per-region operator table (chosen physical operators,
+    /// prune verdicts, estimated vs actual selectivity).
+    pub explain: bool,
 }
 
 impl Default for CommonOpts {
@@ -83,6 +86,7 @@ impl Default for CommonOpts {
             corrupt_regions: 0.0,
             corrupt_seed: None,
             scan_threads: 0,
+            explain: false,
         }
     }
 }
@@ -106,7 +110,8 @@ OPTIONS:
   --particles <N>    particles per variable   (default 500000)
   --servers <N>      logical PDC servers      (default 16)
   --region-kb <N>    region size in KiB       (default 64)
-  --strategy <S>     F | H | HI | SH          (default H)
+  --strategy <S>     F | H | HI | SH | A      (default H; A = adaptive
+                     per-region operator selection)
   --seed <N>         RNG seed
   --fault-seed <N>   inject a seeded deterministic fault plan (crashes,
                      slowdowns, transient errors); queries still succeed
@@ -121,6 +126,10 @@ OPTIONS:
                      seed, then the RNG seed)
   --scan-threads <N> wall-clock threads per region scan; 0 = auto, 1 disables
                      the chunk-parallel kernel path (default 0)
+  --explain          print the per-region operator table: chosen physical
+                     operator (scan / probe / sorted / rebuild), prune
+                     verdicts, and estimated vs actual hits per region; in
+                     batch mode, explains the lead query of the series
   --get-data <var>   fetch that variable's values for the matches (query only)
   --queries <N>      (query only) admit the expression N times as one
                      concurrent batch: shared-scan prewarm + plan/artifact
@@ -234,6 +243,9 @@ fn parse_options<I: Iterator<Item = String>>(
             "--strategy" => {
                 opts.strategy = parse_strategy(&value("--strategy")?)?;
             }
+            "--explain" => {
+                opts.explain = true;
+            }
             "--get-data" => match query_only.as_deref_mut() {
                 Some(b) => b.get_data = Some(value("--get-data")?),
                 None => return Err("--get-data is only valid for 'pdc query'".to_string()),
@@ -262,7 +274,8 @@ pub fn parse_strategy(s: &str) -> Result<Strategy, String> {
         "H" | "PDC-H" | "HISTOGRAM" => Ok(Strategy::Histogram),
         "HI" | "PDC-HI" | "INDEX" | "HISTOGRAMINDEX" => Ok(Strategy::HistogramIndex),
         "SH" | "PDC-SH" | "SORTED" | "SORTEDHISTOGRAM" => Ok(Strategy::SortedHistogram),
-        other => Err(format!("unknown strategy '{other}' (use F, H, HI, or SH)")),
+        "A" | "PDC-A" | "ADAPTIVE" => Ok(Strategy::Adaptive),
+        other => Err(format!("unknown strategy '{other}' (use F, H, HI, SH, or A)")),
     }
 }
 
@@ -330,6 +343,61 @@ pub fn build_engine(odms: &Arc<Odms>, opts: &CommonOpts) -> QueryEngine {
     )
 }
 
+/// Render an [`ExplainPlan`] as the per-region operator table: one row
+/// per evaluated region with the chosen physical operator, the prune
+/// verdict, and estimated vs actual hits.
+pub fn format_explain(odms: &Arc<Odms>, plan: &ExplainPlan) -> String {
+    use std::fmt::Write as _;
+    let name_of = |id: pdc_types::ObjectId| {
+        odms.meta().get(id).map(|m| m.name.clone()).unwrap_or_else(|_| id.to_string())
+    };
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "explain: strategy {}, sorted primary: {}",
+        plan.strategy,
+        if plan.sorted_primary { "yes" } else { "no" },
+    );
+    for (obj, iv, est) in &plan.constraints {
+        let _ = match est {
+            Some(e) => writeln!(
+                s,
+                "  constraint: {} {} (est. selectivity {:.4})",
+                name_of(*obj),
+                iv,
+                e
+            ),
+            None => writeln!(s, "  constraint: {} {}", name_of(*obj), iv),
+        };
+    }
+    let _ = writeln!(
+        s,
+        "  {:<8} {:>6}  {:<7} {:<7} {:>6}  {:>15} {:>8} {:>8}",
+        "object", "region", "phase", "op", "pruned", "est(lo..hi)", "actual", "span"
+    );
+    const MAX_ROWS: usize = 64;
+    for r in plan.regions.iter().take(MAX_ROWS) {
+        let est = r.est.map_or_else(|| "-".to_string(), |e| format!("{}..{}", e.lower, e.upper));
+        let actual = r.actual_hits.map_or_else(|| "-".to_string(), |h| h.to_string());
+        let _ = writeln!(
+            s,
+            "  {:<8} {:>6}  {:<7} {:<7} {:>6}  {:>15} {:>8} {:>8}",
+            name_of(r.object),
+            r.region,
+            r.phase.label(),
+            r.op.label(),
+            if r.pruned { "yes" } else { "no" },
+            est,
+            actual,
+            r.span_len,
+        );
+    }
+    if plan.regions.len() > MAX_ROWS {
+        let _ = writeln!(s, "  ... ({} more rows)", plan.regions.len() - MAX_ROWS);
+    }
+    s
+}
+
 /// Execute a parsed command; returns the text to print.
 pub fn run(cmd: Command) -> Result<String, String> {
     match cmd {
@@ -359,8 +427,17 @@ pub fn run(cmd: Command) -> Result<String, String> {
                 }
             }
 
+            let mut explain_plan = None;
             let outcome = if series.len() > 1 {
                 let batch = engine.run_batch(&series).map_err(|e| e.to_string())?;
+                if opts.explain {
+                    // Batch-mode variant: explain the lead query of the
+                    // series (operator choices are pure functions of
+                    // metadata/histograms/cost, so this is exactly the
+                    // pipeline every admission of it ran).
+                    let (_, plan) = engine.explain(&series[0]).map_err(|e| e.to_string())?;
+                    explain_plan = Some(plan);
+                }
                 // Throughput in simulated time: the CLI's output contract is
                 // byte-identical runs for identical flags, so the report must
                 // not include host wall clock (BENCH_throughput.json records
@@ -382,6 +459,10 @@ pub fn run(cmd: Command) -> Result<String, String> {
                     s.prewarm_regions,
                 ));
                 batch.outcomes.into_iter().next().expect("non-empty batch")
+            } else if opts.explain {
+                let (outcome, plan) = engine.explain(&query).map_err(|e| e.to_string())?;
+                explain_plan = Some(plan);
+                outcome
             } else {
                 engine.run(&query).map_err(|e| e.to_string())?
             };
@@ -412,6 +493,9 @@ pub fn run(cmd: Command) -> Result<String, String> {
                     outcome.integrity.fallback_regions,
                     outcome.breakdown.integrity,
                 ));
+            }
+            if let Some(plan) = &explain_plan {
+                out.push_str(&format_explain(&odms, plan));
             }
             if let Some(var) = get_data {
                 let meta = odms.meta().lookup_name(&var).map_err(|e| e.to_string())?;
@@ -453,6 +537,7 @@ pub fn run(cmd: Command) -> Result<String, String> {
                     Strategy::Histogram,
                     Strategy::HistogramIndex,
                     Strategy::SortedHistogram,
+                    Strategy::Adaptive,
                 ] {
                     let engine =
                         build_engine(&odms, &CommonOpts { strategy, ..opts.clone() });
@@ -523,7 +608,62 @@ mod tests {
         assert_eq!(parse_strategy("f").unwrap(), Strategy::FullScan);
         assert_eq!(parse_strategy("PDC-SH").unwrap(), Strategy::SortedHistogram);
         assert_eq!(parse_strategy("index").unwrap(), Strategy::HistogramIndex);
+        assert_eq!(parse_strategy("a").unwrap(), Strategy::Adaptive);
+        assert_eq!(parse_strategy("PDC-A").unwrap(), Strategy::Adaptive);
+        assert_eq!(parse_strategy("adaptive").unwrap(), Strategy::Adaptive);
         assert!(parse_strategy("zzz").is_err());
+    }
+
+    #[test]
+    fn explain_flag_parses() {
+        let cmd = parse_args(argv("query Energy>2 --explain")).unwrap();
+        match cmd {
+            Command::Query { opts, .. } => assert!(opts.explain),
+            other => panic!("{other:?}"),
+        }
+        assert!(!CommonOpts::default().explain);
+    }
+
+    #[test]
+    fn explain_prints_operator_table() {
+        let out = run(Command::Query {
+            expr: "2.1 < Energy < 2.2".to_string(),
+            opts: CommonOpts {
+                particles: 50_000,
+                servers: 4,
+                strategy: Strategy::Adaptive,
+                explain: true,
+                ..CommonOpts::default()
+            },
+            get_data: None,
+            queries: 1,
+            batch_file: None,
+        })
+        .unwrap();
+        assert!(out.contains("explain: strategy PDC-A"), "{out}");
+        assert!(out.contains("est(lo..hi)"), "{out}");
+        assert!(out.contains("constraint: Energy"), "{out}");
+        // The hits line is unchanged by --explain.
+        assert!(out.contains(" hits ("), "{out}");
+    }
+
+    #[test]
+    fn batch_explain_prints_lead_query_table() {
+        let out = run(Command::Query {
+            expr: "2.1 < Energy < 2.2".to_string(),
+            opts: CommonOpts {
+                particles: 50_000,
+                servers: 4,
+                explain: true,
+                ..CommonOpts::default()
+            },
+            get_data: None,
+            queries: 4,
+            batch_file: None,
+        })
+        .unwrap();
+        assert!(out.contains("batch: 4 queries"), "{out}");
+        assert!(out.contains("explain: strategy PDC-H"), "{out}");
     }
 
     #[test]

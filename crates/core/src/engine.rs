@@ -33,6 +33,12 @@ pub enum Strategy {
     /// `PDC-SH`: histograms + the value-sorted replica of the primary
     /// object.
     SortedHistogram,
+    /// `PDC-A`: per-(region, predicate) operator selection — the planner
+    /// consults the region histogram's selectivity estimate and aux
+    /// availability to pick the cheapest physical operator (scan, index
+    /// probe, or sorted range) under the cost model. Results are
+    /// bit-identical to the fixed strategies.
+    Adaptive,
 }
 
 impl Strategy {
@@ -43,6 +49,7 @@ impl Strategy {
             Strategy::Histogram => "PDC-H",
             Strategy::HistogramIndex => "PDC-HI",
             Strategy::SortedHistogram => "PDC-SH",
+            Strategy::Adaptive => "PDC-A",
         }
     }
 }
@@ -354,6 +361,12 @@ impl QueryEngine {
         self.cfg.cost
     }
 
+    /// The engine's host-scan settings `(scan_threads, scan_kernels)`
+    /// (crate-internal; wall-clock only, never results or charges).
+    pub(crate) fn scan_flags(&self) -> (u32, bool) {
+        (self.cfg.scan_threads, self.cfg.scan_kernels)
+    }
+
     /// Broadcast a handler across the pool (crate-internal).
     pub(crate) fn pool_broadcast<R: Send>(
         &self,
@@ -441,7 +454,17 @@ impl QueryEngine {
     /// fail, their slots are re-evaluated by the survivors, so the query
     /// result is identical as long as at least one server stays alive.
     pub fn run(&self, query: &PdcQuery) -> PdcResult<QueryOutcome> {
-        self.run_impl(query, false).map(|(outcome, _)| outcome)
+        self.run_impl(query, false, false).map(|(outcome, _, _)| outcome)
+    }
+
+    /// Evaluate a query and return its per-region execution explanation
+    /// alongside the outcome: which physical operator each region was
+    /// answered with, prune verdicts, and estimated vs actual
+    /// selectivity. The outcome is bit-identical to [`Self::run`] on the
+    /// same pool state — explain recording is host-side only.
+    pub fn explain(&self, query: &PdcQuery) -> PdcResult<(QueryOutcome, crate::ops::ExplainPlan)> {
+        let (outcome, _, plan) = self.run_impl(query, false, true)?;
+        Ok((outcome, plan.expect("explain run always produces a plan")))
     }
 
     /// Shared implementation behind [`Self::run`] (cold, cache-free) and
@@ -451,12 +474,16 @@ impl QueryEngine {
     /// returns the slot-evaluation time so the batch scheduler can
     /// separate it from the serial client overheads. Caching affects
     /// host wall-clock only: the returned outcome is bit-identical
-    /// either way.
+    /// either way. With `explain` set, servers additionally record one
+    /// [`crate::ops::RegionExplain`] row per evaluated region (host-side
+    /// only — accounting is unaffected) and the merged
+    /// [`crate::ops::ExplainPlan`] is returned.
     fn run_impl(
         &self,
         query: &PdcQuery,
         use_cache: bool,
-    ) -> PdcResult<(QueryOutcome, SimDuration)> {
+        explain: bool,
+    ) -> PdcResult<(QueryOutcome, SimDuration, Option<crate::ops::ExplainPlan>)> {
         // Verify-and-repair preflight, before planning: corrupt region
         // histograms must be rebuilt before selectivity ordering reads the
         // re-merged globals, and repairing shared data regions on the
@@ -503,9 +530,14 @@ impl QueryEngine {
             &cost,
             &self.recovery_policy(),
             &weights,
-            |r: &(Selection, IoCounters, WorkCounters, IntegrityCounters, SimDuration)| {
-                r.0.wire_size_bytes()
-            },
+            |r: &(
+                Selection,
+                IoCounters,
+                WorkCounters,
+                IntegrityCounters,
+                SimDuration,
+                Vec<crate::ops::RegionExplain>,
+            )| { r.0.wire_size_bytes() },
             |slot, st| {
                 if use_cache {
                     // Epoch check at slot start: any data mutation or aux
@@ -526,13 +558,21 @@ impl QueryEngine {
                 let w0 = st.work;
                 let i0 = st.integrity;
                 let t0 = st.integrity_time;
-                let sel = eval_plan(&ctx, st, &plan)?;
+                if explain {
+                    st.explain = Some(Vec::new());
+                }
+                let res = eval_plan(&ctx, st, &plan);
+                // Disarm before propagating errors so a failed/retried
+                // slot attempt can't leak partial rows into a later one.
+                let rows = st.explain.take().unwrap_or_default();
+                let sel = res?;
                 Ok((
                     sel,
                     diff_io(&st.io, &io0),
                     diff_work(&st.work, &w0),
                     diff_integrity(&st.integrity, &i0),
                     st.integrity_time.saturating_sub(t0),
+                    rows,
                 ))
             },
         )?;
@@ -540,7 +580,7 @@ impl QueryEngine {
         let mut io = IoCounters::default();
         let mut work = WorkCounters::default();
         let mut slot_integrity_time = SimDuration::ZERO;
-        for (_, io_d, work_d, integ_d, integ_t) in &out.per_slot {
+        for (_, io_d, work_d, integ_d, integ_t, _) in &out.per_slot {
             io.merge(io_d);
             work.merge(work_d);
             integrity.merge(integ_d);
@@ -569,6 +609,19 @@ impl QueryEngine {
         };
 
         let sorted_hint = self.sorted_hint(&plan);
+        let explain_plan = explain.then(|| {
+            let mut regions: Vec<crate::ops::RegionExplain> =
+                out.per_slot.iter().flat_map(|t| t.5.iter().cloned()).collect();
+            regions.sort_by_key(|r| (r.object, r.region, r.phase));
+            let mut constraints = Vec::new();
+            collect_constraints(&plan.root, &mut constraints);
+            crate::ops::ExplainPlan {
+                strategy: self.cfg.strategy,
+                constraints,
+                sorted_primary: sorted_hint.is_some(),
+                regions,
+            }
+        });
         let mut failed_servers = out.failed_servers;
         let mut retry_rounds = out.retry_rounds;
         if let Some(pre) = preload {
@@ -601,6 +654,7 @@ impl QueryEngine {
                 integrity,
             },
             out.eval_time,
+            explain_plan,
         ))
     }
 
@@ -646,7 +700,7 @@ impl QueryEngine {
         let mut client_overhead = SimDuration::ZERO;
         let mut per_server_total = vec![SimDuration::ZERO; self.cfg.num_servers as usize];
         for q in queries {
-            let (outcome, eval_time) = self.run_impl(q, true)?;
+            let (outcome, eval_time, _) = self.run_impl(q, true, false)?;
             // elapsed = overheads + eval_time; keep the overheads serial
             // and fold eval into the per-server schedule below.
             client_overhead += outcome.elapsed.saturating_sub(eval_time);
@@ -754,7 +808,7 @@ impl QueryEngine {
                     for iv in ivs {
                         let pruned = match hists.as_ref().and_then(|h| h.get(r as usize)) {
                             Some(h) => st.qcache.prune_or_compute(*obj, r, iv, || {
-                                h.estimate_hits(iv).upper == 0
+                                crate::ops::prune_verdict(h, iv)
                             }),
                             None => false,
                         };
@@ -791,16 +845,24 @@ impl QueryEngine {
         loaded.iter().sum()
     }
 
-    /// When SortedHistogram answered the primary constraint from the
-    /// replica, report the sort object and the matching sorted span.
+    /// When the sorted replica answered the primary constraint
+    /// (SortedHistogram always; Adaptive when the band won), report the
+    /// sort object and the matching sorted span. Mirrors the servers'
+    /// decision exactly — both are the same pure function of
+    /// metadata/histograms/cost.
     fn sorted_hint(&self, plan: &QueryPlan) -> Option<(ObjectId, Run)> {
-        if self.cfg.strategy != Strategy::SortedHistogram {
-            return None;
-        }
         let PlanNode::Conj(cs) = &plan.root else { return None };
         let primary = cs.first()?;
-        let meta = self.odms.meta().get(primary.object).ok()?;
-        if !meta.has_sorted_replica {
+        let used = crate::exec::use_sorted_primary(
+            &self.odms,
+            &self.cfg.cost,
+            self.cfg.strategy,
+            self.cfg.num_servers,
+            primary.object,
+            &primary.interval,
+        )
+        .ok()?;
+        if !used {
             return None;
         }
         let replica = self.odms.meta().sorted_replica(primary.object).ok()?;
@@ -1020,6 +1082,27 @@ impl QueryEngine {
             bytes_transferred,
             servers_involved,
         })
+    }
+}
+
+/// Collect every `(object, interval, est_selectivity)` constraint of a
+/// plan tree, in plan (selectivity-ordered) traversal order, for the
+/// explain report.
+fn collect_constraints(
+    node: &PlanNode,
+    out: &mut Vec<(ObjectId, Interval, Option<f64>)>,
+) {
+    match node {
+        PlanNode::Conj(cs) => {
+            for c in cs {
+                out.push((c.object, c.interval, c.est_selectivity));
+            }
+        }
+        PlanNode::And(children) | PlanNode::Or(children) => {
+            for c in children {
+                collect_constraints(c, out);
+            }
+        }
     }
 }
 

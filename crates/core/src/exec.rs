@@ -2,7 +2,7 @@
 //!
 //! Each logical server evaluates the plan over the regions assigned to it
 //! (round-robin on the shared region grid; for the sorted strategy, on the
-//! sorted replica's value-partitioned regions). The four strategies:
+//! sorted replica's value-partitioned regions). The strategies:
 //!
 //! * **FullScan** (`PDC-F`) — read every assigned region, scan every
 //!   element.
@@ -14,6 +14,14 @@
 //! * **SortedHistogram** (`PDC-SH`) — the primary constraint is answered
 //!   from the value-sorted replica: only the contiguous band of sorted
 //!   regions overlapping the interval is touched.
+//! * **Adaptive** (`PDC-A`) — per (region, predicate), the planner picks
+//!   the cheapest of the above operators from the region histogram's
+//!   selectivity estimate and aux availability (see [`crate::ops`]).
+//!
+//! Region-level evaluation is delegated to the physical-operator layer in
+//! [`crate::ops`]: this module owns plan traversal, region assignment,
+//! and candidate chaining; the operators own reads, charges, caching, and
+//! integrity fallback.
 //!
 //! Conjunctions evaluate the most-selective constraint first and
 //! point-check the remaining constraints only at already-matching
@@ -21,13 +29,13 @@
 //! (paper §III-C).
 
 use crate::engine::Strategy;
+use crate::ops::{self, ExplainPhase, OpOutput, PhysicalOp, RegionTask};
 use crate::plan::{ObjConstraint, PlanNode, QueryPlan};
 use crate::state::ServerState;
 use pdc_odms::Odms;
-use pdc_storage::{CostModel, WorkCounters};
-use pdc_types::{
-    kernels, Interval, NdRegion, ObjectId, PdcError, PdcResult, RegionId, Run, Selection,
-};
+use pdc_storage::CostModel;
+use pdc_types::{Interval, NdRegion, ObjectId, PdcResult, Run, Selection};
+use std::sync::Arc;
 
 /// Everything a server needs to evaluate a plan.
 pub struct EvalCtx<'a> {
@@ -156,6 +164,26 @@ fn eval_conj(
     Ok(sel)
 }
 
+/// Whether the primary constraint is answered from the sorted replica:
+/// always for `SortedHistogram` when a replica exists; for `Adaptive`,
+/// when the modelled band cost beats the per-region alternative. The
+/// verdict is a pure function of metadata/histograms/cost model, shared
+/// with the client's `sorted_hint`.
+pub(crate) fn use_sorted_primary(
+    odms: &Odms,
+    cost: &CostModel,
+    strategy: Strategy,
+    n_servers: u32,
+    object: ObjectId,
+    interval: &Interval,
+) -> PdcResult<bool> {
+    match strategy {
+        Strategy::SortedHistogram => Ok(odms.meta().get(object)?.has_sorted_replica),
+        Strategy::Adaptive => ops::adaptive_sorted_choice(odms, cost, n_servers, object, interval),
+        _ => Ok(false),
+    }
+}
+
 /// Evaluate the primary (most selective) constraint with the configured
 /// strategy over this server's assigned regions.
 fn eval_primary(
@@ -164,18 +192,13 @@ fn eval_primary(
     c: &ObjConstraint,
     region: Option<&NdRegion>,
 ) -> PdcResult<Selection> {
-    if ctx.strategy == Strategy::SortedHistogram
-        && ctx.odms.meta().get(c.object)?.has_sorted_replica
-    {
+    if use_sorted_primary(ctx.odms, ctx.cost, ctx.strategy, ctx.n_servers, c.object, &c.interval)? {
         return eval_primary_sorted(ctx, state, c);
     }
     let meta = ctx.odms.meta().get(c.object)?;
     // 1-D spatial constraints narrow the candidate region set up front.
     let span_limit = region.and_then(|r| r.as_1d_span());
-    let hists = match ctx.strategy {
-        Strategy::FullScan => None,
-        _ => Some(ctx.odms.meta().region_histograms(c.object)?),
-    };
+    let planner = ops::RegionPlanner::for_primary(ctx, c.object)?;
 
     let mut out: Vec<Run> = Vec::new();
     for r in 0..meta.num_regions() {
@@ -188,229 +211,86 @@ fn eval_primary(
                 continue;
             }
         }
-        // Histogram-based region elimination. The paper uses the
-        // histogram's min/max; we use the full histogram (upper-bound
-        // estimate = 0 ⇒ no possible hit), which subsumes the min/max
-        // test and additionally prunes regions whose occupied bins all
-        // miss the interval — see DESIGN.md §6.
-        if let Some(hs) = &hists {
-            let h = &hs[r as usize];
-            // The bin walk is charged whether or not the verdict is
-            // cached — a cache hit only skips the host-side
-            // `estimate_hits` recomputation.
-            state.work.histogram_bins += h.num_bins() as u64;
-            let pruned = if ctx.use_cache {
-                state.qcache.prune_or_compute(c.object, r, &c.interval, || {
-                    h.estimate_hits(&c.interval).upper == 0
-                })
-            } else {
-                h.estimate_hits(&c.interval).upper == 0
-            };
-            if pruned {
-                continue;
-            }
+        let task = RegionTask { object: c.object, region: r, span, interval: c.interval };
+        match ops::execute_region(ctx, state, &planner, &task, ExplainPhase::Primary, None)? {
+            OpOutput::Pruned => continue,
+            OpOutput::Selected(sel) => out.extend_from_slice(sel.runs()),
+            OpOutput::Pass => unreachable!("access operators always produce a selection"),
         }
-        let region_sel = match ctx.strategy {
-            Strategy::HistogramIndex => {
-                eval_region_indexed(ctx, state, c.object, r, span, &c.interval)?
-            }
-            _ => eval_region_scan(ctx, state, c.object, r, span, &c.interval)?,
-        };
-        out.extend_from_slice(region_sel.runs());
     }
     Ok(Selection::from_runs(out))
 }
 
-/// Scan one region's data (FullScan / Histogram strategies).
-fn eval_region_scan(
-    ctx: &EvalCtx,
-    state: &mut ServerState,
-    object: ObjectId,
-    region: u32,
-    span: pdc_types::RegionSpec,
-    interval: &Interval,
-) -> PdcResult<Selection> {
-    let before = state.work;
-    let payload = state.read_data_region(ctx.odms, ctx.cost, RegionId::new(object, region), ctx.n_servers)?;
-    state.work.elements_scanned += payload.len() as u64;
-    // The read and the scan charge above are unconditional; only the
-    // kernel invocation itself is served from the cache, so the
-    // simulated accounting of a hit equals a miss exactly.
-    let cached = if ctx.use_cache { state.qcache.get_scan(object, region, interval) } else { None };
-    let sel = match cached {
-        Some(sel) => sel,
-        None => {
-            let sel = if ctx.scan_kernels {
-                kernels::scan_interval_threaded(&payload, interval, span.offset, ctx.scan_threads)
-            } else {
-                kernels::scan_interval_scalar(&payload, interval, span.offset)
-            };
-            if ctx.use_cache {
-                state.qcache.put_scan(object, region, interval, sel.clone());
-            }
-            sel
-        }
-    };
-    state.settle_cpu(ctx.cost, &before);
-    Ok(sel)
-}
-
-/// Answer one region from its bitmap index (HistogramIndex strategy); the
-/// raw data is read only when boundary bins need a candidate check.
-///
-/// A region whose index fails validation — stored checksum mismatch,
-/// undecodable bytes, or an element count that disagrees with the region
-/// span — is quarantined and answered by the exact full-scan path instead
-/// ([`fallback_scan_and_rebuild`]); only infrastructure errors
-/// (`ServerFailed`, missing prerequisites) propagate.
-fn eval_region_indexed(
-    ctx: &EvalCtx,
-    state: &mut ServerState,
-    object: ObjectId,
-    region: u32,
-    span: pdc_types::RegionSpec,
-    interval: &Interval,
-) -> PdcResult<Selection> {
-    let before = state.work;
-    let idx = match state.read_index_region(ctx.odms, ctx.cost, object, region, ctx.n_servers) {
-        Ok(idx) if idx.num_elements() == span.len => idx,
-        Ok(_) => {
-            // Decoded cleanly but describes the wrong number of elements:
-            // treat as invalid, same as a failed decode.
-            return fallback_scan_and_rebuild(ctx, state, object, region, span, interval);
-        }
-        Err(PdcError::CorruptRegion { .. }) => {
-            state.integrity.checksum_failures += 1;
-            return fallback_scan_and_rebuild(ctx, state, object, region, span, interval);
-        }
-        Err(PdcError::Codec(_)) => {
-            return fallback_scan_and_rebuild(ctx, state, object, region, span, interval);
-        }
-        Err(e) => return Err(e),
-    };
-    state.work.bitmap_words += idx.size_bytes_serialized() / 4;
-    // Cached replay: the index read and word charge above already
-    // happened; a hit re-issues the conditional candidate data read and
-    // its scan charge from the recorded answer, then returns the stored
-    // selection — byte-for-byte what the probe below would produce.
-    let cached = if ctx.use_cache { state.qcache.get_indexed(object, region, interval) } else { None };
-    if let Some(entry) = cached {
-        if entry.needs_data_read {
-            state.read_data_region(ctx.odms, ctx.cost, RegionId::new(object, region), ctx.n_servers)?;
-            state.work.elements_scanned += entry.candidates_count;
-        }
-        state.settle_cpu(ctx.cost, &before);
-        return Ok(entry.selection);
-    }
-    // The planner fuses per-object conjunction chains into one interval,
-    // so this is the 1-chain case of the index's conjunction API.
-    let ans = idx.query_conj(std::slice::from_ref(interval));
-    let needs_data_read = ans.needs_candidate_check();
-    let candidates_count = ans.candidates.count();
-    let local = if needs_data_read {
-        // Boundary bins: read the region's data and verify candidates.
-        let payload =
-            state.read_data_region(ctx.odms, ctx.cost, RegionId::new(object, region), ctx.n_servers)?;
-        state.work.elements_scanned += candidates_count;
-        if ctx.scan_kernels {
-            let confirmed = kernels::filter_selection(&payload, interval, &ans.candidates);
-            ans.sure.union(&confirmed)
-        } else {
-            ans.resolve(interval, |i| payload.get_f64(i as usize))
-        }
-    } else {
-        ans.sure
-    };
-    state.settle_cpu(ctx.cost, &before);
-    let shifted = local.shifted(span.offset);
-    if ctx.use_cache {
-        state.qcache.put_indexed(
-            object,
-            region,
-            interval,
-            crate::qcache::IndexedEntry {
-                needs_data_read,
-                candidates_count,
-                selection: shifted.clone(),
-            },
-        );
-    }
-    Ok(shifted)
-}
-
-/// Graceful degradation for a region whose bitmap index failed validation:
-/// answer the region exactly by scanning its data (which transparently
-/// repairs a corrupt data copy too), then rebuild the index from the clean
-/// data and write it back so later queries take the indexed path again.
-/// The rebuild's write and scan work land on the integrity lane.
-fn fallback_scan_and_rebuild(
-    ctx: &EvalCtx,
-    state: &mut ServerState,
-    object: ObjectId,
-    region: u32,
-    span: pdc_types::RegionSpec,
-    interval: &Interval,
-) -> PdcResult<Selection> {
-    let sel = eval_region_scan(ctx, state, object, region, span, interval)?;
-    let rebuilt = ctx.odms.rebuild_index_region(object, region)?;
-    state.integrity.aux_rebuilds += 1;
-    state.integrity.fallback_regions += 1;
-    state.io.bytes_written += rebuilt;
-    state.io.write_requests += 1;
-    let scan = WorkCounters { elements_scanned: span.len, ..Default::default() };
-    let t = ctx.cost.pfs.write_cost(rebuilt, 1, ctx.n_servers) + ctx.cost.cpu.work_cost(&scan);
-    state.clock.advance(t);
-    state.integrity_time += t;
-    Ok(sel)
-}
-
 /// Answer the primary constraint from the value-sorted replica
-/// (SortedHistogram strategy).
+/// (SortedHistogram strategy, and Adaptive when the band wins).
 fn eval_primary_sorted(
     ctx: &EvalCtx,
     state: &mut ServerState,
     c: &ObjConstraint,
 ) -> PdcResult<Selection> {
-    let before = state.work;
     let meta = ctx.odms.meta().get(c.object)?;
     let replica = ctx.odms.meta().sorted_replica(c.object)?;
     let elem_bytes = meta.pdc_type.size_bytes();
     // The global histogram narrows the span; two binary searches find it
     // exactly.
+    let before = state.work;
     state.work.sorted_probes += 2 * (replica.len().max(2) as f64).log2().ceil() as u64;
-    let span = replica.matching_span(&c.interval);
-    let touched = replica.regions_of_span(&span);
+    state.settle_cpu(ctx.cost, &before);
+    let sspan = replica.matching_span(&c.interval);
+    let touched = replica.regions_of_span(&sspan);
 
     // Sorted regions are value-partitioned; distribute the touched band
     // round-robin across servers. (A pseudo object id derived from the
     // data object keys the residency set.)
-    let sorted_obj = ObjectId(c.object.raw() | 1 << 63);
-    let mut coords: Vec<u64> = Vec::new();
+    let op = ops::SortedRangeOp {
+        replica: Arc::clone(&replica),
+        sspan,
+        elem_bytes,
+        sorted_object: ObjectId(c.object.raw() | 1 << 63),
+    };
+    let mut sels: Vec<Selection> = Vec::new();
     for (i, &sr) in touched.iter().enumerate() {
         if i as u32 % ctx.n_servers != ctx.server {
             continue;
         }
-        let region_start = sr as u64 * replica.region_len();
-        let region_end = (region_start + replica.region_len()).min(replica.len());
-        // Reading a sorted region brings in keys + permutation.
-        let bytes = (region_end - region_start) * (elem_bytes + 8);
-        state.touch_sorted_region(ctx.cost, RegionId::new(sorted_obj, sr), bytes, ctx.n_servers)?;
-        // The matching slice inside this region is contiguous.
-        let lo = span.start.max(region_start);
-        let hi = span.end().min(region_end);
-        if lo < hi {
-            state.work.elements_scanned += hi - lo;
-            coords.extend_from_slice(&replica.perm()[lo as usize..hi as usize]);
+        let rspan = op.replica.region_span(sr);
+        let task = RegionTask {
+            object: c.object,
+            region: sr,
+            span: pdc_types::RegionSpec::new(rspan.start, rspan.len),
+            interval: c.interval,
+        };
+        let OpOutput::Selected(sel) = op.run(ctx, state, &task)? else {
+            unreachable!("sorted-range operator always produces a selection");
+        };
+        if state.explain.is_some() {
+            let overlap =
+                sspan.end().min(rspan.end()).saturating_sub(sspan.start.max(rspan.start));
+            ops::record_explain(
+                state,
+                ops::RegionExplain {
+                    object: c.object,
+                    region: sr,
+                    phase: ExplainPhase::Primary,
+                    op: ops::OpKind::SortedRange,
+                    pruned: false,
+                    span_len: rspan.len,
+                    est: Some(pdc_histogram::HitBounds { lower: overlap, upper: overlap }),
+                    actual_hits: Some(sel.count()),
+                },
+            );
         }
+        sels.push(sel);
     }
-    state.settle_cpu(ctx.cost, &before);
-    Ok(Selection::from_unsorted_coords(coords))
+    Ok(Selection::union_many(&sels))
 }
 
 /// Check `interval` on `object` only at already-selected locations:
 /// the paper's AND optimization. Regions are the unit of I/O — a touched
 /// region is read wholly (and cached); untouched regions cost nothing,
 /// which is why evaluating the most selective constraint first wins.
+/// Routed through the same operator pipeline as the primary pass (prune,
+/// then a candidate-restricted [`ops::ScanExactOp`]).
 pub fn point_check(
     ctx: &EvalCtx,
     state: &mut ServerState,
@@ -419,8 +299,7 @@ pub fn point_check(
     candidates: &Selection,
 ) -> PdcResult<Selection> {
     let meta = ctx.odms.meta().get(object)?;
-    let hists = ctx.odms.meta().region_histograms(object).ok();
-    let before = state.work;
+    let planner = ops::RegionPlanner::for_filter(ctx, object)?;
     let mut out: Vec<Run> = Vec::new();
     // Group candidate coordinates by region.
     let mut r = 0u32;
@@ -447,78 +326,22 @@ pub fn point_check(
         }
         pending = rest;
         if !in_region.is_empty() {
-            // Histogram pruning also applies to point checks (strategies
-            // other than full scan): a region whose min/max cannot match
-            // rejects all its candidates without a read.
-            let prunable = ctx.strategy != Strategy::FullScan
-                && hists
-                    .as_ref()
-                    .map(|hs| {
-                        let h = &hs[r as usize];
-                        state.work.histogram_bins += h.num_bins() as u64;
-                        if ctx.use_cache {
-                            state.qcache.prune_or_compute(object, r, interval, || {
-                                h.estimate_hits(interval).upper == 0
-                            })
-                        } else {
-                            h.estimate_hits(interval).upper == 0
-                        }
-                    })
-                    .unwrap_or(false);
-            if !prunable {
-                let payload = state.read_data_region(
-                    ctx.odms,
-                    ctx.cost,
-                    RegionId::new(object, r),
-                    ctx.n_servers,
-                )?;
-                // Opportunistic reuse: when some earlier query in the
-                // batch already scanned this whole (region, interval)
-                // pair, answer each candidate run by clipping the cached
-                // full-region selection instead of rescanning — the
-                // clipped coordinate set is exactly what `scan_range`
-                // would emit, and the scan charge stays per-run.
-                let cached_full = if ctx.use_cache {
-                    state.qcache.peek_scan(object, r, interval).cloned()
-                } else {
-                    None
-                };
-                for run in &in_region {
-                    state.work.elements_scanned += run.len;
-                    if let Some(full) = &cached_full {
-                        out.extend_from_slice(full.restrict_to_span(run.start, run.len).runs());
-                    } else if ctx.scan_kernels {
-                        kernels::scan_range(
-                            &payload,
-                            interval,
-                            (run.start - span.offset) as usize,
-                            (run.end() - span.offset) as usize,
-                            run.start,
-                            &mut out,
-                        );
-                    } else {
-                        let mut open: Option<Run> = None;
-                        for c in run.start..run.end() {
-                            let v = payload.get_f64((c - span.offset) as usize);
-                            if interval.contains(v) {
-                                match &mut open {
-                                    Some(r) => r.len += 1,
-                                    None => open = Some(Run::new(c, 1)),
-                                }
-                            } else if let Some(r) = open.take() {
-                                out.push(r);
-                            }
-                        }
-                        if let Some(r) = open {
-                            out.push(r);
-                        }
-                    }
-                }
+            let task = RegionTask { object, region: r, span, interval: *interval };
+            match ops::execute_region(
+                ctx,
+                state,
+                &planner,
+                &task,
+                ExplainPhase::Filter,
+                Some(in_region),
+            )? {
+                OpOutput::Pruned => {}
+                OpOutput::Selected(sel) => out.extend_from_slice(sel.runs()),
+                OpOutput::Pass => unreachable!("access operators always produce a selection"),
             }
         }
         r += 1;
     }
-    state.settle_cpu(ctx.cost, &before);
     Ok(Selection::from_runs(out))
 }
 

@@ -10,9 +10,13 @@
 //! * [`plan`] — normalization of the query tree into per-object value
 //!   intervals plus the **selectivity-ordered** evaluation plan driven by
 //!   global histograms (§III-D2).
-//! * [`exec`] — the per-server evaluators for the four strategies of §VI:
-//!   full scan (`PDC-F`), histogram-only (`PDC-H`), histogram + bitmap
-//!   index (`PDC-HI`), and sorted + histogram (`PDC-SH`).
+//! * [`exec`] — the per-server plan evaluator: region assignment,
+//!   candidate chaining, and strategy dispatch for `PDC-F`, `PDC-H`,
+//!   `PDC-HI`, `PDC-SH`, and the per-region adaptive `PDC-A`.
+//! * [`ops`] — the typed physical-operator layer the evaluator drives:
+//!   prune, exact scan, index probe, sorted range, and verify-rebuild
+//!   operators behind one [`ops::PhysicalOp`] trait, plus the
+//!   per-region adaptive planner and the [`ops::ExplainPlan`] report.
 //! * [`state`] — per-logical-server state: region cache, index cache,
 //!   resident sorted regions, simulated clock and counters.
 //! * [`engine`] — the [`QueryEngine`]: broadcast, load-balanced region
@@ -34,6 +38,7 @@ pub mod engine;
 pub mod exec;
 pub mod integrity;
 pub mod multi;
+pub mod ops;
 pub mod parse;
 pub mod plan;
 pub mod qcache;
@@ -45,6 +50,7 @@ pub use parse::parse_query;
 pub use engine::{
     BatchOutcome, BatchStats, EngineConfig, GetDataOutcome, QueryEngine, QueryOutcome, Strategy,
 };
+pub use ops::{ExplainPhase, ExplainPlan, OpKind, PhysicalOp, RegionExplain};
 pub use qcache::{CacheStats, QueryArtifactCache};
 pub use integrity::{apply_corruption, preflight, CorruptionReport};
 pub use multi::MetaDataQueryOutcome;

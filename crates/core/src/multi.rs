@@ -13,11 +13,13 @@
 //! strategy ("due to the small size of the BOSS objects, each object has
 //! one region only").
 
-use crate::engine::{QueryEngine, Strategy};
+use crate::engine::QueryEngine;
+use crate::exec::EvalCtx;
+use crate::ops::{self, ExplainPhase, OpOutput, RegionTask};
 use crate::state::ServerState;
 use pdc_odms::MetaValue;
 use pdc_storage::{IoCounters, SimDuration};
-use pdc_types::{Interval, ObjectId, PdcResult, RegionId};
+use pdc_types::{Interval, ObjectId, PdcResult};
 use std::sync::Arc;
 
 /// Outcome of a metadata + data query.
@@ -71,6 +73,7 @@ impl QueryEngine {
 
         let odms = Arc::clone(self.odms());
         let strategy = self.strategy();
+        let (scan_threads, scan_kernels) = self.scan_flags();
         let iv = *interval;
         let objects_arc: Arc<Vec<ObjectId>> = Arc::new(objects);
         let objects_for_eval = Arc::clone(&objects_arc);
@@ -78,68 +81,59 @@ impl QueryEngine {
         type ObjectHitsResult = PdcResult<(Vec<(ObjectId, u64)>, SimDuration, IoCounters)>;
         let results: Vec<ObjectHitsResult> = self
             .pool_broadcast(move |id, st: &mut ServerState| {
-                // Prune verdicts are served from the epoch-validated
-                // artifact cache across repeated metadata+data queries;
-                // bin charges below stay unconditional so the simulated
-                // accounting is identical either way.
+                // Prune verdicts, scan selections, and index answers are
+                // served from the epoch-validated artifact cache across
+                // repeated metadata+data queries; all simulated charges
+                // replay unconditionally, so accounting is identical
+                // either way.
                 st.qcache.validate(odms.store().epoch());
                 let t0 = st.clock.now();
                 let io0 = st.io;
-                let w0 = st.work;
+                let ctx = EvalCtx {
+                    odms: &odms,
+                    cost: &cost,
+                    strategy,
+                    n_servers: n,
+                    server: id.raw(),
+                    scan_threads,
+                    scan_kernels,
+                    use_cache: true,
+                };
                 let mut hits: Vec<(ObjectId, u64)> = Vec::new();
                 for (i, &obj) in objects_for_eval.iter().enumerate() {
                     if i as u32 % n != id.raw() {
                         continue;
                     }
                     let meta = odms.meta().get(obj)?;
+                    // Small objects round-robin whole objects across
+                    // servers, but each object's regions run through the
+                    // same operator pipeline as plan evaluation.
+                    let planner = ops::RegionPlanner::for_filter(&ctx, obj)?;
                     let mut obj_hits = 0u64;
                     for r in 0..meta.num_regions() {
-                        // Histogram pruning applies per region.
-                        if strategy != Strategy::FullScan {
-                            if let Ok(hs) = odms.meta().region_histograms(obj) {
-                                let h = &hs[r as usize];
-                                st.work.histogram_bins += h.num_bins() as u64;
-                                if st.qcache.prune_or_compute(obj, r, &iv, || {
-                                    h.estimate_hits(&iv).upper == 0
-                                }) {
-                                    continue;
-                                }
+                        let task = RegionTask {
+                            object: obj,
+                            region: r,
+                            span: meta.region_span(r),
+                            interval: iv,
+                        };
+                        match ops::execute_region(
+                            &ctx,
+                            st,
+                            &planner,
+                            &task,
+                            ExplainPhase::Filter,
+                            None,
+                        )? {
+                            OpOutput::Pruned => {}
+                            OpOutput::Selected(sel) => obj_hits += sel.count(),
+                            OpOutput::Pass => {
+                                unreachable!("access operators always produce a selection")
                             }
                         }
-                        obj_hits += match strategy {
-                            Strategy::HistogramIndex if meta.index_object.is_some() => {
-                                let idx = st.read_index_region(&odms, &cost, obj, r, n)?;
-                                st.work.bitmap_words += idx.size_bytes_serialized() / 4;
-                                let ans = idx.query(&iv);
-                                if ans.needs_candidate_check() {
-                                    let payload = st.read_data_region(
-                                        &odms,
-                                        &cost,
-                                        RegionId::new(obj, r),
-                                        n,
-                                    )?;
-                                    st.work.elements_scanned += ans.candidates.count();
-                                    ans.sure.count()
-                                        + pdc_types::kernels::count_selection_matches(
-                                            &payload,
-                                            &iv,
-                                            &ans.candidates,
-                                        )
-                                } else {
-                                    ans.sure.count()
-                                }
-                            }
-                            _ => {
-                                let payload =
-                                    st.read_data_region(&odms, &cost, RegionId::new(obj, r), n)?;
-                                st.work.elements_scanned += payload.len() as u64;
-                                pdc_types::kernels::count_matches(&payload, &iv)
-                            }
-                        };
                     }
                     hits.push((obj, obj_hits));
                 }
-                st.settle_cpu(&cost, &w0);
                 Ok((hits, st.elapsed_since(t0), crate::engine::diff_io(&st.io, &io0)))
             });
 

@@ -1,0 +1,817 @@
+//! The typed physical-operator layer: every way a server can answer one
+//! region's predicate, behind a single [`PhysicalOp`] trait.
+//!
+//! Before this layer existed, the four strategies were four hand-rolled
+//! branches duplicated across `eval_plan`'s primary pass, `point_check`,
+//! the `multi.rs` count path, and the batch prewarm — each re-implementing
+//! the same cost-lane charges, artifact-cache lookups, and integrity
+//! fallbacks. Now each access method is one operator:
+//!
+//! * [`PruneOp`] — histogram min/max region elimination (the paper's
+//!   pruning use of the per-region histogram);
+//! * [`ScanExactOp`] — the fused-kernel exact scan, whole-region or
+//!   restricted to candidate runs (the point-check mode);
+//! * [`IndexProbeOp`] — WAH bitmap probe with a conditional candidate
+//!   check against the raw data;
+//! * [`SortedRangeOp`] — the contiguous slice of one sorted-replica
+//!   region overlapping a binary-searched span;
+//! * [`VerifyRebuildOp`] — the integrity fallback: answer a region whose
+//!   index failed validation by the exact scan, then rebuild and rewrite
+//!   the index (charged to the `integrity` lane).
+//!
+//! [`execute_region`] drives the pipeline — prune, then the access
+//! operator chosen by a [`RegionPlanner`] — so retry/reassignment
+//! (`recover.rs`), corruption fallback, and `qcache.rs` artifact caching
+//! are written once against the trait.
+//!
+//! **Cost fidelity.** Operators charge exactly what the pre-refactor
+//! strategy branches charged, including their settling quirks: the primary
+//! lane's histogram bin walks are work-counted but never clock-settled
+//! (the historical behaviour every recorded baseline embeds), while the
+//! point-check and count lanes settle theirs. `settle_cpu` is linear in
+//! the counter deltas, so per-operator settling splits the old bracketed
+//! settles without changing any total.
+//!
+//! **Adaptive selection.** [`Strategy::Adaptive`] consults the region
+//! histogram's [`HitBounds`] and aux availability per (region, predicate):
+//! a probe is chosen only when the estimate predicts a candidate-free
+//! index answer (`lower == upper`) *and* the modelled probe cost beats the
+//! scan in both the storage-bound and CPU-bound regimes (the planner
+//! cannot see cache residency, so the probe must dominate) — under this
+//! cost model a candidate check re-reads the whole data region, so a
+//! probe with predicted boundary bins can never win. At the
+//! constraint level, [`adaptive_sorted_choice`] compares the sorted band
+//! against the per-region alternative. Every decision is a pure function
+//! of metadata, histograms, and the cost model — independent of cache
+//! residency — so retried and reassigned slots (and the client's
+//! `sorted_hint`) always agree.
+
+use crate::engine::Strategy;
+use crate::exec::EvalCtx;
+use crate::state::ServerState;
+use pdc_histogram::{HitBounds, Histogram};
+use pdc_odms::Odms;
+use pdc_sorted::SortedReplica;
+use pdc_storage::{CostModel, SimDuration, WorkCounters};
+use pdc_types::{
+    kernels, Interval, ObjectId, PdcError, PdcResult, RegionId, RegionSpec, Run, Selection,
+};
+use std::sync::Arc;
+
+/// The operator vocabulary (what `EXPLAIN` reports per region).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Histogram region elimination.
+    Prune,
+    /// Exact data scan (fused kernels).
+    ScanExact,
+    /// Bitmap-index probe (+ conditional candidate check).
+    IndexProbe,
+    /// Sorted-replica band slice.
+    SortedRange,
+    /// Integrity fallback: exact scan + index rebuild.
+    VerifyRebuild,
+}
+
+impl OpKind {
+    /// Short label for EXPLAIN tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            OpKind::Prune => "prune",
+            OpKind::ScanExact => "scan",
+            OpKind::IndexProbe => "probe",
+            OpKind::SortedRange => "sorted",
+            OpKind::VerifyRebuild => "rebuild",
+        }
+    }
+}
+
+/// One region's unit of work: which object/region, its global span, and
+/// the predicate interval to answer on it.
+#[derive(Debug, Clone)]
+pub struct RegionTask {
+    /// The data object.
+    pub object: ObjectId,
+    /// Region index (for [`SortedRangeOp`], the *sorted* region index).
+    pub region: u32,
+    /// The region's span in global coordinates (for [`SortedRangeOp`],
+    /// in sorted coordinates).
+    pub span: RegionSpec,
+    /// The predicate.
+    pub interval: Interval,
+}
+
+/// What an operator produced.
+#[derive(Debug, Clone)]
+pub enum OpOutput {
+    /// Nothing decided — continue the pipeline (prune verdict: keep).
+    Pass,
+    /// The region cannot contain matches; the pipeline stops here.
+    Pruned,
+    /// The region's matching locations, in global coordinates.
+    Selected(Selection),
+}
+
+/// A physical operator: answers one [`RegionTask`] on one server,
+/// charging its simulated cost lanes uniformly and surfacing only typed
+/// [`PdcError`]s.
+pub trait PhysicalOp {
+    /// Which operator this is (EXPLAIN vocabulary).
+    fn kind(&self) -> OpKind;
+    /// Run the operator against one region.
+    fn run(&self, ctx: &EvalCtx, st: &mut ServerState, task: &RegionTask)
+        -> PdcResult<OpOutput>;
+}
+
+/// The shared prune formula: a region is eliminated when the histogram's
+/// upper hit bound for the interval is zero (subsumes the min/max test).
+/// Every lane — primary, point check, counts, batch prewarm — must agree
+/// on this verdict bit-for-bit, which is why it lives here.
+pub fn prune_verdict(h: &Histogram, interval: &Interval) -> bool {
+    h.estimate_hits(interval).upper == 0
+}
+
+/// Histogram min/max region elimination.
+pub struct PruneOp {
+    hists: Arc<Vec<Histogram>>,
+    /// Whether the bin walk is clock-settled by this operator. The
+    /// point-check and count lanes settle their walks; the primary lane
+    /// historically charges the work counters without settling (a quirk
+    /// every recorded cost baseline embeds, so it is preserved exactly).
+    settle: bool,
+}
+
+impl PhysicalOp for PruneOp {
+    fn kind(&self) -> OpKind {
+        OpKind::Prune
+    }
+
+    fn run(
+        &self,
+        ctx: &EvalCtx,
+        st: &mut ServerState,
+        task: &RegionTask,
+    ) -> PdcResult<OpOutput> {
+        let before = st.work;
+        let h = &self.hists[task.region as usize];
+        // The bin walk is charged whether or not the verdict is cached —
+        // a cache hit only skips the host-side `estimate_hits` walk.
+        st.work.histogram_bins += h.num_bins() as u64;
+        let pruned = if ctx.use_cache {
+            st.qcache.prune_or_compute(task.object, task.region, &task.interval, || {
+                prune_verdict(h, &task.interval)
+            })
+        } else {
+            prune_verdict(h, &task.interval)
+        };
+        if self.settle {
+            st.settle_cpu(ctx.cost, &before);
+        }
+        Ok(if pruned { OpOutput::Pruned } else { OpOutput::Pass })
+    }
+}
+
+/// Exact scan of one region's data through the fused kernel layer.
+/// `candidates: None` scans the whole region; `Some(runs)` is the
+/// point-check mode — the region is still read wholly (regions are the
+/// unit of I/O) but only the candidate runs are scanned and charged.
+pub struct ScanExactOp {
+    /// Candidate runs to restrict the scan to (global coordinates,
+    /// clipped to the region), or `None` for a whole-region scan.
+    pub candidates: Option<Vec<Run>>,
+}
+
+impl PhysicalOp for ScanExactOp {
+    fn kind(&self) -> OpKind {
+        OpKind::ScanExact
+    }
+
+    fn run(
+        &self,
+        ctx: &EvalCtx,
+        st: &mut ServerState,
+        task: &RegionTask,
+    ) -> PdcResult<OpOutput> {
+        let RegionTask { object, region, span, interval } = task;
+        let before = st.work;
+        let payload =
+            st.read_data_region(ctx.odms, ctx.cost, RegionId::new(*object, *region), ctx.n_servers)?;
+        let sel = match &self.candidates {
+            None => {
+                st.work.elements_scanned += payload.len() as u64;
+                // The read and the scan charge above are unconditional;
+                // only the kernel invocation itself is served from the
+                // cache, so the simulated accounting of a hit equals a
+                // miss exactly.
+                let cached =
+                    if ctx.use_cache { st.qcache.get_scan(*object, *region, interval) } else { None };
+                match cached {
+                    Some(sel) => sel,
+                    None => {
+                        let sel = if ctx.scan_kernels {
+                            kernels::scan_interval_threaded(
+                                &payload,
+                                interval,
+                                span.offset,
+                                ctx.scan_threads,
+                            )
+                        } else {
+                            kernels::scan_interval_scalar(&payload, interval, span.offset)
+                        };
+                        if ctx.use_cache {
+                            st.qcache.put_scan(*object, *region, interval, sel.clone());
+                        }
+                        sel
+                    }
+                }
+            }
+            Some(runs) => {
+                // Opportunistic reuse: when some earlier query in the
+                // batch already scanned this whole (region, interval)
+                // pair, answer each candidate run by clipping the cached
+                // full-region selection instead of rescanning — the
+                // clipped coordinate set is exactly what `scan_range`
+                // would emit, and the scan charge stays per-run.
+                let cached_full = if ctx.use_cache {
+                    st.qcache.peek_scan(*object, *region, interval).cloned()
+                } else {
+                    None
+                };
+                let mut out: Vec<Run> = Vec::new();
+                for run in runs {
+                    st.work.elements_scanned += run.len;
+                    if let Some(full) = &cached_full {
+                        out.extend_from_slice(full.restrict_to_span(run.start, run.len).runs());
+                    } else if ctx.scan_kernels {
+                        kernels::scan_range(
+                            &payload,
+                            interval,
+                            (run.start - span.offset) as usize,
+                            (run.end() - span.offset) as usize,
+                            run.start,
+                            &mut out,
+                        );
+                    } else {
+                        let mut open: Option<Run> = None;
+                        for c in run.start..run.end() {
+                            let v = payload.get_f64((c - span.offset) as usize);
+                            if interval.contains(v) {
+                                match &mut open {
+                                    Some(r) => r.len += 1,
+                                    None => open = Some(Run::new(c, 1)),
+                                }
+                            } else if let Some(r) = open.take() {
+                                out.push(r);
+                            }
+                        }
+                        if let Some(r) = open {
+                            out.push(r);
+                        }
+                    }
+                }
+                Selection::from_runs(out)
+            }
+        };
+        st.settle_cpu(ctx.cost, &before);
+        Ok(OpOutput::Selected(sel))
+    }
+}
+
+/// Answer one region from its bitmap index; the raw data is read only
+/// when boundary bins need a candidate check.
+///
+/// A region whose index fails validation — stored checksum mismatch,
+/// undecodable bytes, or an element count that disagrees with the region
+/// span — is quarantined and answered by [`VerifyRebuildOp`] instead;
+/// only infrastructure errors (`ServerFailed`, missing prerequisites)
+/// propagate.
+pub struct IndexProbeOp;
+
+impl PhysicalOp for IndexProbeOp {
+    fn kind(&self) -> OpKind {
+        OpKind::IndexProbe
+    }
+
+    fn run(
+        &self,
+        ctx: &EvalCtx,
+        st: &mut ServerState,
+        task: &RegionTask,
+    ) -> PdcResult<OpOutput> {
+        let RegionTask { object, region, span, interval } = task;
+        let before = st.work;
+        let idx = match st.read_index_region(ctx.odms, ctx.cost, *object, *region, ctx.n_servers) {
+            Ok(idx) if idx.num_elements() == span.len => idx,
+            Ok(_) => {
+                // Decoded cleanly but describes the wrong number of
+                // elements: treat as invalid, same as a failed decode.
+                return VerifyRebuildOp.run(ctx, st, task);
+            }
+            Err(PdcError::CorruptRegion { .. }) => {
+                st.integrity.checksum_failures += 1;
+                return VerifyRebuildOp.run(ctx, st, task);
+            }
+            Err(PdcError::Codec(_)) => {
+                return VerifyRebuildOp.run(ctx, st, task);
+            }
+            Err(e) => return Err(e),
+        };
+        st.work.bitmap_words += idx.size_bytes_serialized() / 4;
+        // Cached replay: the index read and word charge above already
+        // happened; a hit re-issues the conditional candidate data read
+        // and its scan charge from the recorded answer, then returns the
+        // stored selection — byte-for-byte what the probe below produces.
+        let cached =
+            if ctx.use_cache { st.qcache.get_indexed(*object, *region, interval) } else { None };
+        if let Some(entry) = cached {
+            if entry.needs_data_read {
+                st.read_data_region(ctx.odms, ctx.cost, RegionId::new(*object, *region), ctx.n_servers)?;
+                st.work.elements_scanned += entry.candidates_count;
+            }
+            st.settle_cpu(ctx.cost, &before);
+            return Ok(OpOutput::Selected(entry.selection));
+        }
+        // The planner fuses per-object conjunction chains into one
+        // interval, so this is the 1-chain case of the index's
+        // conjunction API.
+        let ans = idx.query_conj(std::slice::from_ref(interval));
+        let needs_data_read = ans.needs_candidate_check();
+        let candidates_count = ans.candidates.count();
+        let local = if needs_data_read {
+            // Boundary bins: read the region's data and verify candidates.
+            let payload = st.read_data_region(
+                ctx.odms,
+                ctx.cost,
+                RegionId::new(*object, *region),
+                ctx.n_servers,
+            )?;
+            st.work.elements_scanned += candidates_count;
+            if ctx.scan_kernels {
+                let confirmed = kernels::filter_selection(&payload, interval, &ans.candidates);
+                ans.sure.union(&confirmed)
+            } else {
+                ans.resolve(interval, |i| payload.get_f64(i as usize))
+            }
+        } else {
+            ans.sure
+        };
+        st.settle_cpu(ctx.cost, &before);
+        let shifted = local.shifted(span.offset);
+        if ctx.use_cache {
+            st.qcache.put_indexed(
+                *object,
+                *region,
+                interval,
+                crate::qcache::IndexedEntry {
+                    needs_data_read,
+                    candidates_count,
+                    selection: shifted.clone(),
+                },
+            );
+        }
+        Ok(OpOutput::Selected(shifted))
+    }
+}
+
+/// Graceful degradation for a region whose bitmap index failed
+/// validation: answer the region exactly by scanning its data (which
+/// transparently repairs a corrupt data copy too), then rebuild the index
+/// from the clean data and write it back so later queries take the
+/// indexed path again. The rebuild's write and scan work land on the
+/// `integrity` lane.
+pub struct VerifyRebuildOp;
+
+impl PhysicalOp for VerifyRebuildOp {
+    fn kind(&self) -> OpKind {
+        OpKind::VerifyRebuild
+    }
+
+    fn run(
+        &self,
+        ctx: &EvalCtx,
+        st: &mut ServerState,
+        task: &RegionTask,
+    ) -> PdcResult<OpOutput> {
+        let out = ScanExactOp { candidates: None }.run(ctx, st, task)?;
+        let rebuilt = ctx.odms.rebuild_index_region(task.object, task.region)?;
+        st.integrity.aux_rebuilds += 1;
+        st.integrity.fallback_regions += 1;
+        st.io.bytes_written += rebuilt;
+        st.io.write_requests += 1;
+        let scan = WorkCounters { elements_scanned: task.span.len, ..Default::default() };
+        let t = ctx.cost.pfs.write_cost(rebuilt, 1, ctx.n_servers) + ctx.cost.cpu.work_cost(&scan);
+        st.clock.advance(t);
+        st.integrity_time += t;
+        Ok(out)
+    }
+}
+
+/// The contiguous matching slice of one value-partitioned sorted-replica
+/// region. The task's `region`/`span` are in *sorted* coordinates; the
+/// returned selection is translated through the permutation back to
+/// global coordinates.
+pub struct SortedRangeOp {
+    /// The replica being sliced.
+    pub replica: Arc<SortedReplica>,
+    /// The binary-searched matching span (sorted coordinates).
+    pub sspan: Run,
+    /// Bytes per data element (keys cost `elem_bytes + 8` with the
+    /// permutation word).
+    pub elem_bytes: u64,
+    /// The pseudo object id keying sorted-region residency.
+    pub sorted_object: ObjectId,
+}
+
+impl PhysicalOp for SortedRangeOp {
+    fn kind(&self) -> OpKind {
+        OpKind::SortedRange
+    }
+
+    fn run(
+        &self,
+        ctx: &EvalCtx,
+        st: &mut ServerState,
+        task: &RegionTask,
+    ) -> PdcResult<OpOutput> {
+        let before = st.work;
+        let region_start = task.span.offset;
+        let region_end = task.span.end();
+        // Reading a sorted region brings in keys + permutation.
+        let bytes = (region_end - region_start) * (self.elem_bytes + 8);
+        st.touch_sorted_region(
+            ctx.cost,
+            RegionId::new(self.sorted_object, task.region),
+            bytes,
+            ctx.n_servers,
+        )?;
+        // The matching slice inside this region is contiguous.
+        let lo = self.sspan.start.max(region_start);
+        let hi = self.sspan.end().min(region_end);
+        let sel = if lo < hi {
+            st.work.elements_scanned += hi - lo;
+            Selection::from_unsorted_coords(
+                self.replica.perm()[lo as usize..hi as usize].to_vec(),
+            )
+        } else {
+            Selection::empty()
+        };
+        st.settle_cpu(ctx.cost, &before);
+        Ok(OpOutput::Selected(sel))
+    }
+}
+
+/// Which access operator the planner chose for a region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessChoice {
+    /// Exact data scan.
+    Scan,
+    /// Bitmap-index probe.
+    Probe,
+}
+
+/// Per-(object, strategy) operator planner: owns the prune operator and
+/// picks each region's access operator. Built once per object per
+/// evaluation lane; all choices are pure functions of metadata,
+/// histograms, and the cost model (never of cache state), so every slot —
+/// original, retried, or reassigned — resolves the same pipeline.
+pub struct RegionPlanner {
+    strategy: Strategy,
+    prune: Option<PruneOp>,
+    hists: Option<Arc<Vec<Histogram>>>,
+    /// Whether the object has a bitmap index to probe.
+    index_available: bool,
+    /// `HistogramIndex` without an index: `true` degrades to a scan (the
+    /// count lane's historical behaviour), `false` lets the probe surface
+    /// `MissingPrerequisite` (the primary lane's).
+    missing_index_scans: bool,
+    adaptive: Option<AdaptiveInputs>,
+}
+
+/// Pre-resolved inputs for the adaptive per-region cost comparison.
+struct AdaptiveInputs {
+    elem_bytes: u64,
+    /// Serialized index bytes per region (store peek; `None` where the
+    /// region has no stored index payload).
+    index_region_bytes: Vec<Option<u64>>,
+}
+
+impl RegionPlanner {
+    fn build(
+        ctx: &EvalCtx,
+        object: ObjectId,
+        hists: Option<Arc<Vec<Histogram>>>,
+        missing_index_scans: bool,
+    ) -> PdcResult<RegionPlanner> {
+        let meta = ctx.odms.meta().get(object)?;
+        let index_available = meta.index_object.is_some();
+        let adaptive = if ctx.strategy == Strategy::Adaptive && index_available {
+            // Peek the stored index sizes up front (host-side metadata
+            // lookup, no simulated charge — this is planning, like
+            // building the query plan itself).
+            let idx_obj = meta.index_object.expect("index_available");
+            let index_region_bytes = (0..meta.num_regions())
+                .map(|r| ctx.odms.store().payload_size(RegionId::new(idx_obj, r)))
+                .collect();
+            Some(AdaptiveInputs { elem_bytes: meta.pdc_type.size_bytes(), index_region_bytes })
+        } else {
+            None
+        };
+        Ok(RegionPlanner {
+            strategy: ctx.strategy,
+            prune: hists
+                .as_ref()
+                .map(|hs| PruneOp { hists: Arc::clone(hs), settle: missing_index_scans }),
+            hists,
+            index_available,
+            missing_index_scans,
+            adaptive,
+        })
+    }
+
+    /// Planner for the primary lane of `exec::eval_primary`: `FullScan`
+    /// loads no histograms (it never prunes); every other strategy
+    /// requires them. Bin walks are left unsettled (the primary lane's
+    /// historical accounting), and a missing index under
+    /// `HistogramIndex` is a hard `MissingPrerequisite`.
+    pub fn for_primary(ctx: &EvalCtx, object: ObjectId) -> PdcResult<RegionPlanner> {
+        let hists = match ctx.strategy {
+            Strategy::FullScan => None,
+            _ => Some(ctx.odms.meta().region_histograms(object)?),
+        };
+        Self::build(ctx, object, hists, false)
+    }
+
+    /// Planner for the point-check (filter) and count lanes: histograms
+    /// are advisory (objects without them simply never prune), bin walks
+    /// are clock-settled, and `HistogramIndex` degrades to a scan when
+    /// the object has no index.
+    pub fn for_filter(ctx: &EvalCtx, object: ObjectId) -> PdcResult<RegionPlanner> {
+        let hists = match ctx.strategy {
+            Strategy::FullScan => None,
+            _ => ctx.odms.meta().region_histograms(object).ok(),
+        };
+        Self::build(ctx, object, hists, true)
+    }
+
+    /// The prune operator, when this lane/strategy prunes at all.
+    pub fn prune_op(&self) -> Option<&PruneOp> {
+        self.prune.as_ref()
+    }
+
+    /// The histogram hit-bound estimate for one region task (`None` when
+    /// the lane carries no histograms). Pure host work — EXPLAIN uses it
+    /// to report estimated vs actual selectivity without charging.
+    pub fn estimate_for(&self, task: &RegionTask) -> Option<HitBounds> {
+        self.hists.as_ref().map(|hs| hs[task.region as usize].estimate_hits(&task.interval))
+    }
+
+    /// Choose the access operator for one region.
+    pub fn access_for(&self, ctx: &EvalCtx, task: &RegionTask) -> AccessChoice {
+        match self.strategy {
+            Strategy::HistogramIndex => {
+                if self.index_available || !self.missing_index_scans {
+                    AccessChoice::Probe
+                } else {
+                    AccessChoice::Scan
+                }
+            }
+            Strategy::Adaptive => self.adaptive_choice(ctx, task),
+            _ => AccessChoice::Scan,
+        }
+    }
+
+    /// The adaptive scan-vs-probe comparison for one region. A probe is
+    /// modelled as the index read plus — when the histogram bounds
+    /// disagree (boundary bins expected) — a full candidate data read;
+    /// the estimates are cold-storage costs so the verdict is stable
+    /// across cache states and server reassignment.
+    ///
+    /// Because the planner deliberately cannot observe cache residency,
+    /// the probe must *dominate*: win the cold (storage-bound) estimate
+    /// AND the warm (CPU-bound) one, where the probe pays
+    /// `bitmap_ns_per_word` over the serialized index against the scan's
+    /// `scan_ns_per_element` over the span. A poorly-compressing index
+    /// (serialized size approaching the data size) loses the CPU regime
+    /// and the planner stays with the scan rather than gamble on tier.
+    fn adaptive_choice(&self, ctx: &EvalCtx, task: &RegionTask) -> AccessChoice {
+        if !self.index_available {
+            return AccessChoice::Scan;
+        }
+        let (Some(a), Some(est)) = (self.adaptive.as_ref(), self.estimate_for(task)) else {
+            return AccessChoice::Scan;
+        };
+        let data_bytes = task.span.len * a.elem_bytes;
+        let index_bytes = a.index_region_bytes[task.region as usize]
+            .unwrap_or((data_bytes as f64 * pdc_bitmap::TYPICAL_INDEX_RATIO) as u64);
+        let predicted_candidates = est.upper.saturating_sub(est.lower);
+        let candidate_bytes = if predicted_candidates > 0 { data_bytes } else { 0 };
+        let scan = ctx.cost.scan_op_estimate(data_bytes, task.span.len, ctx.n_servers);
+        let probe = ctx.cost.probe_op_estimate(
+            index_bytes,
+            candidate_bytes,
+            predicted_candidates,
+            ctx.n_servers,
+        );
+        let scan_cpu = ctx.cost.cpu.work_cost(&WorkCounters {
+            elements_scanned: task.span.len,
+            ..Default::default()
+        });
+        let probe_cpu = ctx.cost.cpu.work_cost(&WorkCounters {
+            bitmap_words: index_bytes / 4,
+            elements_scanned: predicted_candidates,
+            ..Default::default()
+        });
+        if probe < scan && probe_cpu <= scan_cpu {
+            AccessChoice::Probe
+        } else {
+            AccessChoice::Scan
+        }
+    }
+}
+
+/// The constraint-level adaptive decision: answer the primary constraint
+/// from the sorted replica's band, or per region? Compares the modelled
+/// cold cost of touching the matching band (keys + permutation bytes)
+/// against pruned per-region scans. Pure host work on metadata and
+/// histograms only, so the client's `sorted_hint` and every server slot
+/// reach the same verdict.
+pub fn adaptive_sorted_choice(
+    odms: &Odms,
+    cost: &CostModel,
+    n_servers: u32,
+    object: ObjectId,
+    interval: &Interval,
+) -> PdcResult<bool> {
+    let meta = odms.meta().get(object)?;
+    if !meta.has_sorted_replica {
+        return Ok(false);
+    }
+    let replica = odms.meta().sorted_replica(object)?;
+    let elem_bytes = meta.pdc_type.size_bytes();
+    let sspan = replica.matching_span(interval);
+    let band = replica.regions_of_span(&sspan);
+    let mut band_bytes = 0u64;
+    for &sr in &band {
+        band_bytes += replica.region_span(sr).len * (elem_bytes + 8);
+    }
+    let sorted = cost.sorted_op_estimate(band_bytes, band.len() as u64, sspan.len, n_servers);
+    let hists = odms.meta().region_histograms(object)?;
+    let mut per_region = SimDuration::ZERO;
+    for r in 0..meta.num_regions() {
+        let span = meta.region_span(r);
+        if prune_verdict(&hists[r as usize], interval) {
+            continue;
+        }
+        per_region += cost.scan_op_estimate(span.len * elem_bytes, span.len, n_servers);
+    }
+    Ok(sorted < per_region)
+}
+
+/// Which evaluation lane produced an EXPLAIN entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ExplainPhase {
+    /// The primary (most selective) constraint's pass.
+    Primary,
+    /// A point-check pass over candidate locations.
+    Filter,
+}
+
+impl ExplainPhase {
+    /// Short label for EXPLAIN tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ExplainPhase::Primary => "primary",
+            ExplainPhase::Filter => "filter",
+        }
+    }
+}
+
+/// One region's row in an [`ExplainPlan`].
+#[derive(Debug, Clone)]
+pub struct RegionExplain {
+    /// The data object.
+    pub object: ObjectId,
+    /// Region index (sorted-region index for [`OpKind::SortedRange`]).
+    pub region: u32,
+    /// Which lane evaluated it.
+    pub phase: ExplainPhase,
+    /// The operator that answered it (the chosen access operator; a
+    /// pruned region reports the operator it *would* have run).
+    pub op: OpKind,
+    /// Whether the prune operator eliminated the region.
+    pub pruned: bool,
+    /// Elements in the region (the selectivity denominator).
+    pub span_len: u64,
+    /// The histogram's hit-bound estimate (`None` on lanes without
+    /// histograms, e.g. `FullScan`).
+    pub est: Option<HitBounds>,
+    /// Matching elements actually found (`None` when pruned).
+    pub actual_hits: Option<u64>,
+}
+
+/// The explained plan of one query: per-region operator choices with
+/// estimated vs actual selectivity, merged across all server slots.
+#[derive(Debug, Clone)]
+pub struct ExplainPlan {
+    /// The engine strategy that produced the choices.
+    pub strategy: Strategy,
+    /// The plan's constraints in evaluation order:
+    /// `(object, interval, estimated selectivity)`.
+    pub constraints: Vec<(ObjectId, Interval, Option<f64>)>,
+    /// Whether the primary constraint was answered from the sorted
+    /// replica.
+    pub sorted_primary: bool,
+    /// Per-region rows, ordered by (object, region, phase).
+    pub regions: Vec<RegionExplain>,
+}
+
+/// Record an EXPLAIN row on the evaluating server, when EXPLAIN capture
+/// is armed for this slot. No simulated charges — EXPLAIN observes.
+pub(crate) fn record_explain(st: &mut ServerState, entry: RegionExplain) {
+    if let Some(rows) = st.explain.as_mut() {
+        rows.push(entry);
+    }
+}
+
+/// Run one region through its operator pipeline: prune (when the lane
+/// carries histograms), then the access operator the planner chose — or
+/// the candidate-restricted scan when `candidates` is given (the
+/// point-check lanes always scan). Records an EXPLAIN row when capture
+/// is armed.
+pub fn execute_region(
+    ctx: &EvalCtx,
+    st: &mut ServerState,
+    planner: &RegionPlanner,
+    task: &RegionTask,
+    phase: ExplainPhase,
+    candidates: Option<Vec<Run>>,
+) -> PdcResult<OpOutput> {
+    let explaining = st.explain.is_some();
+    let chosen = if candidates.is_some() {
+        AccessChoice::Scan
+    } else {
+        planner.access_for(ctx, task)
+    };
+    if let Some(p) = planner.prune_op() {
+        if matches!(p.run(ctx, st, task)?, OpOutput::Pruned) {
+            if explaining {
+                let est = planner.estimate_for(task);
+                record_explain(
+                    st,
+                    RegionExplain {
+                        object: task.object,
+                        region: task.region,
+                        phase,
+                        op: access_kind(chosen),
+                        pruned: true,
+                        span_len: task.span.len,
+                        est,
+                        actual_hits: None,
+                    },
+                );
+            }
+            return Ok(OpOutput::Pruned);
+        }
+    }
+    let fallbacks_before = st.integrity.fallback_regions;
+    let out = match (candidates, chosen) {
+        (Some(runs), _) => ScanExactOp { candidates: Some(runs) }.run(ctx, st, task)?,
+        (None, AccessChoice::Scan) => ScanExactOp { candidates: None }.run(ctx, st, task)?,
+        (None, AccessChoice::Probe) => IndexProbeOp.run(ctx, st, task)?,
+    };
+    if explaining {
+        // A probe that fell back to the integrity path reports the
+        // operator that actually answered the region.
+        let op = if st.integrity.fallback_regions > fallbacks_before {
+            OpKind::VerifyRebuild
+        } else {
+            access_kind(chosen)
+        };
+        let actual = match &out {
+            OpOutput::Selected(sel) => Some(sel.count()),
+            _ => None,
+        };
+        let est = planner.estimate_for(task);
+        record_explain(
+            st,
+            RegionExplain {
+                object: task.object,
+                region: task.region,
+                phase,
+                op,
+                pruned: false,
+                span_len: task.span.len,
+                est,
+                actual_hits: actual,
+            },
+        );
+    }
+    Ok(out)
+}
+
+fn access_kind(choice: AccessChoice) -> OpKind {
+    match choice {
+        AccessChoice::Scan => OpKind::ScanExact,
+        AccessChoice::Probe => OpKind::IndexProbe,
+    }
+}

@@ -59,6 +59,10 @@ pub struct ServerState {
     /// Set when the server failed outside the probe's schedule (e.g. a
     /// handler panic caught by the pool): dead until state reset.
     pub failed: bool,
+    /// When armed (`Some`), the operator executor records one
+    /// [`crate::ops::RegionExplain`] row per region it evaluates; `None`
+    /// (the default) keeps evaluation free of explain overhead.
+    pub explain: Option<Vec<crate::ops::RegionExplain>>,
 }
 
 impl ServerState {
@@ -79,6 +83,7 @@ impl ServerState {
             integrity_time: SimDuration::ZERO,
             fault: None,
             failed: false,
+            explain: None,
         }
     }
 

@@ -189,6 +189,12 @@ impl SortedReplica {
         bad
     }
 
+    /// The sorted-coordinate span covered by sorted region `r`.
+    pub fn region_span(&self, r: u32) -> Run {
+        let start = u64::from(r) * self.region_len;
+        Run::new(start, (start + self.region_len).min(self.len()) - start)
+    }
+
     /// The sorted regions containing the matching span (equivalent to
     /// [`Self::regions_overlapping`] but computed from the span).
     pub fn regions_of_span(&self, span: &Run) -> Vec<u32> {

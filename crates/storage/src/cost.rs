@@ -294,6 +294,64 @@ impl CostModel {
         m.cpu.gather_ns_per_element *= cpu_factor;
         m
     }
+
+    /// Cold-path estimate for scanning one region of `bytes` bytes /
+    /// `elems` elements: one aggregated PFS read plus the per-element
+    /// scan work. Used by the adaptive planner to rank operators; the
+    /// executor charges the real (tier- and cache-aware) costs.
+    pub fn scan_op_estimate(&self, bytes: u64, elems: u64, concurrency: u32) -> SimDuration {
+        self.pfs.read_cost(bytes, 1, concurrency, ReadPattern::Aggregated)
+            + self.cpu.work_cost(&crate::counters::WorkCounters {
+                elements_scanned: elems,
+                ..Default::default()
+            })
+    }
+
+    /// Cold-path estimate for answering one region from its bitmap
+    /// index: read the serialized index (`index_bytes`), process its
+    /// words, and — when boundary bins leave candidates — read the
+    /// region's data back (`candidate_bytes`) to confirm
+    /// `candidate_elems` of them.
+    pub fn probe_op_estimate(
+        &self,
+        index_bytes: u64,
+        candidate_bytes: u64,
+        candidate_elems: u64,
+        concurrency: u32,
+    ) -> SimDuration {
+        let mut t = self.pfs.read_cost(index_bytes, 1, concurrency, ReadPattern::Aggregated)
+            + self.cpu.work_cost(&crate::counters::WorkCounters {
+                bitmap_words: index_bytes / 4,
+                ..Default::default()
+            });
+        if candidate_bytes > 0 {
+            t += self.pfs.read_cost(candidate_bytes, 1, concurrency, ReadPattern::Aggregated)
+                + self.cpu.work_cost(&crate::counters::WorkCounters {
+                    elements_scanned: candidate_elems,
+                    ..Default::default()
+                });
+        }
+        t
+    }
+
+    /// Cold-path estimate for answering a range from the value-sorted
+    /// replica: read the touched band (`band_bytes` over `band_regions`
+    /// aggregated requests), binary-search probes, and scan the
+    /// `band_elems` elements inside the span.
+    pub fn sorted_op_estimate(
+        &self,
+        band_bytes: u64,
+        band_regions: u64,
+        band_elems: u64,
+        concurrency: u32,
+    ) -> SimDuration {
+        self.pfs.read_cost(band_bytes, band_regions, concurrency, ReadPattern::Aggregated)
+            + self.cpu.work_cost(&crate::counters::WorkCounters {
+                sorted_probes: 2 * 30,
+                elements_scanned: band_elems,
+                ..Default::default()
+            })
+    }
 }
 
 #[cfg(test)]

@@ -248,6 +248,13 @@ impl ObjectStore {
             .ok_or(PdcError::NoSuchRegion(id))
     }
 
+    /// Size in bytes of a region's payload, without any verification,
+    /// tier charge, or access bookkeeping — a host-side metadata peek for
+    /// planners ranking operators before deciding what to read.
+    pub fn payload_size(&self, id: RegionId) -> Option<u64> {
+        self.regions.read().get(&id).map(|r| r.payload.size_bytes())
+    }
+
     /// Fetch a typed-array region (most callers).
     pub fn get_typed(&self, id: RegionId) -> PdcResult<Arc<TypedVec>> {
         match self.get(id)? {
