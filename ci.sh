@@ -89,6 +89,25 @@ echo "$explain_out" | grep -q 'est(lo..hi)' || {
 echo "explain smoke: operator table rendered"
 target/release/adaptive /tmp/ci_adaptive.json
 
+echo "== ingest gate =="
+# Streaming ingest: a query running mid-ingest must be bit-identical to
+# the same query on a store imported whole at the extent it planned
+# against, for every strategy, with and without faults/corruption.
+cargo test -q $OFFLINE -p pdc-query --test ingest_consistency
+cargo test -q $OFFLINE -p pdc-odms --test persist_negative
+cargo test -q $OFFLINE -p pdc-histogram --test histogram_props
+# Bench-bin correctness gate (exits non-zero on any divergence from the
+# sealed baselines), then a CLI smoke that appends 10% of the particles
+# across 3 batches mid-series and asserts every extent sealed-consistent.
+target/release/ingest /tmp/ci_ingest.json
+ingest_out=$($PDC ingest "$SMOKE_Q" $SMOKE_ARGS --append-batches 3 --append-fraction 0.1)
+echo "$ingest_out" | grep -q 'ingest gate: PASS' || {
+    echo "ci: ingest smoke FAILED:" >&2
+    echo "$ingest_out" >&2
+    exit 1
+}
+echo "$ingest_out" | tail -n 1
+
 echo "== clippy gate =="
 cargo clippy --release $OFFLINE --workspace --all-targets -- -D warnings
 

@@ -39,6 +39,18 @@ pub enum Command {
         /// Common options.
         opts: CommonOpts,
     },
+    /// Stream appends into `Energy` between queries and verify every
+    /// observed extent against a sealed-store rerun.
+    Ingest {
+        /// The query expression run between appends.
+        expr: String,
+        /// Common options.
+        opts: CommonOpts,
+        /// Number of streaming appends interleaved with the queries.
+        append_batches: u32,
+        /// Fraction of the dataset held back and appended mid-series.
+        append_fraction: f64,
+    },
     /// Print usage.
     Help,
 }
@@ -98,6 +110,7 @@ pdc — the PDC-Query reproduction CLI
 USAGE:
   pdc query \"<expr>\" [options] [--get-data <var>]
   pdc demo [options]
+  pdc ingest [\"<expr>\"] [options]
   pdc help
 
 The dataset is a calibrated synthetic VPIC plasma: variables Energy, x,
@@ -138,6 +151,20 @@ OPTIONS:
   --batch-file <P>   (query only) file of extra expressions, one per line
                      ('#' comments and blank lines skipped), admitted in
                      the same batch
+  --append-batches <N>
+                     (ingest only) number of streaming appends interleaved
+                     with the query series (default 5)
+  --append-fraction <F>
+                     (ingest only) fraction of the dataset held back from
+                     the initial import and appended mid-series (default 0.1)
+
+The ingest subcommand imports Energy at a reduced initial extent, runs
+the query, appends the held-back elements in batches (re-running the
+query after each), and verifies every observed extent against a fresh
+store imported whole at that extent. Histograms are maintained
+incrementally; bitmap-index and sorted-replica upkeep is deferred and
+drained at the end. The last line is the gate: 'ingest gate: PASS' only
+if every interleaved query was bit-identical to its sealed rerun.
 ";
 
 /// Parse `argv[1..]` into a command.
@@ -170,8 +197,74 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, St
             parse_options(args, &mut opts, None)?;
             Ok(Command::Demo { opts })
         }
+        "ingest" => {
+            // Optional positional expression before the flags.
+            let expr = match args.peek() {
+                Some(a) if !a.starts_with("--") => args.next().unwrap(),
+                _ => "2.1 < Energy < 2.2".to_string(),
+            };
+            let mut opts = CommonOpts::default();
+            let mut ingest = IngestOpts::default();
+            parse_ingest_options(args, &mut opts, &mut ingest)?;
+            if ingest.append_batches == 0 {
+                return Err("--append-batches must be at least 1".to_string());
+            }
+            if !(0.0..1.0).contains(&ingest.append_fraction) || ingest.append_fraction <= 0.0 {
+                return Err(format!(
+                    "--append-fraction {} must be within (0, 1)",
+                    ingest.append_fraction
+                ));
+            }
+            Ok(Command::Ingest {
+                expr,
+                opts,
+                append_batches: ingest.append_batches,
+                append_fraction: ingest.append_fraction,
+            })
+        }
         other => Err(format!("unknown subcommand '{other}' (try 'pdc help')")),
     }
+}
+
+/// Options valid only for `pdc ingest`.
+struct IngestOpts {
+    append_batches: u32,
+    append_fraction: f64,
+}
+
+impl Default for IngestOpts {
+    fn default() -> Self {
+        Self { append_batches: 5, append_fraction: 0.1 }
+    }
+}
+
+/// Parse ingest flags, deferring everything else to [`parse_options`].
+fn parse_ingest_options<I: Iterator<Item = String>>(
+    args: std::iter::Peekable<I>,
+    opts: &mut CommonOpts,
+    ingest: &mut IngestOpts,
+) -> Result<(), String> {
+    let mut rest = Vec::new();
+    let mut args = args;
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next().ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--append-batches" => {
+                ingest.append_batches = value("--append-batches")?
+                    .parse()
+                    .map_err(|e| format!("--append-batches: {e}"))?;
+            }
+            "--append-fraction" => {
+                ingest.append_fraction = value("--append-fraction")?
+                    .parse()
+                    .map_err(|e| format!("--append-fraction: {e}"))?;
+            }
+            other => rest.push(other.to_string()),
+        }
+    }
+    parse_options(rest.into_iter().peekable(), opts, None)
 }
 
 /// Options valid only for `pdc query`.
@@ -511,6 +604,124 @@ pub fn run(cmd: Command) -> Result<String, String> {
                     preview.join(", ")
                 ));
             }
+            Ok(out)
+        }
+        Command::Ingest { expr, opts, append_batches, append_fraction } => {
+            fault_plan(&opts)?; // validate before the expensive import
+            let data =
+                VpicData::generate(&VpicConfig { particles: opts.particles, seed: opts.seed });
+            let total = opts.particles;
+            let append_total =
+                ((total as f64 * append_fraction).round() as usize).max(append_batches as usize);
+            if append_total >= total {
+                return Err(format!(
+                    "--append-fraction {append_fraction} leaves no initial extent for \
+                     {total} particles"
+                ));
+            }
+            let initial = total - append_total;
+            let import = ImportOptions {
+                region_bytes: opts.region_bytes,
+                build_index: true,
+                build_sorted: true,
+                ..Default::default()
+            };
+            // A world with every variable at full extent except Energy,
+            // which starts at the reduced initial extent and grows by
+            // streaming appends between queries.
+            let build_at = |energy_extent: usize| -> Result<Arc<Odms>, String> {
+                let odms = Arc::new(Odms::new(64));
+                let container = odms.create_container("cli");
+                for (name, values) in data.variables() {
+                    let vals = if name == "Energy" {
+                        values[..energy_extent].to_vec()
+                    } else {
+                        values.clone()
+                    };
+                    odms.import_array(
+                        container,
+                        name,
+                        pdc_types::TypedVec::Float(vals),
+                        &import,
+                    )
+                    .map_err(|e| e.to_string())?;
+                }
+                Ok(odms)
+            };
+            let odms = build_at(initial)?;
+            let engine = build_engine(&odms, &opts);
+            let query = parse_query(&expr, &odms).map_err(|e| e.to_string())?;
+            let energy = odms.meta().lookup_name("Energy").map_err(|e| e.to_string())?.id;
+
+            let mut out = String::new();
+            out.push_str(&format!(
+                "ingest: query {query}; initial {initial} elements, {append_batches} appends \
+                 totalling {append_total} ({:.1}% of {total})\n",
+                100.0 * append_total as f64 / total as f64,
+            ));
+            let chunk = append_total / append_batches as usize;
+            let mut consistent = 0u32;
+            let mut checked = 0u32;
+            for k in 0..=append_batches as usize {
+                let outcome = engine.run(&query).map_err(|e| e.to_string())?;
+                // Rerun against a store imported whole at the extent the
+                // plan saw: hits must be bit-identical.
+                let extent = outcome.planned_elements as usize;
+                let sealed = build_at(extent)?;
+                let sealed_engine = build_engine(&sealed, &opts);
+                let sealed_q = parse_query(&expr, &sealed).map_err(|e| e.to_string())?;
+                let sealed_out = sealed_engine.run(&sealed_q).map_err(|e| e.to_string())?;
+                let ok = outcome.nhits == sealed_out.nhits
+                    && outcome.selection == sealed_out.selection;
+                checked += 1;
+                consistent += ok as u32;
+                out.push_str(&format!(
+                    "  extent {extent} (epoch {}): {} hits — sealed rerun {} {}\n",
+                    outcome.planned_epoch,
+                    outcome.nhits,
+                    sealed_out.nhits,
+                    if ok { "ok" } else { "MISMATCH" },
+                ));
+                if k < append_batches as usize {
+                    let lo = initial + k * chunk;
+                    let hi = if k + 1 == append_batches as usize {
+                        total
+                    } else {
+                        initial + (k + 1) * chunk
+                    };
+                    let report = odms
+                        .append_array(
+                            energy,
+                            &pdc_types::TypedVec::Float(data.energy[lo..hi].to_vec()),
+                        )
+                        .map_err(|e| e.to_string())?;
+                    out.push_str(&format!(
+                        "  append {}: +{} elems (tail fill: {}, new regions: {}, sealed: {})\n",
+                        k + 1,
+                        report.appended_elems,
+                        report.filled_tail.map_or_else(|| "-".into(), |r| r.to_string()),
+                        report.new_regions.len(),
+                        report.sealed_regions.len(),
+                    ));
+                }
+            }
+            let maint = odms.run_deferred_maintenance().map_err(|e| e.to_string())?;
+            out.push_str(&format!(
+                "maintenance: rebuilt {} index region(s), {} sorted replica(s), {} B written\n",
+                maint.index_regions_rebuilt, maint.sorted_replicas_rebuilt, maint.bytes_written,
+            ));
+            // Post-maintenance rerun still matches the final extent.
+            let final_out = engine.run(&query).map_err(|e| e.to_string())?;
+            let sealed = build_at(final_out.planned_elements as usize)?;
+            let sealed_engine = build_engine(&sealed, &opts);
+            let sealed_q = parse_query(&expr, &sealed).map_err(|e| e.to_string())?;
+            let sealed_final = sealed_engine.run(&sealed_q).map_err(|e| e.to_string())?;
+            checked += 1;
+            consistent += (final_out.selection == sealed_final.selection) as u32;
+            out.push_str(&format!(
+                "ingest gate: {} ({consistent}/{checked} extents sealed-consistent)\n",
+                if consistent == checked { "PASS" } else { "FAIL" },
+            ));
             Ok(out)
         }
         Command::Demo { opts } => {
@@ -862,6 +1073,68 @@ mod tests {
             batch_file: Some("/nonexistent/queries.txt".to_string()),
         });
         assert!(out.is_err());
+    }
+
+    #[test]
+    fn ingest_flags_parse() {
+        let cmd = parse_args(argv("ingest --append-batches 3 --append-fraction 0.2")).unwrap();
+        match cmd {
+            Command::Ingest { expr, append_batches, append_fraction, .. } => {
+                assert_eq!(expr, "2.1 < Energy < 2.2");
+                assert_eq!(append_batches, 3);
+                assert_eq!(append_fraction, 0.2);
+            }
+            other => panic!("{other:?}"),
+        }
+        // A positional expression and interleaved common options survive.
+        let cmd =
+            parse_args(argv("ingest Energy>2 --particles 1000 --append-batches 2")).unwrap();
+        match cmd {
+            Command::Ingest { expr, opts, append_batches, .. } => {
+                assert_eq!(expr, "Energy>2");
+                assert_eq!(opts.particles, 1000);
+                assert_eq!(append_batches, 2);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_args(argv("ingest --append-batches 0")).is_err());
+        assert!(parse_args(argv("ingest --append-fraction 1.5")).is_err());
+        assert!(parse_args(argv("ingest --append-fraction 0")).is_err());
+        assert!(parse_args(argv("query E>1 --append-batches 2")).is_err());
+    }
+
+    #[test]
+    fn ingest_gate_passes_end_to_end() {
+        let out = run(Command::Ingest {
+            expr: "2.1 < Energy < 2.2".to_string(),
+            opts: CommonOpts { particles: 40_000, servers: 4, ..CommonOpts::default() },
+            append_batches: 3,
+            append_fraction: 0.1,
+        })
+        .unwrap();
+        // 3 appends → 4 interleaved checks + the post-maintenance rerun.
+        assert!(out.contains("ingest gate: PASS (5/5"), "{out}");
+        assert!(out.contains("append 1: +"), "{out}");
+        assert!(out.contains("maintenance: rebuilt"), "{out}");
+        assert!(!out.contains("MISMATCH"), "{out}");
+    }
+
+    #[test]
+    fn ingest_gate_passes_under_faults() {
+        let out = run(Command::Ingest {
+            expr: "Energy > 2.0".to_string(),
+            opts: CommonOpts {
+                particles: 30_000,
+                servers: 4,
+                strategy: Strategy::Adaptive,
+                fault_seed: Some(7),
+                ..CommonOpts::default()
+            },
+            append_batches: 2,
+            append_fraction: 0.15,
+        })
+        .unwrap();
+        assert!(out.contains("ingest gate: PASS"), "{out}");
     }
 
     #[test]

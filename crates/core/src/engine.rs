@@ -6,6 +6,7 @@ use crate::exec::{eval_plan, EvalCtx};
 use crate::plan::{PlanNode, QueryPlan};
 use crate::qcache::IntervalKey;
 use crate::recover::{run_slots, RecoveryPolicy};
+use crate::snapshot::MetaSnapshot;
 use crate::state::ServerState;
 use pdc_histogram::Histogram;
 use pdc_odms::Odms;
@@ -149,6 +150,13 @@ pub struct QueryOutcome {
     /// rebuilt, regions answered by the fallback scan path. All zero on a
     /// clean run.
     pub integrity: IntegrityCounters,
+    /// The store epoch of the plan-time metadata snapshot this query
+    /// evaluated against.
+    pub planned_epoch: u64,
+    /// The primary object's element count at plan time. Under streaming
+    /// ingest this is the extent the query answered — a store sealed at
+    /// this extent returns a bit-identical selection.
+    pub planned_elements: u64,
 }
 
 /// The result of a `PDCquery_get_data` call.
@@ -234,12 +242,13 @@ impl BatchStats {
 }
 
 /// The client-side canonical-plan cache: normalized query tree (by
-/// [`PdcQuery::canonical_key`]) → built, selectivity-ordered plan.
-/// Entries are validated against the store epoch at lookup, so any data
-/// mutation or aux rebuild (which can change the histograms behind the
-/// selectivity ordering) invalidates them.
+/// [`PdcQuery::canonical_key`]) → built, selectivity-ordered plan plus
+/// the plan-time [`MetaSnapshot`] the evaluation pins. Entries are
+/// validated against the store epoch at lookup, so any data mutation,
+/// append, or aux rebuild (which can change the histograms behind the
+/// selectivity ordering) invalidates both the plan and its snapshot.
 struct PlanCache {
-    map: HashMap<String, (u64, QueryPlan)>,
+    map: HashMap<String, (u64, QueryPlan, Arc<MetaSnapshot>)>,
     hits: u64,
     misses: u64,
 }
@@ -332,12 +341,17 @@ impl QueryEngine {
 
     /// Per-slot region counts for the plan's objects: slot `s` owns the
     /// regions with `r % num_servers == s`, so its weight is a closed
-    /// form of each object's region count. Used to balance reassignment.
-    fn slot_weights_for_objects(&self, objects: &[ObjectId]) -> PdcResult<Vec<u64>> {
+    /// form of each object's region count (at the plan-time snapshot).
+    /// Used to balance reassignment.
+    fn slot_weights_for_objects(
+        &self,
+        snap: &MetaSnapshot,
+        objects: &[ObjectId],
+    ) -> PdcResult<Vec<u64>> {
         let n = self.cfg.num_servers;
         let mut weights = vec![0u64; n as usize];
         for &obj in objects {
-            let regions = u64::from(self.odms.meta().get(obj)?.num_regions());
+            let regions = u64::from(snap.meta(obj)?.num_regions());
             for s in 0..u64::from(n) {
                 weights[s as usize] +=
                     regions / u64::from(n) + u64::from(s < regions % u64::from(n));
@@ -408,33 +422,47 @@ impl QueryEngine {
         self.apply_planned_corruption();
     }
 
+    /// Capture the plan-time metadata snapshot of every object `plan`
+    /// touches.
+    fn snapshot_for_plan(&self, plan: &QueryPlan) -> PdcResult<Arc<MetaSnapshot>> {
+        let mut objects = Vec::new();
+        plan.root.objects(&mut objects);
+        objects.sort_unstable();
+        objects.dedup();
+        Ok(Arc::new(MetaSnapshot::capture(&self.odms, &objects)?))
+    }
+
     /// Plan `query` through the canonical-plan cache: a hit replays the
-    /// built, selectivity-ordered plan for the same canonical tree at the
-    /// same store epoch; a miss builds and admits it. Host-work only —
-    /// planning carries no simulated charge either way.
-    fn plan_cached(&self, query: &PdcQuery) -> PdcResult<QueryPlan> {
+    /// built, selectivity-ordered plan *and its plan-time metadata
+    /// snapshot* for the same canonical tree at the same store epoch; a
+    /// miss builds and admits both. Host-work only — planning carries no
+    /// simulated charge either way.
+    fn plan_cached(&self, query: &PdcQuery) -> PdcResult<(QueryPlan, Arc<MetaSnapshot>)> {
         let key = query.canonical_key();
         let epoch = self.odms.store().epoch();
         {
             let mut pc = self.plans.lock().unwrap();
-            if let Some(plan) = pc
+            if let Some(hit) = pc
                 .map
                 .get(&key)
-                .and_then(|(e, plan)| (*e == epoch).then(|| plan.clone()))
+                .and_then(|(e, plan, snap)| {
+                    (*e == epoch).then(|| (plan.clone(), Arc::clone(snap)))
+                })
             {
                 pc.hits += 1;
-                return Ok(plan);
+                return Ok(hit);
             }
         }
         let plan =
             QueryPlan::build_with_ordering(query, &self.odms, self.cfg.order_by_selectivity)?;
+        let snap = self.snapshot_for_plan(&plan)?;
         let mut pc = self.plans.lock().unwrap();
         pc.misses += 1;
         if pc.map.len() >= PLAN_CACHE_CAP {
             pc.map.clear();
         }
-        pc.map.insert(key, (epoch, plan.clone()));
-        Ok(plan)
+        pc.map.insert(key, (epoch, plan.clone(), Arc::clone(&snap)));
+        Ok((plan, snap))
     }
 
     /// `PDCquery_get_nhits`: evaluate and return the number of matches.
@@ -496,10 +524,13 @@ impl QueryEngine {
             } else {
                 (IntegrityCounters::default(), SimDuration::ZERO)
             };
-        let plan = if use_cache {
+        let (plan, snap) = if use_cache {
             self.plan_cached(query)?
         } else {
-            QueryPlan::build_with_ordering(query, &self.odms, self.cfg.order_by_selectivity)?
+            let plan =
+                QueryPlan::build_with_ordering(query, &self.odms, self.cfg.order_by_selectivity)?;
+            let snap = self.snapshot_for_plan(&plan)?;
+            (plan, snap)
         };
         let n = self.cfg.num_servers;
         let cost = self.cfg.cost;
@@ -507,13 +538,13 @@ impl QueryEngine {
         plan.root.objects(&mut objects);
         objects.sort_unstable();
         objects.dedup();
-        let weights = self.slot_weights_for_objects(&objects)?;
+        let weights = self.slot_weights_for_objects(&snap, &objects)?;
 
         // PDC-F pre-loads all data of every queried object. Failures
         // during the pre-load recover the same way evaluation does; they
         // are carried into the outcome's fault report.
         let preload = if self.cfg.strategy == Strategy::FullScan {
-            Some(self.preload_objects(&objects, &weights)?)
+            Some(self.preload_objects(&snap, &objects, &weights)?)
         } else {
             None
         };
@@ -522,6 +553,7 @@ impl QueryEngine {
         let broadcast = cost.net.broadcast_cost(query.wire_size_bytes(), n);
 
         let odms = Arc::clone(&self.odms);
+        let snap_eval = Arc::clone(&snap);
         let strategy = self.cfg.strategy;
         let scan_threads = self.cfg.scan_threads;
         let scan_kernels = self.cfg.scan_kernels;
@@ -546,6 +578,7 @@ impl QueryEngine {
                 }
                 let ctx = EvalCtx {
                     odms: &odms,
+                    snap: &snap_eval,
                     cost: &cost,
                     strategy,
                     n_servers: n,
@@ -608,7 +641,7 @@ impl QueryEngine {
             integrity: preflight_time + slot_integrity_time,
         };
 
-        let sorted_hint = self.sorted_hint(&plan);
+        let sorted_hint = self.sorted_hint(&plan, &snap);
         let explain_plan = explain.then(|| {
             let mut regions: Vec<crate::ops::RegionExplain> =
                 out.per_slot.iter().flat_map(|t| t.5.iter().cloned()).collect();
@@ -639,6 +672,8 @@ impl QueryEngine {
                 integrity.merge(ic);
             }
         }
+        let planned_elements =
+            snap.meta(plan.primary_object()).map(|m| m.num_elements()).unwrap_or(0);
         Ok((
             QueryOutcome {
                 nhits: selection.count(),
@@ -652,6 +687,8 @@ impl QueryEngine {
                 failed_servers,
                 retry_rounds,
                 integrity,
+                planned_epoch: snap.epoch(),
+                planned_elements,
             },
             out.eval_time,
             explain_plan,
@@ -691,7 +728,7 @@ impl QueryEngine {
         } else {
             let mut plans = Vec::with_capacity(queries.len());
             for q in queries {
-                plans.push(self.plan_cached(q)?);
+                plans.push(self.plan_cached(q)?.0);
             }
             self.prewarm_batch(&plans)
         };
@@ -804,15 +841,16 @@ impl QueryEngine {
                     // Seed prune verdicts (exactly the verdict the
                     // evaluator computes) and collect the intervals that
                     // still need a scan of this region.
+                    let span = meta.region_span(r);
                     let mut pending: Vec<Interval> = Vec::new();
                     for iv in ivs {
                         let pruned = match hists.as_ref().and_then(|h| h.get(r as usize)) {
-                            Some(h) => st.qcache.prune_or_compute(*obj, r, iv, || {
+                            Some(h) => st.qcache.prune_or_compute(*obj, r, span.len, iv, || {
                                 crate::ops::prune_verdict(h, iv)
                             }),
                             None => false,
                         };
-                        if !pruned && st.qcache.peek_scan(*obj, r, iv).is_none() {
+                        if !pruned && st.qcache.peek_scan(*obj, r, span.len, iv).is_none() {
                             pending.push(*iv);
                         }
                     }
@@ -831,11 +869,23 @@ impl QueryEngine {
                     else {
                         continue;
                     };
-                    let span = meta.region_span(r);
+                    // A concurrent append can have grown the stored
+                    // payload past the metadata span read above; evaluate
+                    // (and key) exactly the span's extent so the seeded
+                    // artifact matches what a query planned at this
+                    // extent computes.
+                    if (payload.len() as u64) < span.len {
+                        continue;
+                    }
+                    let payload = if (payload.len() as u64) > span.len {
+                        Arc::new(payload.slice(0, span.len as usize))
+                    } else {
+                        payload
+                    };
                     let sels =
                         pdc_types::kernels::scan_intervals(&payload, &pending, span.offset);
                     for (iv, sel) in pending.iter().zip(sels) {
-                        st.qcache.put_scan(*obj, r, iv, sel);
+                        st.qcache.put_scan(*obj, r, span.len, iv, sel);
                     }
                     count += 1;
                 }
@@ -850,11 +900,11 @@ impl QueryEngine {
     /// sort object and the matching sorted span. Mirrors the servers'
     /// decision exactly — both are the same pure function of
     /// metadata/histograms/cost.
-    fn sorted_hint(&self, plan: &QueryPlan) -> Option<(ObjectId, Run)> {
+    fn sorted_hint(&self, plan: &QueryPlan, snap: &MetaSnapshot) -> Option<(ObjectId, Run)> {
         let PlanNode::Conj(cs) = &plan.root else { return None };
         let primary = cs.first()?;
         let used = crate::exec::use_sorted_primary(
-            &self.odms,
+            snap,
             &self.cfg.cost,
             self.cfg.strategy,
             self.cfg.num_servers,
@@ -865,7 +915,7 @@ impl QueryEngine {
         if !used {
             return None;
         }
-        let replica = self.odms.meta().sorted_replica(primary.object).ok()?;
+        let replica = snap.sorted_replica(primary.object).ok()?;
         Some((primary.object, replica.matching_span(&primary.interval)))
     }
 
@@ -878,12 +928,14 @@ impl QueryEngine {
     /// for the outcome.
     fn preload_objects(
         &self,
+        snap: &Arc<MetaSnapshot>,
         objects: &[ObjectId],
         weights: &[u64],
     ) -> PdcResult<crate::recover::SlotRunOutput<IntegrityCounters>> {
         let n = self.cfg.num_servers;
         let cost = self.cfg.cost;
         let odms = Arc::clone(&self.odms);
+        let snap = Arc::clone(snap);
         run_slots(
             &self.pool,
             &cost,
@@ -893,7 +945,7 @@ impl QueryEngine {
             |slot, st| {
                 let i0 = st.integrity;
                 for &obj in objects {
-                    let meta = odms.meta().get(obj)?;
+                    let meta = snap.meta(obj)?;
                     for r in 0..meta.num_regions() {
                         if r % n != slot {
                             continue;
@@ -903,6 +955,7 @@ impl QueryEngine {
                             &cost,
                             pdc_types::RegionId::new(obj, r),
                             n,
+                            meta.region_span(r).len,
                         )?;
                     }
                 }
@@ -975,7 +1028,8 @@ impl QueryEngine {
 
         let use_sorted = matches!(sorted_hint, Some((o, _)) if *o == object);
         let span_hint = sorted_hint.map(|(_, s)| *s);
-        let weights = self.slot_weights_for_objects(&[object])?;
+        let snap = Arc::new(MetaSnapshot::capture(&self.odms, &[object])?);
+        let weights = self.slot_weights_for_objects(&snap, &[object])?;
         let elem = elem_bytes;
 
         let out = run_slots(
@@ -1036,6 +1090,7 @@ impl QueryEngine {
                             &cost,
                             pdc_types::RegionId::new(object, r),
                             n,
+                            span.len,
                         )?;
                         // Typed run-at-a-time gather: one slice walk per
                         // hit run instead of a per-element enum match.

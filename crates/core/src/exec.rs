@@ -31,6 +31,7 @@
 use crate::engine::Strategy;
 use crate::ops::{self, ExplainPhase, OpOutput, PhysicalOp, RegionTask};
 use crate::plan::{ObjConstraint, PlanNode, QueryPlan};
+use crate::snapshot::MetaSnapshot;
 use crate::state::ServerState;
 use pdc_odms::Odms;
 use pdc_storage::CostModel;
@@ -41,6 +42,10 @@ use std::sync::Arc;
 pub struct EvalCtx<'a> {
     /// The data management system.
     pub odms: &'a Odms,
+    /// The plan-time metadata snapshot: every metadata, histogram, and
+    /// replica read during evaluation goes through this pinned view, so
+    /// an append landing mid-query cannot change what this query sees.
+    pub snap: &'a MetaSnapshot,
     /// The cost model.
     pub cost: &'a CostModel,
     /// The evaluation strategy.
@@ -76,7 +81,7 @@ pub fn eval_plan(ctx: &EvalCtx, state: &mut ServerState, plan: &QueryPlan) -> Pd
     objects.sort_unstable();
     objects.dedup();
     for obj in objects {
-        let meta = ctx.odms.meta().get(obj)?;
+        let meta = ctx.snap.meta(obj)?;
         let assigned = u64::from(meta.num_regions()).div_ceil(u64::from(ctx.n_servers));
         state.charge_metadata_distribution(ctx.cost, obj, assigned);
     }
@@ -170,7 +175,7 @@ fn eval_conj(
 /// verdict is a pure function of metadata/histograms/cost model, shared
 /// with the client's `sorted_hint`.
 pub(crate) fn use_sorted_primary(
-    odms: &Odms,
+    snap: &MetaSnapshot,
     cost: &CostModel,
     strategy: Strategy,
     n_servers: u32,
@@ -178,8 +183,11 @@ pub(crate) fn use_sorted_primary(
     interval: &Interval,
 ) -> PdcResult<bool> {
     match strategy {
-        Strategy::SortedHistogram => Ok(odms.meta().get(object)?.has_sorted_replica),
-        Strategy::Adaptive => ops::adaptive_sorted_choice(odms, cost, n_servers, object, interval),
+        // A replica that doesn't cover the snapshot's extent (stale
+        // after an append, pending deferred maintenance) is unavailable;
+        // the strategy degrades to the pruned per-region path.
+        Strategy::SortedHistogram => Ok(snap.sorted_available(object)),
+        Strategy::Adaptive => ops::adaptive_sorted_choice(snap, cost, n_servers, object, interval),
         _ => Ok(false),
     }
 }
@@ -192,10 +200,10 @@ fn eval_primary(
     c: &ObjConstraint,
     region: Option<&NdRegion>,
 ) -> PdcResult<Selection> {
-    if use_sorted_primary(ctx.odms, ctx.cost, ctx.strategy, ctx.n_servers, c.object, &c.interval)? {
+    if use_sorted_primary(ctx.snap, ctx.cost, ctx.strategy, ctx.n_servers, c.object, &c.interval)? {
         return eval_primary_sorted(ctx, state, c);
     }
-    let meta = ctx.odms.meta().get(c.object)?;
+    let meta = ctx.snap.meta(c.object)?;
     // 1-D spatial constraints narrow the candidate region set up front.
     let span_limit = region.and_then(|r| r.as_1d_span());
     let planner = ops::RegionPlanner::for_primary(ctx, c.object)?;
@@ -228,8 +236,8 @@ fn eval_primary_sorted(
     state: &mut ServerState,
     c: &ObjConstraint,
 ) -> PdcResult<Selection> {
-    let meta = ctx.odms.meta().get(c.object)?;
-    let replica = ctx.odms.meta().sorted_replica(c.object)?;
+    let meta = ctx.snap.meta(c.object)?;
+    let replica = ctx.snap.sorted_replica(c.object)?;
     let elem_bytes = meta.pdc_type.size_bytes();
     // The global histogram narrows the span; two binary searches find it
     // exactly.
@@ -298,7 +306,7 @@ pub fn point_check(
     interval: &Interval,
     candidates: &Selection,
 ) -> PdcResult<Selection> {
-    let meta = ctx.odms.meta().get(object)?;
+    let meta = ctx.snap.meta(object)?;
     let planner = ops::RegionPlanner::for_filter(ctx, object)?;
     let mut out: Vec<Run> = Vec::new();
     // Group candidate coordinates by region.
@@ -352,7 +360,7 @@ fn apply_region_filter(
     object: ObjectId,
     region: &NdRegion,
 ) -> PdcResult<Selection> {
-    let meta = ctx.odms.meta().get(object)?;
+    let meta = ctx.snap.meta(object)?;
     if let Some(span) = region.as_1d_span() {
         Ok(sel.restrict_to_span(span.offset, span.len))
     } else {

@@ -87,8 +87,13 @@ pub fn apply_corruption(odms: &Odms, spec: &CorruptionSpec) -> PdcResult<Corrupt
         if let Some(idx_obj) = meta.index_object {
             for r in spec.aux_victims(n_regions, salt ^ INDEX_SALT) {
                 let rid = RegionId::new(idx_obj, r as u32);
-                if odms.store().corrupt(rid, spec.seed ^ salt ^ INDEX_SALT)? {
-                    report.index_regions += 1;
+                match odms.store().corrupt(rid, spec.seed ^ salt ^ INDEX_SALT) {
+                    Ok(true) => report.index_regions += 1,
+                    Ok(false) => {}
+                    // A streaming append dropped this index region (or
+                    // deferred building it): nothing to damage yet.
+                    Err(PdcError::NoSuchRegion(_)) => {}
+                    Err(e) => return Err(e),
                 }
             }
         }

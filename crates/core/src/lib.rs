@@ -17,6 +17,10 @@
 //!   prune, exact scan, index probe, sorted range, and verify-rebuild
 //!   operators behind one [`ops::PhysicalOp`] trait, plus the
 //!   per-region adaptive planner and the [`ops::ExplainPlan`] report.
+//! * [`snapshot`] — epoch-consistent metadata snapshots: every plan pins
+//!   the metadata/histograms/replica views of its objects at plan time,
+//!   so queries in flight during a streaming append answer exactly the
+//!   extent they planned against.
 //! * [`state`] — per-logical-server state: region cache, index cache,
 //!   resident sorted regions, simulated clock and counters.
 //! * [`engine`] — the [`QueryEngine`]: broadcast, load-balanced region
@@ -43,6 +47,7 @@ pub mod parse;
 pub mod plan;
 pub mod qcache;
 pub(crate) mod recover;
+pub mod snapshot;
 pub mod state;
 
 pub use ast::PdcQuery;
@@ -55,4 +60,5 @@ pub use qcache::{CacheStats, QueryArtifactCache};
 pub use integrity::{apply_corruption, preflight, CorruptionReport};
 pub use multi::MetaDataQueryOutcome;
 pub use plan::QueryPlan;
+pub use snapshot::MetaSnapshot;
 pub use state::ServerState;

@@ -16,6 +16,7 @@
 use crate::engine::QueryEngine;
 use crate::exec::EvalCtx;
 use crate::ops::{self, ExplainPhase, OpOutput, RegionTask};
+use crate::snapshot::MetaSnapshot;
 use crate::state::ServerState;
 use pdc_odms::MetaValue;
 use pdc_storage::{IoCounters, SimDuration};
@@ -75,6 +76,10 @@ impl QueryEngine {
         let strategy = self.strategy();
         let (scan_threads, scan_kernels) = self.scan_flags();
         let iv = *interval;
+        // Pin the matched objects' metadata before the broadcast: every
+        // server evaluates the same snapshot, and an append landing
+        // mid-query cannot tear the extent between servers.
+        let snap = Arc::new(MetaSnapshot::capture(&odms, &objects)?);
         let objects_arc: Arc<Vec<ObjectId>> = Arc::new(objects);
         let objects_for_eval = Arc::clone(&objects_arc);
 
@@ -91,6 +96,7 @@ impl QueryEngine {
                 let io0 = st.io;
                 let ctx = EvalCtx {
                     odms: &odms,
+                    snap: &snap,
                     cost: &cost,
                     strategy,
                     n_servers: n,
@@ -104,7 +110,7 @@ impl QueryEngine {
                     if i as u32 % n != id.raw() {
                         continue;
                     }
-                    let meta = odms.meta().get(obj)?;
+                    let meta = snap.meta(obj)?;
                     // Small objects round-robin whole objects across
                     // servers, but each object's regions run through the
                     // same operator pipeline as plan evaluation.

@@ -48,9 +48,9 @@
 
 use crate::engine::Strategy;
 use crate::exec::EvalCtx;
+use crate::snapshot::MetaSnapshot;
 use crate::state::ServerState;
 use pdc_histogram::{HitBounds, Histogram};
-use pdc_odms::Odms;
 use pdc_sorted::SortedReplica;
 use pdc_storage::{CostModel, SimDuration, WorkCounters};
 use pdc_types::{
@@ -158,7 +158,7 @@ impl PhysicalOp for PruneOp {
         // a cache hit only skips the host-side `estimate_hits` walk.
         st.work.histogram_bins += h.num_bins() as u64;
         let pruned = if ctx.use_cache {
-            st.qcache.prune_or_compute(task.object, task.region, &task.interval, || {
+            st.qcache.prune_or_compute(task.object, task.region, task.span.len, &task.interval, || {
                 prune_verdict(h, &task.interval)
             })
         } else {
@@ -194,8 +194,22 @@ impl PhysicalOp for ScanExactOp {
     ) -> PdcResult<OpOutput> {
         let RegionTask { object, region, span, interval } = task;
         let before = st.work;
-        let payload =
-            st.read_data_region(ctx.odms, ctx.cost, RegionId::new(*object, *region), ctx.n_servers)?;
+        let payload = st.read_data_region(
+            ctx.odms,
+            ctx.cost,
+            RegionId::new(*object, *region),
+            ctx.n_servers,
+            span.len,
+        )?;
+        // An in-flight append can grow the stored payload past the span
+        // this query's snapshot planned against; scan exactly the
+        // snapshot's extent so the result is bit-identical to a store
+        // sealed at plan time.
+        let payload = if (payload.len() as u64) > span.len {
+            Arc::new(payload.slice(0, span.len as usize))
+        } else {
+            payload
+        };
         let sel = match &self.candidates {
             None => {
                 st.work.elements_scanned += payload.len() as u64;
@@ -203,8 +217,11 @@ impl PhysicalOp for ScanExactOp {
                 // only the kernel invocation itself is served from the
                 // cache, so the simulated accounting of a hit equals a
                 // miss exactly.
-                let cached =
-                    if ctx.use_cache { st.qcache.get_scan(*object, *region, interval) } else { None };
+                let cached = if ctx.use_cache {
+                    st.qcache.get_scan(*object, *region, span.len, interval)
+                } else {
+                    None
+                };
                 match cached {
                     Some(sel) => sel,
                     None => {
@@ -219,7 +236,7 @@ impl PhysicalOp for ScanExactOp {
                             kernels::scan_interval_scalar(&payload, interval, span.offset)
                         };
                         if ctx.use_cache {
-                            st.qcache.put_scan(*object, *region, interval, sel.clone());
+                            st.qcache.put_scan(*object, *region, span.len, interval, sel.clone());
                         }
                         sel
                     }
@@ -233,7 +250,7 @@ impl PhysicalOp for ScanExactOp {
                 // clipped coordinate set is exactly what `scan_range`
                 // would emit, and the scan charge stays per-run.
                 let cached_full = if ctx.use_cache {
-                    st.qcache.peek_scan(*object, *region, interval).cloned()
+                    st.qcache.peek_scan(*object, *region, span.len, interval).cloned()
                 } else {
                     None
                 };
@@ -314,6 +331,13 @@ impl PhysicalOp for IndexProbeOp {
             Err(PdcError::Codec(_)) => {
                 return VerifyRebuildOp.run(ctx, st, task);
             }
+            Err(PdcError::NoSuchRegion(_)) => {
+                // Online index maintenance: a streaming append dropped
+                // the tail region's stale index (or created a region
+                // whose index was deferred). First probe answers by the
+                // exact scan and rebuilds the index in place.
+                return VerifyRebuildOp.run(ctx, st, task);
+            }
             Err(e) => return Err(e),
         };
         st.work.bitmap_words += idx.size_bytes_serialized() / 4;
@@ -321,11 +345,20 @@ impl PhysicalOp for IndexProbeOp {
         // happened; a hit re-issues the conditional candidate data read
         // and its scan charge from the recorded answer, then returns the
         // stored selection — byte-for-byte what the probe below produces.
-        let cached =
-            if ctx.use_cache { st.qcache.get_indexed(*object, *region, interval) } else { None };
+        let cached = if ctx.use_cache {
+            st.qcache.get_indexed(*object, *region, span.len, interval)
+        } else {
+            None
+        };
         if let Some(entry) = cached {
             if entry.needs_data_read {
-                st.read_data_region(ctx.odms, ctx.cost, RegionId::new(*object, *region), ctx.n_servers)?;
+                st.read_data_region(
+                    ctx.odms,
+                    ctx.cost,
+                    RegionId::new(*object, *region),
+                    ctx.n_servers,
+                    span.len,
+                )?;
                 st.work.elements_scanned += entry.candidates_count;
             }
             st.settle_cpu(ctx.cost, &before);
@@ -344,6 +377,7 @@ impl PhysicalOp for IndexProbeOp {
                 ctx.cost,
                 RegionId::new(*object, *region),
                 ctx.n_servers,
+                span.len,
             )?;
             st.work.elements_scanned += candidates_count;
             if ctx.scan_kernels {
@@ -361,6 +395,7 @@ impl PhysicalOp for IndexProbeOp {
             st.qcache.put_indexed(
                 *object,
                 *region,
+                span.len,
                 interval,
                 crate::qcache::IndexedEntry {
                     needs_data_read,
@@ -394,6 +429,16 @@ impl PhysicalOp for VerifyRebuildOp {
     ) -> PdcResult<OpOutput> {
         let out = ScanExactOp { candidates: None }.run(ctx, st, task)?;
         let rebuilt = ctx.odms.rebuild_index_region(task.object, task.region)?;
+        // Drop any resident decode of the replaced index so later probes
+        // pick up the rebuilt one instead of falling back forever.
+        if let Some(idx_obj) =
+            ctx.odms.meta().get(task.object).ok().and_then(|m| m.index_object)
+        {
+            if let Some(old) = st.index_cache.remove(&RegionId::new(idx_obj, task.region)) {
+                st.index_cache_bytes =
+                    st.index_cache_bytes.saturating_sub(old.size_bytes_serialized());
+            }
+        }
         st.integrity.aux_rebuilds += 1;
         st.integrity.fallback_regions += 1;
         st.io.bytes_written += rebuilt;
@@ -502,7 +547,7 @@ impl RegionPlanner {
         hists: Option<Arc<Vec<Histogram>>>,
         missing_index_scans: bool,
     ) -> PdcResult<RegionPlanner> {
-        let meta = ctx.odms.meta().get(object)?;
+        let meta = ctx.snap.meta(object)?;
         let index_available = meta.index_object.is_some();
         let adaptive = if ctx.strategy == Strategy::Adaptive && index_available {
             // Peek the stored index sizes up front (host-side metadata
@@ -536,7 +581,7 @@ impl RegionPlanner {
     pub fn for_primary(ctx: &EvalCtx, object: ObjectId) -> PdcResult<RegionPlanner> {
         let hists = match ctx.strategy {
             Strategy::FullScan => None,
-            _ => Some(ctx.odms.meta().region_histograms(object)?),
+            _ => Some(ctx.snap.region_histograms(object)?),
         };
         Self::build(ctx, object, hists, false)
     }
@@ -548,7 +593,7 @@ impl RegionPlanner {
     pub fn for_filter(ctx: &EvalCtx, object: ObjectId) -> PdcResult<RegionPlanner> {
         let hists = match ctx.strategy {
             Strategy::FullScan => None,
-            _ => ctx.odms.meta().region_histograms(object).ok(),
+            _ => ctx.snap.region_histograms_opt(object),
         };
         Self::build(ctx, object, hists, true)
     }
@@ -636,17 +681,19 @@ impl RegionPlanner {
 /// histograms only, so the client's `sorted_hint` and every server slot
 /// reach the same verdict.
 pub fn adaptive_sorted_choice(
-    odms: &Odms,
+    snap: &MetaSnapshot,
     cost: &CostModel,
     n_servers: u32,
     object: ObjectId,
     interval: &Interval,
 ) -> PdcResult<bool> {
-    let meta = odms.meta().get(object)?;
-    if !meta.has_sorted_replica {
+    let meta = snap.meta(object)?;
+    // A replica that doesn't cover this snapshot's extent (stale after an
+    // append, pending deferred maintenance) is treated as absent.
+    if !snap.sorted_available(object) {
         return Ok(false);
     }
-    let replica = odms.meta().sorted_replica(object)?;
+    let replica = snap.sorted_replica(object)?;
     let elem_bytes = meta.pdc_type.size_bytes();
     let sspan = replica.matching_span(interval);
     let band = replica.regions_of_span(&sspan);
@@ -655,7 +702,7 @@ pub fn adaptive_sorted_choice(
         band_bytes += replica.region_span(sr).len * (elem_bytes + 8);
     }
     let sorted = cost.sorted_op_estimate(band_bytes, band.len() as u64, sspan.len, n_servers);
-    let hists = odms.meta().region_histograms(object)?;
+    let hists = snap.region_histograms(object)?;
     let mut per_region = SimDuration::ZERO;
     for r in 0..meta.num_regions() {
         let span = meta.region_span(r);

@@ -46,7 +46,15 @@ impl IntervalKey {
     }
 }
 
-type Key = (ObjectId, u32, IntervalKey);
+/// Artifacts key on the region's span length in addition to `(object,
+/// region, interval)`: a streaming append grows a region's extent and
+/// publishes its merged histogram *before* the final epoch bump lands,
+/// so two snapshots of different extents can evaluate inside one epoch
+/// window. A prune verdict, scan selection, or index answer computed for
+/// the shorter extent must never be served for the longer one (or vice
+/// versa); the span length distinguishes exactly the artifacts the
+/// append changed (the grown tail region and the appended regions).
+type Key = (ObjectId, u32, u64, IntervalKey);
 
 /// Replay record for a region answered from its bitmap index: enough to
 /// reproduce the simulated accounting of [`crate::exec`]'s indexed path
@@ -153,10 +161,11 @@ impl QueryArtifactCache {
         &mut self,
         object: ObjectId,
         region: u32,
+        span_len: u64,
         interval: &Interval,
         compute: impl FnOnce() -> bool,
     ) -> bool {
-        let key = (object, region, IntervalKey::of(interval));
+        let key = (object, region, span_len, IntervalKey::of(interval));
         if let Some(&v) = self.prune.get(&key) {
             self.stats.hits += 1;
             return v;
@@ -169,8 +178,14 @@ impl QueryArtifactCache {
     }
 
     /// The cached full-region scan selection, if present.
-    pub fn get_scan(&mut self, object: ObjectId, region: u32, interval: &Interval) -> Option<Selection> {
-        let key = (object, region, IntervalKey::of(interval));
+    pub fn get_scan(
+        &mut self,
+        object: ObjectId,
+        region: u32,
+        span_len: u64,
+        interval: &Interval,
+    ) -> Option<Selection> {
+        let key = (object, region, span_len, IntervalKey::of(interval));
         match self.scans.get(&key) {
             Some(sel) => {
                 self.stats.hits += 1;
@@ -184,16 +199,29 @@ impl QueryArtifactCache {
     }
 
     /// Cache a full-region scan selection (global coordinates).
-    pub fn put_scan(&mut self, object: ObjectId, region: u32, interval: &Interval, sel: Selection) {
+    pub fn put_scan(
+        &mut self,
+        object: ObjectId,
+        region: u32,
+        span_len: u64,
+        interval: &Interval,
+        sel: Selection,
+    ) {
         self.charge(ENTRY_OVERHEAD + sel.wire_size_bytes());
-        self.scans.insert((object, region, IntervalKey::of(interval)), sel);
+        self.scans.insert((object, region, span_len, IntervalKey::of(interval)), sel);
     }
 
     /// Peek a full-region scan selection without touching the hit/miss
     /// stats (used by opportunistic consumers like `point_check`, where
     /// a miss is the expected common case, and by the prewarm pass).
-    pub fn peek_scan(&self, object: ObjectId, region: u32, interval: &Interval) -> Option<&Selection> {
-        self.scans.get(&(object, region, IntervalKey::of(interval)))
+    pub fn peek_scan(
+        &self,
+        object: ObjectId,
+        region: u32,
+        span_len: u64,
+        interval: &Interval,
+    ) -> Option<&Selection> {
+        self.scans.get(&(object, region, span_len, IntervalKey::of(interval)))
     }
 
     /// The cached index-answer replay record, if present.
@@ -201,9 +229,10 @@ impl QueryArtifactCache {
         &mut self,
         object: ObjectId,
         region: u32,
+        span_len: u64,
         interval: &Interval,
     ) -> Option<IndexedEntry> {
-        let key = (object, region, IntervalKey::of(interval));
+        let key = (object, region, span_len, IntervalKey::of(interval));
         match self.indexed.get(&key) {
             Some(e) => {
                 self.stats.hits += 1;
@@ -221,11 +250,12 @@ impl QueryArtifactCache {
         &mut self,
         object: ObjectId,
         region: u32,
+        span_len: u64,
         interval: &Interval,
         entry: IndexedEntry,
     ) {
         self.charge(ENTRY_OVERHEAD + entry.selection.wire_size_bytes());
-        self.indexed.insert((object, region, IntervalKey::of(interval)), entry);
+        self.indexed.insert((object, region, span_len, IntervalKey::of(interval)), entry);
     }
 }
 
@@ -258,11 +288,11 @@ mod tests {
         let mut c = QueryArtifactCache::new(1 << 20);
         let obj = ObjectId(1);
         let mut calls = 0;
-        let v1 = c.prune_or_compute(obj, 0, &iv(0.0, 1.0), || {
+        let v1 = c.prune_or_compute(obj, 0, 10, &iv(0.0, 1.0), || {
             calls += 1;
             true
         });
-        let v2 = c.prune_or_compute(obj, 0, &iv(0.0, 1.0), || {
+        let v2 = c.prune_or_compute(obj, 0, 10, &iv(0.0, 1.0), || {
             calls += 1;
             false
         });
@@ -277,11 +307,12 @@ mod tests {
         let mut c = QueryArtifactCache::new(1 << 20);
         let obj = ObjectId(3);
         c.validate(7);
-        c.put_scan(obj, 0, &iv(0.0, 1.0), Selection::from_span(0, 10));
-        c.prune_or_compute(obj, 1, &iv(0.0, 1.0), || true);
+        c.put_scan(obj, 0, 10, &iv(0.0, 1.0), Selection::from_span(0, 10));
+        c.prune_or_compute(obj, 1, 10, &iv(0.0, 1.0), || true);
         c.put_indexed(
             obj,
             2,
+            10,
             &iv(0.0, 1.0),
             IndexedEntry {
                 needs_data_read: false,
@@ -294,21 +325,21 @@ mod tests {
         assert_eq!(c.len(), 3, "same epoch keeps entries");
         c.validate(8);
         assert!(c.is_empty(), "epoch bump must clear all artifact kinds");
-        assert!(c.get_scan(obj, 0, &iv(0.0, 1.0)).is_none());
+        assert!(c.get_scan(obj, 0, 10, &iv(0.0, 1.0)).is_none());
     }
 
     #[test]
     fn budget_overflow_resets_whole_cache() {
         let mut c = QueryArtifactCache::new(200);
         let obj = ObjectId(9);
-        c.put_scan(obj, 0, &iv(0.0, 1.0), Selection::from_span(0, 5));
+        c.put_scan(obj, 0, 10, &iv(0.0, 1.0), Selection::from_span(0, 5));
         assert_eq!(c.len(), 1);
         // A large entry blows the budget: the cache resets, then admits it.
         let big: Vec<pdc_types::Run> =
             (0..50).map(|i| pdc_types::Run::new(i * 10, 2)).collect();
-        c.put_scan(obj, 1, &iv(2.0, 3.0), Selection::from_canonical_runs(big));
+        c.put_scan(obj, 1, 10, &iv(2.0, 3.0), Selection::from_canonical_runs(big));
         assert_eq!(c.len(), 1, "old entries evicted wholesale");
-        assert!(c.peek_scan(obj, 1, &iv(2.0, 3.0)).is_some());
-        assert!(c.peek_scan(obj, 0, &iv(0.0, 1.0)).is_none());
+        assert!(c.peek_scan(obj, 1, 10, &iv(2.0, 3.0)).is_some());
+        assert!(c.peek_scan(obj, 0, 10, &iv(0.0, 1.0)).is_none());
     }
 }

@@ -1,0 +1,118 @@
+//! Epoch-consistent metadata snapshots for in-flight queries.
+//!
+//! Streaming ingest ([`pdc_odms::Odms::append_array`]) can grow an
+//! object while a query is being evaluated. Servers therefore never read
+//! object metadata, region histograms, or the sorted replica from the
+//! live registry during evaluation: the client captures a
+//! [`MetaSnapshot`] of every object a plan touches at plan time, and the
+//! whole evaluation — region enumeration, prune estimates, adaptive
+//! operator choices, the sorted-band decision — is a pure function of
+//! that snapshot. An append that lands mid-query changes what the *next*
+//! plan sees; the in-flight query answers exactly the extent it planned
+//! against, bit-identical to a store sealed at the same epoch
+//! (property-tested in `tests/ingest_consistency.rs`).
+//!
+//! Two ingest-specific staleness rules live here:
+//!
+//! * **Capture order.** `append_array` publishes grown histograms
+//!   *before* it registers the grown metadata, so the snapshot reads the
+//!   metadata first: the histogram list read afterwards always covers at
+//!   least the metadata's regions (a concurrently-landing append can
+//!   only make it longer, and a longer list is harmless — evaluation
+//!   iterates the metadata's region count).
+//! * **Sorted staleness.** A replica sorts exactly the elements that
+//!   existed when it was built. After an append it still answers the old
+//!   extent correctly, but the snapshot's metadata may already describe
+//!   the grown object; [`MetaSnapshot::sorted_available`] therefore
+//!   requires the replica to cover the snapshot's element count exactly,
+//!   degrading `SortedHistogram`/`Adaptive` to the per-region path until
+//!   deferred maintenance rebuilds the replica.
+
+use pdc_histogram::Histogram;
+use pdc_odms::{ObjectMeta, Odms};
+use pdc_sorted::SortedReplica;
+use pdc_types::{ObjectId, PdcError, PdcResult};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One object's pinned metadata view.
+struct ObjectView {
+    meta: Arc<ObjectMeta>,
+    hists: Option<Arc<Vec<Histogram>>>,
+    sorted: Option<Arc<SortedReplica>>,
+}
+
+/// The pinned metadata of every object one query plan touches, captured
+/// at plan time. Cheap to clone views out of (everything is `Arc`d);
+/// cached alongside the plan in the engine's plan cache so a batch
+/// replays the identical snapshot for the identical canonical query.
+pub struct MetaSnapshot {
+    epoch: u64,
+    views: HashMap<ObjectId, ObjectView>,
+}
+
+impl MetaSnapshot {
+    /// Pin the metadata views of `objects` at the current store epoch.
+    pub fn capture(odms: &Odms, objects: &[ObjectId]) -> PdcResult<MetaSnapshot> {
+        let epoch = odms.store().epoch();
+        let mut views = HashMap::with_capacity(objects.len());
+        for &obj in objects {
+            // Metadata first (see module docs: the registration order of
+            // `append_array` makes meta-then-histograms the safe order).
+            let meta = odms.meta().get(obj)?;
+            let hists = odms.meta().region_histograms(obj).ok();
+            let sorted = if meta.has_sorted_replica {
+                odms.meta().sorted_replica(obj).ok()
+            } else {
+                None
+            };
+            views.insert(obj, ObjectView { meta, hists, sorted });
+        }
+        Ok(MetaSnapshot { epoch, views })
+    }
+
+    /// The store epoch observed when the snapshot was captured.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    fn view(&self, object: ObjectId) -> PdcResult<&ObjectView> {
+        self.views.get(&object).ok_or(PdcError::NoSuchObject(object))
+    }
+
+    /// The pinned metadata of `object`.
+    pub fn meta(&self, object: ObjectId) -> PdcResult<Arc<ObjectMeta>> {
+        Ok(Arc::clone(&self.view(object)?.meta))
+    }
+
+    /// The pinned per-region histograms of `object` (errors when the
+    /// object carries none).
+    pub fn region_histograms(&self, object: ObjectId) -> PdcResult<Arc<Vec<Histogram>>> {
+        self.view(object)?.hists.clone().ok_or_else(|| {
+            PdcError::MissingPrerequisite(format!("region histograms of {object}"))
+        })
+    }
+
+    /// The pinned per-region histograms, or `None` when absent (the
+    /// advisory lanes' lookup).
+    pub fn region_histograms_opt(&self, object: ObjectId) -> Option<Arc<Vec<Histogram>>> {
+        self.views.get(&object).and_then(|v| v.hists.clone())
+    }
+
+    /// The pinned sorted replica of `object`.
+    pub fn sorted_replica(&self, object: ObjectId) -> PdcResult<Arc<SortedReplica>> {
+        self.view(object)?.sorted.clone().ok_or_else(|| {
+            PdcError::MissingPrerequisite(format!("sorted replica of {object}"))
+        })
+    }
+
+    /// Whether the sorted replica can answer for this snapshot: present
+    /// *and* covering exactly the snapshot's element count. An appended
+    /// object's replica is stale until deferred maintenance rebuilds it.
+    pub fn sorted_available(&self, object: ObjectId) -> bool {
+        self.views.get(&object).is_some_and(|v| {
+            v.meta.has_sorted_replica
+                && v.sorted.as_ref().is_some_and(|r| r.len() == v.meta.num_elements())
+        })
+    }
+}

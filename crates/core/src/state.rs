@@ -128,20 +128,29 @@ impl ServerState {
 
     /// Read a data region, charging simulated time: DRAM bandwidth on a
     /// cache hit, a PFS aggregated read on a miss (then cache it).
+    ///
+    /// `min_elems` is the element count the caller's plan-time snapshot
+    /// expects the region to hold (its span length; 0 when unknown): a
+    /// resident copy cached before a streaming append grew the region is
+    /// shorter than that, and serving it would silently drop the tail —
+    /// such a copy is treated as a miss and refetched from the store.
     pub fn read_data_region(
         &mut self,
         odms: &Odms,
         cost: &CostModel,
         rid: RegionId,
         concurrency: u32,
+        min_elems: u64,
     ) -> PdcResult<Arc<TypedVec>> {
         self.fault_check()?;
         if let Some(payload) = self.cache.get(rid) {
-            let bytes = payload.size_bytes();
-            self.io.cache_bytes_read += bytes;
-            self.io.cache_hits += 1;
-            self.clock.advance(cost.dram.read_cost(bytes));
-            return Ok(payload);
+            if payload.len() as u64 >= min_elems {
+                let bytes = payload.size_bytes();
+                self.io.cache_bytes_read += bytes;
+                self.io.cache_hits += 1;
+                self.clock.advance(cost.dram.read_cost(bytes));
+                return Ok(payload);
+            }
         }
         self.io.cache_misses += 1;
         let payload = self.read_from_tier(odms, cost, rid, concurrency)?;
@@ -230,14 +239,17 @@ impl ServerState {
         cost: &CostModel,
         rid: RegionId,
         concurrency: u32,
+        min_elems: u64,
     ) -> PdcResult<Arc<TypedVec>> {
         self.fault_check()?;
         if let Some(payload) = self.cache.get(rid) {
-            let bytes = payload.size_bytes();
-            self.io.cache_bytes_read += bytes;
-            self.io.cache_hits += 1;
-            self.clock.advance(cost.dram.read_cost(bytes));
-            return Ok(payload);
+            if payload.len() as u64 >= min_elems {
+                let bytes = payload.size_bytes();
+                self.io.cache_bytes_read += bytes;
+                self.io.cache_hits += 1;
+                self.clock.advance(cost.dram.read_cost(bytes));
+                return Ok(payload);
+            }
         }
         self.io.cache_misses += 1;
         self.read_from_tier(odms, cost, rid, concurrency)
@@ -354,13 +366,13 @@ mod tests {
         let rid = RegionId::new(obj, 0);
 
         let t0 = st.clock.now();
-        st.read_data_region(&odms, &cost, rid, 4).unwrap();
+        st.read_data_region(&odms, &cost, rid, 4, 0).unwrap();
         let miss_time = st.elapsed_since(t0);
         assert_eq!(st.io.cache_misses, 1);
         assert_eq!(st.io.pfs_read_requests, 1);
 
         let t1 = st.clock.now();
-        st.read_data_region(&odms, &cost, rid, 4).unwrap();
+        st.read_data_region(&odms, &cost, rid, 4, 0).unwrap();
         let hit_time = st.elapsed_since(t1);
         assert_eq!(st.io.cache_hits, 1);
         assert!(miss_time > hit_time * 5, "miss {miss_time} vs hit {hit_time}");

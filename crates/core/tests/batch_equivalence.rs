@@ -269,6 +269,60 @@ fn prune_and_plan_caches_invalidate_after_rebuild() {
     );
 }
 
+/// Streaming-ingest regression: a batch warms the plan, prune-verdict,
+/// scan, and prewarm caches; an append then grows the primary object —
+/// including filling the partial tail region whose artifacts are
+/// cached. The next batch MUST NOT serve any stale artifact: a cached
+/// "pruned" verdict or short scan selection for the old tail extent
+/// would silently drop every hit the append introduced.
+#[test]
+fn caches_invalidate_after_streaming_append() {
+    let world = build_world(40_000, 8192);
+    let eng = engine_with(&world, Strategy::Histogram, None);
+    let q = PdcQuery::range_open(world.energy, 2.1f32, 2.2f32);
+    let qs = [q.clone(), q.clone()];
+
+    let first = eng.run_batch(&qs).unwrap();
+    let base_hits = first.outcomes[0].nhits;
+    assert!(base_hits > 0);
+
+    // Append a chunk that lands entirely inside the queried interval:
+    // every appended element is a hit, so any stale artifact is visible
+    // as a wrong count.
+    let delta: Vec<f32> = (0..1_000).map(|i| 2.15 + (i % 7) as f32 * 0.001).collect();
+    let report = world.odms.append_array(world.energy, &TypedVec::Float(delta)).unwrap();
+    assert!(report.filled_tail.is_some(), "append must touch the cached tail region");
+
+    let second = eng.run_batch(&qs).unwrap();
+    assert_eq!(
+        second.outcomes[0].nhits,
+        base_hits + 1_000,
+        "stale artifact served after a streaming append: {:?}",
+        second.stats
+    );
+    assert_eq!(second.outcomes[0].nhits, second.outcomes[1].nhits);
+    assert!(
+        second.stats.plan_misses > 0,
+        "the append's epoch bump must invalidate the plan cache: {:?}",
+        second.stats
+    );
+    assert!(
+        second.stats.artifact_misses > 0,
+        "the append's epoch bump must invalidate the artifact caches: {:?}",
+        second.stats
+    );
+    // Selection-level check against the naive filter over grown data.
+    let mut raw = world.raw_energy.clone();
+    raw.extend((0..1_000).map(|i| 2.15 + (i % 7) as f32 * 0.001));
+    let expect: Vec<u64> = (0..raw.len() as u64)
+        .filter(|&i| {
+            let v = raw[i as usize] as f64;
+            v > 2.1 && v < 2.2
+        })
+        .collect();
+    assert_eq!(second.outcomes[0].selection.iter_coords().collect::<Vec<_>>(), expect);
+}
+
 #[test]
 fn caches_invalidate_after_region_migration() {
     let world = build_world(30_000, 8192);

@@ -95,4 +95,112 @@ proptest! {
         prop_assert_eq!(left.min(), right.min());
         prop_assert_eq!(left.max(), right.max());
     }
+
+    // ---- streaming-ingest merge laws (ISSUE 6 satellite) -----------------
+    //
+    // The incremental histogram maintenance of the ingest path rests on
+    // merge being a commutative monoid *bit-exactly*, not just on
+    // aggregates: the per-append delta fold and a from-scratch re-merge of
+    // region histograms are two different association orders of the same
+    // operands, so any bit drift between them would make the metadata
+    // depend on ingest history.
+
+    /// Commutativity: the equal-width re-gridding (coarser of the two
+    /// widths, union of the aligned ranges) is symmetric in its operands,
+    /// so the merged histogram is bit-identical either way round.
+    #[test]
+    fn merge_commutes_bit_exactly(a in data_strategy(), b in data_strategy()) {
+        let ha = Histogram::build(&a, &cfg()).unwrap();
+        let hb = Histogram::build(&b, &cfg()).unwrap();
+        prop_assert_eq!(ha.merged(&hb), hb.merged(&ha));
+    }
+
+    /// Associativity, bit-exactly. Holds whenever no intermediate merge
+    /// coarsens past `max_bins` (the nested power-of-two grids make the
+    /// center-based count folding compose); `wide_cfg` keeps the cap out
+    /// of reach, which is also the regime the ingest path runs in.
+    #[test]
+    fn merge_associates_bit_exactly(a in data_strategy(), b in data_strategy(), c in data_strategy()) {
+        let ha = Histogram::build(&a, &wide_cfg()).unwrap();
+        let hb = Histogram::build(&b, &wide_cfg()).unwrap();
+        let hc = Histogram::build(&c, &wide_cfg()).unwrap();
+        prop_assert_eq!(ha.merged(&hb).merged(&hc), ha.merged(&hb.merged(&hc)));
+    }
+
+    /// Merge-vs-rebuild on a float stream: simulate the append metadata
+    /// update — the tail region's histogram becomes `tail ⊕ delta` and the
+    /// delta folds into the incrementally-maintained global — and demand
+    /// the global is bit-identical to a from-scratch `merge_all` over the
+    /// updated region histograms (what a full rebuild computes).
+    #[test]
+    fn ingest_fold_matches_rebuild_floats(
+        regions in prop::collection::vec(data_strategy(), 1..6),
+        delta in data_strategy(),
+    ) {
+        let hists: Vec<Histogram> =
+            regions.iter().map(|r| Histogram::build(r, &wide_cfg()).unwrap()).collect();
+        let hd = Histogram::build(&delta, &wide_cfg()).unwrap();
+
+        // Incremental path: fold the delta into the existing global.
+        let incremental = merge_all(hists.iter()).unwrap().merged(&hd);
+
+        // Rebuild path: replace the tail histogram, re-merge everything.
+        let mut rebuilt = hists.clone();
+        let tail = rebuilt.len() - 1;
+        rebuilt[tail] = rebuilt[tail].merged(&hd);
+        let remerged = merge_all(rebuilt.iter()).unwrap();
+
+        prop_assert_eq!(incremental, remerged);
+    }
+
+    /// The same law on integer streams (ints travel the ingest path as
+    /// their exact f64 images, so the merge must stay bit-exact there too).
+    #[test]
+    fn ingest_fold_matches_rebuild_ints(
+        regions in prop::collection::vec(int_stream(), 1..6),
+        delta in int_stream(),
+    ) {
+        let to_f64 = |v: &Vec<i64>| v.iter().map(|&x| x as f64).collect::<Vec<_>>();
+        let hists: Vec<Histogram> =
+            regions.iter().map(|r| Histogram::build(&to_f64(r), &wide_cfg()).unwrap()).collect();
+        let hd = Histogram::build(&to_f64(&delta), &wide_cfg()).unwrap();
+
+        let incremental = merge_all(hists.iter()).unwrap().merged(&hd);
+        let mut rebuilt = hists.clone();
+        let tail = rebuilt.len() - 1;
+        rebuilt[tail] = rebuilt[tail].merged(&hd);
+        prop_assert_eq!(incremental, merge_all(rebuilt.iter()).unwrap());
+    }
+
+    /// Chunk-order irrelevance for a whole ingest schedule: folding chunk
+    /// histograms left-to-right (what repeated appends do) is bit-identical
+    /// to `merge_all` in any association, and to the reversed fold.
+    #[test]
+    fn chunked_fold_is_order_insensitive(chunks in prop::collection::vec(data_strategy(), 2..8)) {
+        let hists: Vec<Histogram> =
+            chunks.iter().map(|c| Histogram::build(c, &wide_cfg()).unwrap()).collect();
+        let forward = merge_all(hists.iter()).unwrap();
+        let reversed = merge_all(hists.iter().rev()).unwrap();
+        prop_assert_eq!(&forward, &reversed);
+        // Pairwise tree association.
+        let mut layer = hists;
+        while layer.len() > 1 {
+            layer = layer
+                .chunks(2)
+                .map(|p| if p.len() == 2 { p[0].merged(&p[1]) } else { p[0].clone() })
+                .collect();
+        }
+        prop_assert_eq!(&forward, &layer[0]);
+    }
+}
+
+/// A merge-law config with the bin cap far out of reach: no intermediate
+/// coarsening, the regime streaming ingest operates in. Seed pinned.
+fn wide_cfg() -> HistogramConfig {
+    HistogramConfig { nbins_lower_bound: 32, sample_fraction: 0.2, seed: 7, max_bins: 1 << 20 }
+}
+
+/// Integer-valued streams (exact f64 images).
+fn int_stream() -> impl Strategy<Value = Vec<i64>> {
+    prop::collection::vec(-100_000i64..100_000, 1..800)
 }

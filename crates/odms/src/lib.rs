@@ -25,4 +25,4 @@ pub use meta::{MetaValue, ObjectMeta};
 pub use movement::MoveReport;
 pub use persist::{MetadataSnapshot, SnapshotJournal};
 pub use service::MetadataService;
-pub use system::{ImportOptions, ImportReport, Odms};
+pub use system::{AppendReport, ImportOptions, ImportReport, MaintenanceReport, Odms};

@@ -65,7 +65,12 @@ impl MetadataService {
         {
             let mut idx = self.attr_index.write();
             for (k, v) in &meta.attrs {
-                idx.entry(k.clone()).or_default().entry(v.clone()).or_default().push(meta.id);
+                let list = idx.entry(k.clone()).or_default().entry(v.clone()).or_default();
+                // Re-registration (shape growth on append) must not leave
+                // duplicate postings behind.
+                if !list.contains(&meta.id) {
+                    list.push(meta.id);
+                }
             }
         }
         self.objects.write().insert(meta.id, Arc::clone(&meta));
@@ -200,6 +205,42 @@ impl MetadataService {
             .get(&id)
             .cloned()
             .ok_or_else(|| PdcError::MissingPrerequisite(format!("sorted replica of {id}")))
+    }
+
+    /// Incrementally extend an object's histograms after a streaming
+    /// append — the metadata half of the ingest path.
+    ///
+    /// * `tail` replaces the (previously partial) tail region's local
+    ///   histogram with its merged successor.
+    /// * `new_hists` are the local histograms of freshly appended regions,
+    ///   pushed in region order.
+    /// * `deltas` are the histograms of only the *appended* elements; they
+    ///   fold into the existing global histogram via
+    ///   [`Histogram::merge_in_place`] — no from-scratch re-merge of all
+    ///   region histograms, which is what keeps per-append metadata work
+    ///   O(appended regions) instead of O(total regions).
+    pub fn extend_histograms(
+        &self,
+        id: ObjectId,
+        tail: Option<(u32, Histogram)>,
+        new_hists: Vec<Histogram>,
+        deltas: Vec<Histogram>,
+    ) -> PdcResult<()> {
+        let mut hists = self.region_histograms(id)?.as_ref().clone();
+        if let Some((region, hist)) = tail {
+            let slot = hists.get_mut(region as usize).ok_or_else(|| {
+                PdcError::NotFound(format!("histogram of region {region} of {id}"))
+            })?;
+            *slot = hist;
+        }
+        hists.extend(new_hists);
+        let mut global = self.global_histogram(id)?.as_ref().clone();
+        for d in &deltas {
+            global.merge_in_place(d);
+        }
+        self.region_hists.write().insert(id, Arc::new(hists));
+        self.global_hists.write().insert(id, Arc::new(global));
+        Ok(())
     }
 
     /// Replace one region's local histogram and re-merge the object's

@@ -15,13 +15,14 @@
 
 use crate::meta::{MetaValue, ObjectMeta};
 use crate::service::MetadataService;
+use parking_lot::RwLock;
 use pdc_bitmap::{BinnedBitmapIndex, BinningConfig};
 use pdc_bitmap::index::ValueDomain;
 use pdc_histogram::{Histogram, HistogramConfig};
 use pdc_sorted::SortedReplica;
 use pdc_storage::{ObjectStore, StorageTier, StoredPayload};
 use pdc_types::{ContainerId, ObjectId, PdcResult, RegionId, TypedVec};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 /// Options controlling an import.
@@ -71,17 +72,70 @@ pub struct ImportReport {
     pub histogram_bytes: u64,
 }
 
+/// What one streaming append did (the ingest-side counterpart of
+/// [`ImportReport`]).
+#[derive(Debug, Clone, Default)]
+pub struct AppendReport {
+    /// The object appended to.
+    pub object: ObjectId,
+    /// Elements appended in this call.
+    pub appended_elems: u64,
+    /// The object's total element count after the append.
+    pub total_elems: u64,
+    /// Data bytes written (tail fill plus new regions).
+    pub data_bytes: u64,
+    /// The previously partial tail region that received a fill, if any.
+    pub filled_tail: Option<u32>,
+    /// Indices of freshly created regions.
+    pub new_regions: Vec<u32>,
+    /// Regions sealed by this append (they reached `region_elems`).
+    pub sealed_regions: Vec<u32>,
+    /// Index regions whose bitmap rebuild was deferred.
+    pub pending_index_regions: Vec<u32>,
+    /// Whether the sorted replica went stale (deferred rebuild queued).
+    pub sorted_stale: bool,
+}
+
+/// What one deferred-maintenance pass rebuilt.
+#[derive(Debug, Clone, Default)]
+pub struct MaintenanceReport {
+    /// Bitmap-index regions rebuilt.
+    pub index_regions_rebuilt: u32,
+    /// Sorted replicas rebuilt.
+    pub sorted_replicas_rebuilt: u32,
+    /// Total bytes written by the rebuilds.
+    pub bytes_written: u64,
+}
+
+/// Auxiliary structures an append left stale, awaiting deferred rebuild.
+#[derive(Debug, Default, Clone)]
+struct PendingAux {
+    index_regions: BTreeSet<u32>,
+    sorted_stale: bool,
+}
+
 /// The assembled object-centric data management system.
 #[derive(Debug)]
 pub struct Odms {
     store: Arc<ObjectStore>,
     meta: Arc<MetadataService>,
+    /// Deferred aux-maintenance queue: per object, the index regions and
+    /// sorted replicas left stale by streaming appends. Drained by
+    /// [`Odms::run_deferred_maintenance`]; queries stay correct in the
+    /// meantime because probes fall back to verified scans for missing or
+    /// wrong-extent index regions and the planner treats a stale sorted
+    /// replica as unavailable.
+    pending: RwLock<BTreeMap<ObjectId, PendingAux>>,
 }
 
 impl Odms {
     /// A new system with `num_osts` simulated storage targets.
     pub fn new(num_osts: u32) -> Self {
-        Self { store: Arc::new(ObjectStore::new(num_osts)), meta: Arc::new(MetadataService::new()) }
+        Self {
+            store: Arc::new(ObjectStore::new(num_osts)),
+            meta: Arc::new(MetadataService::new()),
+            pending: RwLock::new(BTreeMap::new()),
+        }
     }
 
     /// The object store.
@@ -197,6 +251,11 @@ impl Odms {
             }
 
             self.store.put(rid, StoredPayload::Typed(Arc::new(payload)), StorageTier::Pfs);
+            // Every region at its full configured extent is sealed against
+            // appends; only a partial tail stays open for streaming ingest.
+            if span.len == region_elems {
+                self.store.seal(rid)?;
+            }
         }
         self.meta.set_region_histograms(id, hists);
         if index_object.is_some() {
@@ -205,6 +264,179 @@ impl Odms {
         report.histogram_bytes = self.meta.histogram_metadata_bytes(id);
         self.meta.register_object(meta);
         Ok(report)
+    }
+
+    /// Append elements to the end of a 1-D object (streaming ingest).
+    ///
+    /// The delta splits into a **tail fill** (extending the last partial
+    /// region's payload in place — the prefix is never rewritten) and zero
+    /// or more **whole new regions**. Each appended slice gets a fresh
+    /// Algorithm 1 delta histogram; the tail region's local histogram
+    /// becomes `old ⊕ delta` and the global histogram absorbs every delta
+    /// via [`MetadataService::extend_histograms`] — incremental merges
+    /// only, never a from-scratch rebuild. Regions that reach their full
+    /// `region_elems` extent are sealed.
+    ///
+    /// Auxiliary structures are maintained *deferred*: the (now stale)
+    /// tail bitmap-index region is dropped, appended regions get no index
+    /// yet, and the sorted replica is left at its pre-append extent. All
+    /// three are queued for [`Odms::run_deferred_maintenance`]; until it
+    /// runs, query correctness rests on probe→scan fallback and on the
+    /// planner treating a wrong-extent sorted replica as unavailable.
+    ///
+    /// Ordering matters for in-flight queries: payloads land first, then
+    /// histogram/index-size metadata, and the grown `ObjectMeta` is
+    /// re-registered **last** — registration is the linearization point at
+    /// which the appended elements become visible to new plans. A final
+    /// epoch bump invalidates every plan/artifact cache.
+    pub fn append_array(&self, object: ObjectId, delta: &TypedVec) -> PdcResult<AppendReport> {
+        let meta = self.meta.get(object)?;
+        if meta.shape.0.len() != 1 {
+            return Err(pdc_types::PdcError::InvalidQuery(format!(
+                "append requires a 1-D object; {object} has shape {:?}",
+                meta.shape.0
+            )));
+        }
+        if delta.pdc_type() != meta.pdc_type {
+            return Err(pdc_types::PdcError::TypeMismatch {
+                expected: meta.pdc_type,
+                got: delta.pdc_type(),
+            });
+        }
+        let old_n = meta.num_elements();
+        let re = meta.region_elems;
+        let added = delta.len() as u64;
+        let mut report = AppendReport {
+            object,
+            appended_elems: added,
+            total_elems: old_n + added,
+            ..Default::default()
+        };
+        if added == 0 {
+            return Ok(report);
+        }
+        let delta_f64 = delta.to_f64_vec();
+        let hist_cfg = HistogramConfig::default();
+
+        // 1. Payloads: tail fill first, then whole new regions.
+        let mut consumed = 0u64;
+        let mut tail_delta_hist: Option<Histogram> = None;
+        if old_n % re != 0 {
+            let tail_idx = meta.num_regions() - 1;
+            let fill = (re - old_n % re).min(added);
+            let rid = RegionId::new(object, tail_idx);
+            let slice = delta.slice(0, fill as usize);
+            report.data_bytes += slice.size_bytes();
+            self.store.append_typed(rid, &slice)?;
+            tail_delta_hist = Some(
+                Histogram::build(&delta_f64[..fill as usize], &hist_cfg)
+                    .expect("non-empty fill must yield a histogram"),
+            );
+            if (old_n + fill) % re == 0 {
+                self.store.seal(rid)?;
+                report.sealed_regions.push(tail_idx);
+            }
+            report.filled_tail = Some(tail_idx);
+            consumed = fill;
+        }
+        let mut new_hists = Vec::new();
+        while consumed < added {
+            let take = re.min(added - consumed);
+            let region_idx = ((old_n + consumed) / re) as u32;
+            let rid = RegionId::new(object, region_idx);
+            let slice = delta.slice(consumed as usize, take as usize);
+            report.data_bytes += slice.size_bytes();
+            new_hists.push(
+                Histogram::build(&delta_f64[consumed as usize..(consumed + take) as usize], &hist_cfg)
+                    .expect("non-empty region must yield a histogram"),
+            );
+            self.store.put(rid, StoredPayload::Typed(Arc::new(slice)), StorageTier::Pfs);
+            if take == re {
+                self.store.seal(rid)?;
+                report.sealed_regions.push(region_idx);
+            }
+            report.new_regions.push(region_idx);
+            consumed += take;
+        }
+
+        // 2. Histogram metadata: replace the tail's local histogram with
+        // `old ⊕ delta` and fold every delta into the global, in region
+        // order — exactly the fold `merge_all` would perform.
+        let mut deltas = Vec::new();
+        let tail_replacement = match (&tail_delta_hist, report.filled_tail) {
+            (Some(dh), Some(tail_idx)) => {
+                let old_hists = self.meta.region_histograms(object)?;
+                deltas.push(dh.clone());
+                Some((tail_idx, old_hists[tail_idx as usize].merged(dh)))
+            }
+            _ => None,
+        };
+        deltas.extend(new_hists.iter().cloned());
+        self.meta.extend_histograms(object, tail_replacement, new_hists, deltas)?;
+
+        // 3. Deferred aux maintenance bookkeeping.
+        if let Some(idx_obj) = meta.index_object {
+            if let Some(tail_idx) = report.filled_tail {
+                // The stored tail index covers the pre-append extent; drop
+                // it so probes fall back to verified scans until rebuilt.
+                self.store.remove(RegionId::new(idx_obj, tail_idx));
+                report.pending_index_regions.push(tail_idx);
+            }
+            report.pending_index_regions.extend(report.new_regions.iter().copied());
+            let mut sizes = self.meta.index_sizes(object)?.as_ref().clone();
+            if let Some(tail_idx) = report.filled_tail {
+                sizes[tail_idx as usize] = 0;
+            }
+            sizes.resize((old_n + added).div_ceil(re) as usize, 0);
+            self.meta.set_index_sizes(object, sizes);
+        }
+        report.sorted_stale = meta.has_sorted_replica;
+        {
+            let mut pend = self.pending.write();
+            let entry = pend.entry(object).or_default();
+            entry.index_regions.extend(report.pending_index_regions.iter().copied());
+            entry.sorted_stale |= report.sorted_stale;
+        }
+
+        // 4. Publish the grown extent, then invalidate caches.
+        let mut new_meta = (*meta).clone();
+        new_meta.shape = pdc_types::Shape::one_d(old_n + added);
+        self.meta.register_object(new_meta);
+        self.store.bump_epoch();
+        Ok(report)
+    }
+
+    /// Drain the deferred-maintenance queue: rebuild every stale bitmap
+    /// index region and sorted replica left behind by streaming appends.
+    /// Idempotent with the lazy probe-time rebuilds — a region already
+    /// rebuilt on first touch is simply rebuilt to the same bytes.
+    pub fn run_deferred_maintenance(&self) -> PdcResult<MaintenanceReport> {
+        let drained: Vec<(ObjectId, PendingAux)> = {
+            let mut pend = self.pending.write();
+            std::mem::take(&mut *pend).into_iter().collect()
+        };
+        let mut report = MaintenanceReport::default();
+        for (object, aux) in drained {
+            for region in aux.index_regions {
+                report.bytes_written += self.rebuild_index_region(object, region)?;
+                report.index_regions_rebuilt += 1;
+            }
+            if aux.sorted_stale {
+                report.bytes_written += self.rebuild_sorted_replica(object)?;
+                report.sorted_replicas_rebuilt += 1;
+            }
+        }
+        Ok(report)
+    }
+
+    /// The deferred-maintenance queue as `(object, stale index regions,
+    /// sorted replica stale)`, ordered by object id.
+    pub fn pending_maintenance(&self) -> Vec<(ObjectId, Vec<u32>, bool)> {
+        self.pending
+            .read()
+            .iter()
+            .map(|(id, aux)| (*id, aux.index_regions.iter().copied().collect(), aux.sorted_stale))
+            .collect()
     }
 
     /// Read one region's typed payload (time-free; callers charge their
@@ -480,6 +712,142 @@ mod tests {
         assert!(odms.store().get_raw(RegionId::new(idx_obj, 3)).is_err());
         // removing again reports absence
         assert!(!odms.remove_region(report.object, 3).unwrap());
+    }
+
+    #[test]
+    fn import_seals_full_regions_leaves_tail_open() {
+        let opts = ImportOptions { region_bytes: 4096, ..Default::default() }; // 1024 f32
+        let (odms, report) = system_with_import(5000, &opts); // 4 full + 1 partial
+        for r in 0..4 {
+            assert!(odms.store().is_sealed(RegionId::new(report.object, r)), "region {r}");
+        }
+        assert!(!odms.store().is_sealed(RegionId::new(report.object, 4)), "tail must stay open");
+    }
+
+    #[test]
+    fn append_fills_tail_and_creates_regions() {
+        let opts = ImportOptions { region_bytes: 4096, ..Default::default() }; // 1024 f32
+        let (odms, report) = system_with_import(2500, &opts); // regions: 1024,1024,452
+        let delta = vpic_like(2000); // fill 572, then 1024, then 404
+        let ar = odms.append_array(report.object, &delta).unwrap();
+        assert_eq!(ar.appended_elems, 2000);
+        assert_eq!(ar.total_elems, 4500);
+        assert_eq!(ar.filled_tail, Some(2));
+        assert_eq!(ar.new_regions, vec![3, 4]);
+        assert_eq!(ar.sealed_regions, vec![2, 3]);
+        let meta = odms.meta().get(report.object).unwrap();
+        assert_eq!(meta.num_elements(), 4500);
+        assert_eq!(meta.num_regions(), 5);
+        // payloads reassemble the concatenation
+        let mut reassembled = TypedVec::empty(meta.pdc_type);
+        for r in 0..meta.num_regions() {
+            let payload = odms.read_region(report.object, r).unwrap();
+            reassembled.extend_from_range(&payload, 0..payload.len()).unwrap();
+        }
+        let mut expect = vpic_like(2500);
+        expect.extend_from_range(&delta, 0..2000).unwrap();
+        assert_eq!(reassembled, expect);
+        // histograms: one per region, global totals the full extent and
+        // matches a from-scratch merge bit-for-bit
+        let hists = odms.meta().region_histograms(report.object).unwrap();
+        assert_eq!(hists.len(), 5);
+        let global = odms.meta().global_histogram(report.object).unwrap();
+        assert_eq!(global.total(), 4500);
+        assert_eq!(*global, pdc_histogram::merge_all(hists.iter()).unwrap());
+    }
+
+    #[test]
+    fn append_defers_index_and_sorted_maintenance() {
+        let opts = ImportOptions {
+            region_bytes: 4096,
+            build_index: true,
+            build_sorted: true,
+            ..Default::default()
+        };
+        let (odms, report) = system_with_import(2500, &opts);
+        let meta = odms.meta().get(report.object).unwrap();
+        let idx_obj = meta.index_object.unwrap();
+        let ar = odms.append_array(report.object, &vpic_like(2000)).unwrap();
+        assert_eq!(ar.pending_index_regions, vec![2, 3, 4]);
+        assert!(ar.sorted_stale);
+        // stale tail index dropped, new regions have none yet
+        assert!(!odms.store().contains(RegionId::new(idx_obj, 2)));
+        assert!(!odms.store().contains(RegionId::new(idx_obj, 3)));
+        // sorted replica still at the pre-append extent
+        assert_eq!(odms.meta().sorted_replica(report.object).unwrap().len(), 2500);
+        assert_eq!(
+            odms.pending_maintenance(),
+            vec![(report.object, vec![2, 3, 4], true)]
+        );
+        // index-size slots cover the new region count
+        assert_eq!(odms.meta().index_sizes(report.object).unwrap().len(), 5);
+
+        let mr = odms.run_deferred_maintenance().unwrap();
+        assert_eq!(mr.index_regions_rebuilt, 3);
+        assert_eq!(mr.sorted_replicas_rebuilt, 1);
+        assert!(mr.bytes_written > 0);
+        assert!(odms.pending_maintenance().is_empty());
+        // every region's index is readable and covers its current extent
+        let meta = odms.meta().get(report.object).unwrap();
+        for r in 0..meta.num_regions() {
+            let bytes = odms.read_index_region(report.object, r).unwrap();
+            let idx = BinnedBitmapIndex::from_bytes(&bytes).unwrap();
+            assert_eq!(idx.num_elements(), meta.region_span(r).len, "region {r}");
+        }
+        let replica = odms.meta().sorted_replica(report.object).unwrap();
+        assert_eq!(replica.len(), 4500);
+        assert!(replica.self_check(4500));
+    }
+
+    #[test]
+    fn append_bumps_epoch_and_rejects_bad_input() {
+        let opts = ImportOptions { region_bytes: 4096, ..Default::default() };
+        let (odms, report) = system_with_import(1000, &opts);
+        let e0 = odms.store().epoch();
+        odms.append_array(report.object, &vpic_like(10)).unwrap();
+        assert!(odms.store().epoch() > e0, "append must bump the epoch");
+        // empty delta is a no-op
+        let e1 = odms.store().epoch();
+        let ar = odms.append_array(report.object, &TypedVec::empty(pdc_types::PdcType::Float)).unwrap();
+        assert_eq!(ar.appended_elems, 0);
+        assert_eq!(odms.store().epoch(), e1);
+        // type mismatch
+        let ints: TypedVec = vec![1i32; 4].into();
+        assert!(matches!(
+            odms.append_array(report.object, &ints),
+            Err(pdc_types::PdcError::TypeMismatch { .. })
+        ));
+        // N-d objects refuse appends
+        let c = odms.create_container("nd");
+        let nd = odms
+            .import_array_nd(
+                c,
+                "grid",
+                vpic_like(64),
+                pdc_types::Shape(vec![8, 8]),
+                &ImportOptions::default(),
+            )
+            .unwrap();
+        assert!(matches!(
+            odms.append_array(nd.object, &vpic_like(8)),
+            Err(pdc_types::PdcError::InvalidQuery(_))
+        ));
+        // missing object
+        assert!(odms.append_array(ObjectId(4040), &vpic_like(1)).is_err());
+    }
+
+    #[test]
+    fn reregistration_keeps_tag_queries_duplicate_free() {
+        let odms = Odms::new(4);
+        let c = odms.create_container("boss");
+        let mut attrs = BTreeMap::new();
+        attrs.insert("plate".to_string(), MetaValue::from(3i64));
+        let opts = ImportOptions { attrs, ..Default::default() };
+        let report = odms.import_array(c, "fiber", vpic_like(100), &opts).unwrap();
+        odms.append_array(report.object, &vpic_like(50)).unwrap();
+        odms.append_array(report.object, &vpic_like(50)).unwrap();
+        let hits = odms.meta().query_tags(&[("plate", MetaValue::from(3i64))]);
+        assert_eq!(hits, vec![report.object], "re-registration must not duplicate postings");
     }
 
     #[test]

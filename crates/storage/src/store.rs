@@ -164,6 +164,11 @@ struct StoredRegion {
 pub struct ObjectStore {
     regions: RwLock<HashMap<RegionId, StoredRegion>>,
     quarantine: RwLock<HashSet<RegionId>>,
+    /// Regions whose payload has reached its final extent. Sealing guards
+    /// the streaming-ingest append path only: `append_typed` refuses a
+    /// sealed region, while `put` (a wholesale rewrite) and `remove` start
+    /// the region's life over and clear the mark.
+    sealed: RwLock<HashSet<RegionId>>,
     num_osts: u32,
     /// Monotonic data-plane epoch: bumped by every mutation that can
     /// change what a read of any region would return (put, remove,
@@ -181,6 +186,7 @@ impl ObjectStore {
         Self {
             regions: RwLock::new(HashMap::new()),
             quarantine: RwLock::new(HashSet::new()),
+            sealed: RwLock::new(HashSet::new()),
             num_osts: num_osts.max(1),
             epoch: std::sync::atomic::AtomicU64::new(0),
         }
@@ -214,7 +220,80 @@ impl ObjectStore {
             .write()
             .insert(id, StoredRegion { payload, tier, ost, checksum, pristine: None });
         self.quarantine.write().remove(&id);
+        self.sealed.write().remove(&id);
         self.bump_epoch();
+    }
+
+    /// Extend a typed region's payload with `delta` (streaming ingest).
+    ///
+    /// The existing prefix is never rewritten — appended elements only ever
+    /// grow the tail — so a reader holding a plan-time span can scan the
+    /// first `span.len` elements of a grown payload and observe exactly the
+    /// bytes that were present when its snapshot was taken. Refuses sealed
+    /// regions, raw payloads, element-type mismatches, and payloads that
+    /// fail checksum verification (appending to a corrupt copy would
+    /// launder the corruption into a fresh checksum). Returns the new
+    /// element count.
+    pub fn append_typed(&self, id: RegionId, delta: &TypedVec) -> PdcResult<u64> {
+        if self.is_sealed(id) {
+            return Err(PdcError::Storage(format!("region {id} is sealed against appends")));
+        }
+        let mut map = self.regions.write();
+        let r = map.get_mut(&id).ok_or(PdcError::NoSuchRegion(id))?;
+        let grown = match &r.payload {
+            StoredPayload::Typed(v) => {
+                if v.pdc_type() != delta.pdc_type() {
+                    return Err(PdcError::Storage(format!(
+                        "append type mismatch on {id}: region holds {:?}, delta is {:?}",
+                        v.pdc_type(),
+                        delta.pdc_type()
+                    )));
+                }
+                if payload_checksum(&r.payload) != r.checksum {
+                    let found_on = r.tier;
+                    drop(map);
+                    self.quarantine.write().insert(id);
+                    return Err(PdcError::CorruptRegion {
+                        region: id,
+                        tier: found_on.name().into(),
+                    });
+                }
+                let mut grown = (**v).clone();
+                grown.extend_from_range(delta, 0..delta.len())?;
+                grown
+            }
+            StoredPayload::Raw(_) => {
+                return Err(PdcError::Storage(format!(
+                    "region {id} holds raw bytes; append requires typed data"
+                )))
+            }
+        };
+        let new_len = grown.len() as u64;
+        r.payload = StoredPayload::Typed(Arc::new(grown));
+        r.checksum = payload_checksum(&r.payload);
+        // Any stashed pristine copy predates the append and no longer
+        // matches the recorded checksum; drop it rather than let a later
+        // repair "restore" a truncated payload.
+        r.pristine = None;
+        drop(map);
+        self.bump_epoch();
+        Ok(new_len)
+    }
+
+    /// Mark a region as sealed: its payload has reached final extent and
+    /// further `append_typed` calls must fail. Sealing is idempotent and
+    /// metadata-only (no epoch bump — the readable bytes are unchanged).
+    pub fn seal(&self, id: RegionId) -> PdcResult<()> {
+        if !self.contains(id) {
+            return Err(PdcError::NoSuchRegion(id));
+        }
+        self.sealed.write().insert(id);
+        Ok(())
+    }
+
+    /// Whether a region has been sealed against appends.
+    pub fn is_sealed(&self, id: RegionId) -> bool {
+        self.sealed.read().contains(&id)
     }
 
     /// Fetch a region's payload and tier, verifying the payload checksum
@@ -289,6 +368,7 @@ impl ObjectStore {
     /// quarantine entry so a later `put` at the same id starts clean.
     pub fn remove(&self, id: RegionId) -> bool {
         self.quarantine.write().remove(&id);
+        self.sealed.write().remove(&id);
         let existed = self.regions.write().remove(&id).is_some();
         if existed {
             self.bump_epoch();
@@ -595,6 +675,88 @@ mod tests {
         // removing a missing region is a no-op
         assert!(!store.remove(rid(11, 0)));
         assert_eq!(store.epoch(), e5 + 1);
+    }
+
+    #[test]
+    fn append_grows_payload_and_bumps_epoch() {
+        let store = ObjectStore::new(2);
+        let v: TypedVec = vec![1.0f64, 2.0, 3.0].into();
+        store.put(rid(12, 0), StoredPayload::Typed(Arc::new(v)), StorageTier::Pfs);
+        let e0 = store.epoch();
+        let delta: TypedVec = vec![4.0f64, 5.0].into();
+        assert_eq!(store.append_typed(rid(12, 0), &delta).unwrap(), 5);
+        assert!(store.epoch() > e0, "append must bump the epoch");
+        let got = store.get_typed(rid(12, 0)).unwrap();
+        assert_eq!(got.len(), 5);
+        assert_eq!(got.to_f64_vec(), vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn append_preserves_prefix_bytes() {
+        let store = ObjectStore::new(2);
+        let v: TypedVec = vec![9u32, 8, 7].into();
+        store.put(rid(12, 1), StoredPayload::Typed(Arc::new(v.clone())), StorageTier::Pfs);
+        let delta: TypedVec = vec![6u32].into();
+        store.append_typed(rid(12, 1), &delta).unwrap();
+        let got = store.get_typed(rid(12, 1)).unwrap();
+        match (&*got, &v) {
+            (TypedVec::UInt32(grown), TypedVec::UInt32(orig)) => {
+                assert_eq!(&grown[..3], &orig[..]);
+                assert_eq!(grown[3], 6);
+            }
+            _ => panic!("unexpected variants"),
+        }
+    }
+
+    #[test]
+    fn append_refuses_sealed_missing_raw_and_mismatched() {
+        let store = ObjectStore::new(2);
+        let delta: TypedVec = vec![1.0f64].into();
+        // missing
+        assert!(matches!(store.append_typed(rid(13, 0), &delta), Err(PdcError::NoSuchRegion(_))));
+        // sealed
+        let v: TypedVec = vec![1.0f64; 4].into();
+        store.put(rid(13, 0), StoredPayload::Typed(Arc::new(v)), StorageTier::Pfs);
+        store.seal(rid(13, 0)).unwrap();
+        assert!(store.is_sealed(rid(13, 0)));
+        assert!(matches!(store.append_typed(rid(13, 0), &delta), Err(PdcError::Storage(_))));
+        // raw payload
+        store.put(rid(13, 1), StoredPayload::Raw(Bytes::from_static(b"idx")), StorageTier::Pfs);
+        assert!(matches!(store.append_typed(rid(13, 1), &delta), Err(PdcError::Storage(_))));
+        // element-type mismatch
+        let ints: TypedVec = vec![1i32; 4].into();
+        store.put(rid(13, 2), StoredPayload::Typed(Arc::new(ints)), StorageTier::Pfs);
+        assert!(matches!(store.append_typed(rid(13, 2), &delta), Err(PdcError::Storage(_))));
+        // sealing a missing region is a typed error
+        assert!(matches!(store.seal(rid(13, 9)), Err(PdcError::NoSuchRegion(_))));
+    }
+
+    #[test]
+    fn append_to_corrupt_region_quarantines() {
+        let store = ObjectStore::new(2);
+        let v: TypedVec = vec![1.0f64; 16].into();
+        store.put(rid(14, 0), StoredPayload::Typed(Arc::new(v)), StorageTier::Pfs);
+        store.corrupt(rid(14, 0), 11).unwrap();
+        let delta: TypedVec = vec![2.0f64].into();
+        assert!(matches!(
+            store.append_typed(rid(14, 0), &delta),
+            Err(PdcError::CorruptRegion { .. })
+        ));
+        assert!(store.is_quarantined(rid(14, 0)));
+    }
+
+    #[test]
+    fn put_and_remove_clear_seal_mark() {
+        let store = ObjectStore::new(2);
+        let v: TypedVec = vec![1u64; 2].into();
+        store.put(rid(15, 0), StoredPayload::Typed(Arc::new(v.clone())), StorageTier::Pfs);
+        store.seal(rid(15, 0)).unwrap();
+        store.put(rid(15, 0), StoredPayload::Typed(Arc::new(v.clone())), StorageTier::Pfs);
+        assert!(!store.is_sealed(rid(15, 0)), "rewrite starts an open region");
+        store.seal(rid(15, 0)).unwrap();
+        store.remove(rid(15, 0));
+        store.put(rid(15, 0), StoredPayload::Typed(Arc::new(v)), StorageTier::Pfs);
+        assert!(!store.is_sealed(rid(15, 0)), "remove must clear the seal");
     }
 
     #[test]

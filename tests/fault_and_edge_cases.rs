@@ -38,7 +38,7 @@ fn lost_region_surfaces_a_storage_error_not_a_panic() {
 }
 
 #[test]
-fn lost_index_region_fails_only_the_index_strategy() {
+fn lost_index_region_rebuilds_online_without_changing_hits() {
     let (odms, obj, data) = small_world();
     let meta = odms.meta().get(obj).unwrap();
     let idx_obj = meta.index_object.unwrap();
@@ -48,9 +48,18 @@ fn lost_index_region_fails_only_the_index_strategy() {
     let q = PdcQuery::create(obj, QueryOp::Gt, 0.0f32);
     let expect = data.iter().filter(|&&v| v > 0.0).count() as u64;
     assert_eq!(eng.get_nhits(&q).unwrap(), expect);
-    // ...the index strategy reports the missing prerequisite.
+    // ...the index strategy answers the first probe by an exact scan and
+    // rebuilds the missing index region in place (the same lazy path a
+    // streaming append takes for not-yet-indexed tail regions).
     let eng = engine(&odms, Strategy::HistogramIndex);
-    assert!(eng.run(&q).is_err());
+    let out = eng.run(&q).unwrap();
+    assert_eq!(out.nhits, expect, "fallback scan must stay exact");
+    assert_eq!(out.integrity.fallback_regions, 1);
+    assert_eq!(out.integrity.aux_rebuilds, 1);
+    // The rebuild restored the region: the next run probes cleanly.
+    let again = eng.run(&q).unwrap();
+    assert_eq!(again.nhits, expect);
+    assert_eq!(again.integrity.fallback_regions, 0, "{:?}", again.integrity);
 }
 
 #[test]
