@@ -108,6 +108,31 @@ echo "$ingest_out" | grep -q 'ingest gate: PASS' || {
 }
 echo "$ingest_out" | tail -n 1
 
+echo "== pruning gate =="
+# Hierarchical region directory + joint bounds: pruning must stay
+# advisory and sound (bit-identical selections and simulated costs with
+# the directory on or off, all strategies, under faults + corruption),
+# and the bench bin asserts the conjunctive 3-D window workload admits
+# >= 2x fewer regions than 1-D min/max pruning.
+cargo test -q $OFFLINE -p pdc-query --test pruning_props
+target/release/pruning /tmp/ci_pruning.json
+dir_out=$($PDC query "Energy > 2.0 AND 100 < x < 200" $SMOKE_ARGS --joint Energy,x --explain)
+echo "$dir_out" | grep -q '^joint bounds: registered (Energy,x)' || {
+    echo "ci: pruning smoke FAILED: no joint-registration report" >&2
+    exit 1
+}
+echo "$dir_out" | grep -q 'directory: .* killed joint' || {
+    echo "ci: pruning smoke FAILED: no directory stats in --explain run" >&2
+    exit 1
+}
+nodir_hits=$($PDC query "Energy > 2.0 AND 100 < x < 200" $SMOKE_ARGS --no-directory | grep -o '[0-9]* hits ([0-9]* runs)')
+dir_hits=$(echo "$dir_out" | grep -o '[0-9]* hits ([0-9]* runs)')
+if [ "$dir_hits" != "$nodir_hits" ]; then
+    echo "ci: pruning smoke FAILED: directory '$dir_hits' vs --no-directory '$nodir_hits'" >&2
+    exit 1
+fi
+echo "pruning smoke: '$dir_hits' identical with and without the directory"
+
 echo "== clippy gate =="
 cargo clippy --release $OFFLINE --workspace --all-targets -- -D warnings
 

@@ -33,6 +33,9 @@ pub enum Command {
         queries: u32,
         /// Extra expressions (one per line) admitted in the same batch.
         batch_file: Option<String>,
+        /// Variable pair (`"A,B"`) to register a joint-bounds grid for
+        /// before querying.
+        joint: Option<String>,
     },
     /// Compare all five strategies on a few standard queries.
     Demo {
@@ -83,6 +86,9 @@ pub struct CommonOpts {
     /// Print the per-region operator table (chosen physical operators,
     /// prune verdicts, estimated vs actual selectivity).
     pub explain: bool,
+    /// Disable the hierarchical region directory (candidate regions are
+    /// then enumerated from per-region metadata; results are identical).
+    pub no_directory: bool,
 }
 
 impl Default for CommonOpts {
@@ -99,6 +105,7 @@ impl Default for CommonOpts {
             corrupt_seed: None,
             scan_threads: 0,
             explain: false,
+            no_directory: false,
         }
     }
 }
@@ -142,7 +149,17 @@ OPTIONS:
   --explain          print the per-region operator table: chosen physical
                      operator (scan / probe / sorted / rebuild), prune
                      verdicts, and estimated vs actual hits per region; in
-                     batch mode, explains the lead query of the series
+                     batch mode, explains the lead query of the series; also
+                     prints per-constraint directory statistics (bins probed,
+                     regions killed by 1-D bounds vs joint bounds, admitted)
+  --no-directory     disable the hierarchical region directory: candidate
+                     regions are enumerated from per-region metadata instead
+                     of the range->bin overlap lookup (results and simulated
+                     costs are bit-identical either way)
+  --joint <A,B>      (query only) register a cross-variable joint-bounds
+                     grid on the pair before querying; conjunctions over
+                     both variables then kill candidate regions whose joint
+                     cells are provably empty (e.g. --joint Energy,x)
   --get-data <var>   fetch that variable's values for the matches (query only)
   --queries <N>      (query only) admit the expression N times as one
                      concurrent batch: shared-scan prewarm + plan/artifact
@@ -190,6 +207,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, St
                 get_data: batch.get_data,
                 queries: batch.queries,
                 batch_file: batch.batch_file,
+                joint: batch.joint,
             })
         }
         "demo" => {
@@ -272,11 +290,12 @@ struct BatchOpts {
     get_data: Option<String>,
     queries: u32,
     batch_file: Option<String>,
+    joint: Option<String>,
 }
 
 impl Default for BatchOpts {
     fn default() -> Self {
-        Self { get_data: None, queries: 1, batch_file: None }
+        Self { get_data: None, queries: 1, batch_file: None, joint: None }
     }
 }
 
@@ -339,6 +358,13 @@ fn parse_options<I: Iterator<Item = String>>(
             "--explain" => {
                 opts.explain = true;
             }
+            "--no-directory" => {
+                opts.no_directory = true;
+            }
+            "--joint" => match query_only.as_deref_mut() {
+                Some(b) => b.joint = Some(value("--joint")?),
+                None => return Err("--joint is only valid for 'pdc query'".to_string()),
+            },
             "--get-data" => match query_only.as_deref_mut() {
                 Some(b) => b.get_data = Some(value("--get-data")?),
                 None => return Err("--get-data is only valid for 'pdc query'".to_string()),
@@ -431,6 +457,7 @@ pub fn build_engine(odms: &Arc<Odms>, opts: &CommonOpts) -> QueryEngine {
             order_by_selectivity: true,
             fault_plan: fault_plan(opts).expect("fault plan validated at parse time"),
             scan_threads: opts.scan_threads,
+            use_directory: !opts.no_directory,
             ..Default::default()
         },
     )
@@ -462,6 +489,19 @@ pub fn format_explain(odms: &Arc<Odms>, plan: &ExplainPlan) -> String {
             ),
             None => writeln!(s, "  constraint: {} {}", name_of(*obj), iv),
         };
+    }
+    for d in &plan.directory {
+        let _ = writeln!(
+            s,
+            "  directory: {} — {} bin(s) probed, {} region(s): \
+             {} killed 1-D, {} killed joint, {} admitted",
+            name_of(d.object),
+            d.bins_probed,
+            d.regions_total,
+            d.killed_1d,
+            d.killed_joint,
+            d.admitted,
+        );
     }
     let _ = writeln!(
         s,
@@ -495,10 +535,19 @@ pub fn format_explain(odms: &Arc<Odms>, plan: &ExplainPlan) -> String {
 pub fn run(cmd: Command) -> Result<String, String> {
     match cmd {
         Command::Help => Ok(USAGE.to_string()),
-        Command::Query { expr, opts, get_data, queries, batch_file } => {
+        Command::Query { expr, opts, get_data, queries, batch_file, joint } => {
             let mut out = String::new();
             fault_plan(&opts)?; // validate before the expensive import
             let (odms, _data) = build_world(&opts);
+            if let Some(spec) = &joint {
+                let (a, b) = spec
+                    .split_once(',')
+                    .ok_or_else(|| format!("--joint {spec}: expected 'A,B'"))?;
+                let a = odms.meta().lookup_name(a.trim()).map_err(|e| e.to_string())?.id;
+                let b = odms.meta().lookup_name(b.trim()).map_err(|e| e.to_string())?.id;
+                let bytes = odms.register_joint_pair(a, b).map_err(|e| e.to_string())?;
+                out.push_str(&format!("joint bounds: registered ({spec}), {bytes} B\n"));
+            }
             let engine = build_engine(&odms, &opts);
             let query = parse_query(&expr, &odms).map_err(|e| e.to_string())?;
             out.push_str(&format!("query: {query}\n"));
@@ -796,16 +845,65 @@ mod tests {
         ])
         .unwrap();
         match cmd {
-            Command::Query { expr, opts, get_data, queries, batch_file } => {
+            Command::Query { expr, opts, get_data, queries, batch_file, joint } => {
                 assert_eq!(expr, "Energy > 2.0");
                 assert_eq!(opts.strategy, Strategy::HistogramIndex);
                 assert_eq!(opts.particles, 1000);
                 assert_eq!(get_data.as_deref(), Some("x"));
                 assert_eq!(queries, 1);
                 assert_eq!(batch_file, None);
+                assert_eq!(joint, None);
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn directory_flags_parse() {
+        let cmd = parse_args(argv("query Energy>2 --no-directory --joint Energy,x")).unwrap();
+        match cmd {
+            Command::Query { opts, joint, .. } => {
+                assert!(opts.no_directory);
+                assert_eq!(joint.as_deref(), Some("Energy,x"));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(!CommonOpts::default().no_directory);
+        assert!(parse_args(argv("demo --joint Energy,x")).is_err());
+        // --no-directory is a common flag: demo accepts it.
+        assert!(parse_args(argv("demo --no-directory")).is_ok());
+    }
+
+    #[test]
+    fn joint_directory_query_matches_undirected_run() {
+        let base = CommonOpts { particles: 50_000, servers: 4, explain: true, ..CommonOpts::default() };
+        let expr = "Energy > 2.0 AND 100 < x < 200".to_string();
+        let with = run(Command::Query {
+            expr: expr.clone(),
+            opts: base.clone(),
+            get_data: None,
+            queries: 1,
+            batch_file: None,
+            joint: Some("Energy,x".to_string()),
+        })
+        .unwrap();
+        let without = run(Command::Query {
+            expr,
+            opts: CommonOpts { no_directory: true, explain: false, ..base },
+            get_data: None,
+            queries: 1,
+            batch_file: None,
+            joint: None,
+        })
+        .unwrap();
+        assert!(with.contains("joint bounds: registered (Energy,x)"), "{with}");
+        assert!(with.contains("directory: "), "{with}");
+        assert!(with.contains(" admitted"), "{with}");
+        let hits = |s: &str| {
+            s.lines().find(|l| l.contains(" hits (")).unwrap().split(':').nth(1).unwrap()
+                .trim().split(' ').next().unwrap().to_string()
+        };
+        assert_eq!(hits(&with), hits(&without), "with: {with}\nwithout: {without}");
     }
 
     #[test]
@@ -849,6 +947,7 @@ mod tests {
             get_data: None,
             queries: 1,
             batch_file: None,
+            joint: None,
         })
         .unwrap();
         assert!(out.contains("explain: strategy PDC-A"), "{out}");
@@ -871,6 +970,7 @@ mod tests {
             get_data: None,
             queries: 4,
             batch_file: None,
+            joint: None,
         })
         .unwrap();
         assert!(out.contains("batch: 4 queries"), "{out}");
@@ -931,6 +1031,7 @@ mod tests {
             get_data: None,
             queries: 1,
             batch_file: None,
+            joint: None,
         })
         .unwrap();
         let corrupt = run(Command::Query {
@@ -939,6 +1040,7 @@ mod tests {
             get_data: None,
             queries: 1,
             batch_file: None,
+            joint: None,
         })
         .unwrap();
         let hits = |s: &str| {
@@ -980,6 +1082,7 @@ mod tests {
             get_data: None,
             queries: 1,
             batch_file: None,
+            joint: None,
         })
         .unwrap();
         let faulty = run(Command::Query {
@@ -988,6 +1091,7 @@ mod tests {
             get_data: None,
             queries: 1,
             batch_file: None,
+            joint: None,
         })
         .unwrap();
         // Same hit count despite two dead servers; fault report present.
@@ -1044,6 +1148,7 @@ mod tests {
             get_data: None,
             queries: 1,
             batch_file: None,
+            joint: None,
         })
         .unwrap();
         let batched = run(Command::Query {
@@ -1052,6 +1157,7 @@ mod tests {
             get_data: None,
             queries: 8,
             batch_file: None,
+            joint: None,
         })
         .unwrap();
         assert!(batched.contains("batch: 8 queries"), "{batched}");
@@ -1071,6 +1177,7 @@ mod tests {
             get_data: None,
             queries: 1,
             batch_file: Some("/nonexistent/queries.txt".to_string()),
+            joint: None,
         });
         assert!(out.is_err());
     }

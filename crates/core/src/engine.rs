@@ -98,6 +98,13 @@ pub struct EngineConfig {
     /// per-element reference path; results and simulated costs are
     /// identical either way (asserted by tests), only wall-clock differs.
     pub scan_kernels: bool,
+    /// Resolve the primary constraint's candidate regions through the
+    /// hierarchical region directory (range→bin overlap lookup) instead
+    /// of enumerating every region's metadata. Advisory and sound:
+    /// skipped regions replay the exact prune charges, so selections and
+    /// simulated costs are bit-identical with the directory on or off
+    /// (property-tested in `tests/pruning_props.rs`).
+    pub use_directory: bool,
 }
 
 impl Default for EngineConfig {
@@ -113,6 +120,7 @@ impl Default for EngineConfig {
             server_timeout: SimDuration::MAX,
             scan_threads: 0,
             scan_kernels: true,
+            use_directory: true,
         }
     }
 }
@@ -557,6 +565,7 @@ impl QueryEngine {
         let strategy = self.cfg.strategy;
         let scan_threads = self.cfg.scan_threads;
         let scan_kernels = self.cfg.scan_kernels;
+        let use_directory = self.cfg.use_directory;
         let out = run_slots(
             &self.pool,
             &cost,
@@ -586,6 +595,7 @@ impl QueryEngine {
                     scan_threads,
                     scan_kernels,
                     use_cache,
+                    use_directory,
                 };
                 let io0 = st.io;
                 let w0 = st.work;
@@ -648,10 +658,26 @@ impl QueryEngine {
             regions.sort_by_key(|r| (r.object, r.region, r.phase));
             let mut constraints = Vec::new();
             collect_constraints(&plan.root, &mut constraints);
+            // Per-constraint directory statistics (host-side replay of
+            // the candidate resolution — never charges).
+            let directory = if self.cfg.use_directory {
+                let pairs: Vec<(ObjectId, Interval)> =
+                    constraints.iter().map(|c| (c.0, c.1)).collect();
+                constraints
+                    .iter()
+                    .filter_map(|(obj, iv, _)| {
+                        let joint = crate::ops::JointContext::build(&snap, *obj, &pairs);
+                        crate::ops::directory_stats(&snap, *obj, iv, joint.as_deref())
+                    })
+                    .collect()
+            } else {
+                Vec::new()
+            };
             crate::ops::ExplainPlan {
                 strategy: self.cfg.strategy,
                 constraints,
                 sorted_primary: sorted_hint.is_some(),
+                directory,
                 regions,
             }
         });
@@ -828,12 +854,26 @@ impl QueryEngine {
         let odms = Arc::clone(&self.odms);
         let n = self.cfg.num_servers;
         let epoch = self.odms.store().epoch();
+        let use_directory = self.cfg.use_directory;
         let loaded: Vec<u64> = self.pool.broadcast(|id, st| {
             st.qcache.validate(epoch);
             let mut count = 0u64;
             for (obj, ivs) in &targets {
                 let Ok(meta) = odms.meta().get(*obj) else { continue };
                 let hists = odms.meta().region_histograms(*obj).ok();
+                // Directory candidate sets per interval: the prewarm pass
+                // only loads/evaluates regions the directory admits.
+                // Skipped regions are exactly the ones whose prune
+                // verdict is `true` by construction (bounds disjoint), so
+                // the per-query path prunes them with full accounting —
+                // prewarming them would be pure waste.
+                let cands: Option<Vec<Vec<u32>>> = if use_directory {
+                    odms.meta().directory(*obj).map(|d| {
+                        ivs.iter().map(|iv| d.probe(iv).candidates).collect()
+                    })
+                } else {
+                    None
+                };
                 for r in 0..meta.num_regions() {
                     if r % n != id.raw() {
                         continue;
@@ -843,11 +883,18 @@ impl QueryEngine {
                     // still need a scan of this region.
                     let span = meta.region_span(r);
                     let mut pending: Vec<Interval> = Vec::new();
-                    for iv in ivs {
+                    for (k, iv) in ivs.iter().enumerate() {
+                        if let Some(cs) = &cands {
+                            if cs[k].binary_search(&r).is_err() {
+                                continue;
+                            }
+                        }
                         let pruned = match hists.as_ref().and_then(|h| h.get(r as usize)) {
-                            Some(h) => st.qcache.prune_or_compute(*obj, r, span.len, iv, || {
-                                crate::ops::prune_verdict(h, iv)
-                            }),
+                            Some(h) => {
+                                st.qcache.prune_or_compute(*obj, r, span.len, iv, 0, || {
+                                    crate::ops::prune_verdict(h, iv)
+                                })
+                            }
                             None => false,
                         };
                         if !pruned && st.qcache.peek_scan(*obj, r, span.len, iv).is_none() {

@@ -68,6 +68,14 @@ pub struct EvalCtx<'a> {
     /// miss, so results and cost breakdowns are bit-identical either
     /// way.
     pub use_cache: bool,
+    /// Resolve each primary constraint's candidate region set through
+    /// the hierarchical region directory instead of walking every
+    /// region's metadata. Advisory: a region outside the candidate set
+    /// has bounds disjoint from the interval, so its prune verdict is
+    /// `true` by construction — the skip replays the identical charges
+    /// and cache seeding, and Selections and simulated costs are
+    /// bit-identical with the directory on or off.
+    pub use_directory: bool,
 }
 
 /// Evaluate the full plan on this server; returns the server's partial
@@ -135,6 +143,13 @@ fn eval_conj(
     if constraints.iter().any(|c| c.interval.is_empty()) {
         return Ok(Selection::empty());
     }
+    // The conjunction's (object, interval) pairs feed each constraint's
+    // cross-variable joint-bounds context (empty unless grids are
+    // registered for a constrained pair).
+    let pairs: Vec<(ObjectId, Interval)> =
+        constraints.iter().map(|c| (c.object, c.interval)).collect();
+    let joint_for =
+        |object: ObjectId| ops::JointContext::build(ctx.snap, object, &pairs);
     let mut sel = match candidates {
         // Candidate mode: every constraint point-checks the incoming
         // selection — no primary evaluation.
@@ -144,18 +159,18 @@ fn eval_conj(
                 if sel.is_empty() {
                     break;
                 }
-                sel = point_check(ctx, state, c.object, &c.interval, &sel)?;
+                sel = point_check(ctx, state, c.object, &c.interval, &sel, joint_for(c.object))?;
             }
             sel
         }
         None => {
             let primary = &constraints[0];
-            let mut sel = eval_primary(ctx, state, primary, region)?;
+            let mut sel = eval_primary(ctx, state, primary, region, joint_for(primary.object))?;
             for c in &constraints[1..] {
                 if sel.is_empty() {
                     break; // "no need to evaluate the remainder"
                 }
-                sel = point_check(ctx, state, c.object, &c.interval, &sel)?;
+                sel = point_check(ctx, state, c.object, &c.interval, &sel, joint_for(c.object))?;
             }
             sel
         }
@@ -199,6 +214,7 @@ fn eval_primary(
     state: &mut ServerState,
     c: &ObjConstraint,
     region: Option<&NdRegion>,
+    joint: Option<Arc<ops::JointContext>>,
 ) -> PdcResult<Selection> {
     if use_sorted_primary(ctx.snap, ctx.cost, ctx.strategy, ctx.n_servers, c.object, &c.interval)? {
         return eval_primary_sorted(ctx, state, c);
@@ -206,7 +222,16 @@ fn eval_primary(
     let meta = ctx.snap.meta(c.object)?;
     // 1-D spatial constraints narrow the candidate region set up front.
     let span_limit = region.and_then(|r| r.as_1d_span());
-    let planner = ops::RegionPlanner::for_primary(ctx, c.object)?;
+    let planner = ops::RegionPlanner::for_primary(ctx, c.object, joint)?;
+    // Hierarchical-directory candidate resolution: one range→bin probe
+    // replaces the per-region metadata walk. Only pruning lanes consult
+    // it (`FullScan` must scan non-candidates too), and a region outside
+    // the candidate set takes the charge-identical skip path below.
+    let dir_candidates: Option<Vec<u32>> = if ctx.use_directory && planner.prune_op().is_some() {
+        ctx.snap.directory(c.object).map(|d| d.probe(&c.interval).candidates)
+    } else {
+        None
+    };
 
     let mut out: Vec<Run> = Vec::new();
     for r in 0..meta.num_regions() {
@@ -220,6 +245,12 @@ fn eval_primary(
             }
         }
         let task = RegionTask { object: c.object, region: r, span, interval: c.interval };
+        if let Some(cands) = &dir_candidates {
+            if cands.binary_search(&r).is_err() {
+                ops::execute_region_skipped(ctx, state, &planner, &task, ExplainPhase::Primary);
+                continue;
+            }
+        }
         match ops::execute_region(ctx, state, &planner, &task, ExplainPhase::Primary, None)? {
             OpOutput::Pruned => continue,
             OpOutput::Selected(sel) => out.extend_from_slice(sel.runs()),
@@ -305,9 +336,10 @@ pub fn point_check(
     object: ObjectId,
     interval: &Interval,
     candidates: &Selection,
+    joint: Option<Arc<ops::JointContext>>,
 ) -> PdcResult<Selection> {
     let meta = ctx.snap.meta(object)?;
-    let planner = ops::RegionPlanner::for_filter(ctx, object)?;
+    let planner = ops::RegionPlanner::for_filter(ctx, object, joint)?;
     let mut out: Vec<Run> = Vec::new();
     // Group candidate coordinates by region.
     let mut r = 0u32;

@@ -35,6 +35,8 @@ use pdc_types::{PdcError, PdcResult, RegionId};
 const INDEX_SALT: u64 = 0x1D05_EED5_0000_0001;
 const HIST_SALT: u64 = 0x4157_0610_0000_0002;
 const SORT_SALT: u64 = 0x50F7_ED00_0000_0003;
+const DIR_SALT: u64 = 0xD1EC_7012_0000_0004;
+const JOINT_SALT: u64 = 0x1013_7B0D_0000_0005;
 
 /// What [`apply_corruption`] actually damaged. Deterministic per
 /// `(spec, registry)` pair.
@@ -48,12 +50,21 @@ pub struct CorruptionReport {
     pub histograms: u64,
     /// Sorted replicas replaced with invalid copies.
     pub sorted_objects: u64,
+    /// Region directories replaced with invalid copies.
+    pub directories: u64,
+    /// Joint-bounds grids replaced with invalid copies.
+    pub joint_grids: u64,
 }
 
 impl CorruptionReport {
     /// Total number of damaged sites.
     pub fn total(&self) -> u64 {
-        self.data_regions + self.index_regions + self.histograms + self.sorted_objects
+        self.data_regions
+            + self.index_regions
+            + self.histograms
+            + self.sorted_objects
+            + self.directories
+            + self.joint_grids
     }
 }
 
@@ -113,6 +124,28 @@ pub fn apply_corruption(odms: &Odms, spec: &CorruptionSpec) -> PdcResult<Corrupt
             odms.meta()
                 .set_sorted_replica(meta.id, replica.corrupted_copy(mix(spec.seed ^ salt)));
             report.sorted_objects += 1;
+        }
+        // The region directory, like the replica, is one structure per
+        // object with its own deterministic coin.
+        if unit(spec.seed ^ salt ^ DIR_SALT) < spec.aux_fraction {
+            if let Some(dir) = odms.meta().directory(meta.id) {
+                odms.meta().set_directory(
+                    meta.id,
+                    dir.corrupted_copy(mix(spec.seed ^ salt ^ DIR_SALT)),
+                );
+                report.directories += 1;
+            }
+        }
+    }
+    // Joint-bounds grids are keyed by object *pair*; each gets its own
+    // coin derived from both sides' ids.
+    for (a, b) in odms.meta().all_joint_pairs() {
+        let pair_salt = a.raw() ^ b.raw().rotate_left(32) ^ JOINT_SALT;
+        if unit(spec.seed ^ pair_salt) < spec.aux_fraction {
+            if let Some(grid) = odms.meta().joint_grid(a, b) {
+                odms.meta().set_joint_grid(grid.corrupted_copy(mix(spec.seed ^ pair_salt)));
+                report.joint_grids += 1;
+            }
         }
     }
     Ok(report)
@@ -184,6 +217,44 @@ pub fn preflight(
                 ) + cost.cpu.work_cost(&sort);
             }
         }
+        // 4. The region directory: rebuilt from the (now clean) region
+        //    histograms' bounds — metadata-only, so the charge is one
+        //    bounds probe per region on the CPU lane.
+        if let Some(dir) = odms.meta().directory(meta.id) {
+            if !dir.self_check(meta.num_regions()) {
+                odms.rebuild_directory(meta.id)?;
+                counters.aux_rebuilds += 1;
+                let probe = WorkCounters {
+                    histogram_bins: u64::from(meta.num_regions()),
+                    ..Default::default()
+                };
+                time += cost.cpu.work_cost(&probe);
+            }
+        }
+    }
+    // 5. Joint-bounds grids: rebuilt by re-reading both member objects
+    //    and re-binning every (a, b) value pair.
+    for (a, b) in odms.meta().all_joint_pairs() {
+        let Some(grid) = odms.meta().joint_grid(a, b) else { continue };
+        if grid.self_check() {
+            continue;
+        }
+        odms.rebuild_joint_grid(a, b)?;
+        counters.aux_rebuilds += 1;
+        let (ma, mb) = (odms.meta().get(a)?, odms.meta().get(b)?);
+        let target = ma.num_elements().min(mb.num_elements());
+        let rebin = WorkCounters { elements_scanned: 2 * target, ..Default::default() };
+        time += cost.pfs.read_cost(
+            ma.size_bytes(),
+            u64::from(ma.num_regions()),
+            n_servers,
+            ReadPattern::Aggregated,
+        ) + cost.pfs.read_cost(
+            mb.size_bytes(),
+            u64::from(mb.num_regions()),
+            n_servers,
+            ReadPattern::Aggregated,
+        ) + cost.cpu.work_cost(&rebin);
     }
     Ok((counters, time))
 }
@@ -233,7 +304,10 @@ mod tests {
         let (counters, time) = preflight(&odms, &cost, 4).unwrap();
         assert_eq!(counters.repaired_regions, report.data_regions);
         assert_eq!(counters.checksum_failures, report.data_regions);
-        assert_eq!(counters.aux_rebuilds, report.histograms + report.sorted_objects);
+        assert_eq!(
+            counters.aux_rebuilds,
+            report.histograms + report.sorted_objects + report.directories + report.joint_grids
+        );
         assert!(time > SimDuration::ZERO);
         // A second sweep finds nothing: the data plane is clean again.
         let (again, t2) = preflight(&odms, &cost, 4).unwrap();

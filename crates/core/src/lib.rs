@@ -55,7 +55,10 @@ pub use parse::parse_query;
 pub use engine::{
     BatchOutcome, BatchStats, EngineConfig, GetDataOutcome, QueryEngine, QueryOutcome, Strategy,
 };
-pub use ops::{ExplainPhase, ExplainPlan, OpKind, PhysicalOp, RegionExplain};
+pub use ops::{
+    directory_stats, DirectoryStats, ExplainPhase, ExplainPlan, JointContext, OpKind,
+    PhysicalOp, RegionExplain,
+};
 pub use qcache::{CacheStats, QueryArtifactCache};
 pub use integrity::{apply_corruption, preflight, CorruptionReport};
 pub use multi::MetaDataQueryOutcome;

@@ -104,6 +104,10 @@ impl QueryEngine {
                     scan_threads,
                     scan_kernels,
                     use_cache: true,
+                    // Single-interval filter over whole small objects:
+                    // there is no conjunction to resolve candidates for,
+                    // so the directory fast path is moot here.
+                    use_directory: false,
                 };
                 let mut hits: Vec<(ObjectId, u64)> = Vec::new();
                 for (i, &obj) in objects_for_eval.iter().enumerate() {
@@ -114,7 +118,7 @@ impl QueryEngine {
                     // Small objects round-robin whole objects across
                     // servers, but each object's regions run through the
                     // same operator pipeline as plan evaluation.
-                    let planner = ops::RegionPlanner::for_filter(&ctx, obj)?;
+                    let planner = ops::RegionPlanner::for_filter(&ctx, obj, None)?;
                     let mut obj_hits = 0u64;
                     for r in 0..meta.num_regions() {
                         let task = RegionTask {

@@ -48,8 +48,10 @@
 
 use crate::engine::Strategy;
 use crate::exec::EvalCtx;
+use crate::qcache::IntervalKey;
 use crate::snapshot::MetaSnapshot;
 use crate::state::ServerState;
+use pdc_directory::JointGrid;
 use pdc_histogram::{HitBounds, Histogram};
 use pdc_sorted::SortedReplica;
 use pdc_storage::{CostModel, SimDuration, WorkCounters};
@@ -131,6 +133,189 @@ pub fn prune_verdict(h: &Histogram, interval: &Interval) -> bool {
     h.estimate_hits(interval).upper == 0
 }
 
+/// One registered joint grid as seen from one constraint of a
+/// conjunction: the grid, which axis the constraint's object occupies,
+/// and the *other* variable's interval in the same conjunction.
+struct JointPairCtx {
+    grid: Arc<JointGrid>,
+    /// Whether the constraint's object is the grid's `a` axis.
+    self_is_a: bool,
+    /// The conjunction's interval on the grid's other object.
+    other_iv: Interval,
+}
+
+/// The cross-variable joint-bounds context of one constraint inside one
+/// conjunction: every registered grid pairing the constraint's object
+/// with another constrained object, plus a stable hash identifying the
+/// context for prune-verdict cache keying (`0` never occurs — an empty
+/// context is represented as no context at all).
+pub struct JointContext {
+    pairs: Vec<JointPairCtx>,
+    /// Cache-key discriminator: FNV over the participating pairs and the
+    /// other-side intervals, forced nonzero.
+    pub ctx_hash: u64,
+}
+
+/// Minimal FNV-1a over explicit words (deterministic across runs —
+/// verdict-cache keys and EXPLAIN output must not depend on hasher
+/// seeding).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn word(&mut self, w: u64) {
+        for byte in w.to_le_bytes() {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+impl std::hash::Hasher for Fnv {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+impl JointContext {
+    /// The joint context of `object` inside a conjunction constraining
+    /// `(object, interval)` pairs, from the snapshot's pinned grids.
+    /// `None` when no registered grid pairs `object` with another
+    /// constrained object — the common case, costing one slice walk.
+    pub fn build(
+        snap: &MetaSnapshot,
+        object: ObjectId,
+        constraints: &[(ObjectId, Interval)],
+    ) -> Option<Arc<JointContext>> {
+        let mut pairs = Vec::new();
+        let mut fnv = Fnv::new();
+        // Snapshot grids are pinned in sorted pair order, so the context
+        // (and its hash) is a pure function of the conjunction.
+        for grid in snap.joint_grids() {
+            let (a, b) = grid.pair();
+            let (self_is_a, other) = if a == object {
+                (true, b)
+            } else if b == object {
+                (false, a)
+            } else {
+                continue;
+            };
+            let Some((_, other_iv)) =
+                constraints.iter().find(|(o, iv)| *o == other && !iv.is_all())
+            else {
+                continue;
+            };
+            fnv.word(a.raw());
+            fnv.word(b.raw());
+            fnv.word(u64::from(self_is_a));
+            {
+                use std::hash::Hash;
+                IntervalKey::of(other_iv).hash(&mut fnv);
+            }
+            pairs.push(JointPairCtx { grid: Arc::clone(grid), self_is_a, other_iv: *other_iv });
+        }
+        if pairs.is_empty() {
+            return None;
+        }
+        use std::hash::Hasher;
+        Some(Arc::new(JointContext { pairs, ctx_hash: fnv.finish() | 1 }))
+    }
+
+    /// Joint-grid cells a verdict for `(region, span_len)` examines — the
+    /// deterministic work charge, independent of the verdict itself.
+    pub fn cells_examined(&self, region: u32, span_len: u64) -> u64 {
+        self.pairs.iter().map(|p| p.grid.cells_examined(region, span_len)).sum()
+    }
+
+    /// Whether any participating grid proves the region empty for the
+    /// joint rectangle (`self_iv` × that grid's other-side interval).
+    pub fn proves_empty(&self, region: u32, span_len: u64, self_iv: &Interval) -> bool {
+        self.pairs.iter().any(|p| {
+            let (iva, ivb) = if p.self_is_a {
+                (self_iv, &p.other_iv)
+            } else {
+                (&p.other_iv, self_iv)
+            };
+            p.grid.rect_upper(region, span_len, iva, ivb) == Some(0)
+        })
+    }
+
+    /// The tightest joint upper bound on the region's hits for `self_iv`,
+    /// or `None` when no grid covers the region's span.
+    pub fn upper(&self, region: u32, span_len: u64, self_iv: &Interval) -> Option<u64> {
+        self.pairs
+            .iter()
+            .filter_map(|p| {
+                let (iva, ivb) = if p.self_is_a {
+                    (self_iv, &p.other_iv)
+                } else {
+                    (&p.other_iv, self_iv)
+                };
+                p.grid.rect_upper(region, span_len, iva, ivb)
+            })
+            .min()
+    }
+}
+
+/// Per-constraint directory statistics for EXPLAIN: how the hierarchical
+/// directory resolved the candidate set and what the joint bounds killed
+/// on top. Pure host observation — computing these charges nothing.
+#[derive(Debug, Clone)]
+pub struct DirectoryStats {
+    /// The constrained object.
+    pub object: ObjectId,
+    /// Populated bins the range→bin probe visited.
+    pub bins_probed: u64,
+    /// Regions the object has in total.
+    pub regions_total: u32,
+    /// Regions killed by the 1-D bounds-overlap test (non-candidates).
+    pub killed_1d: u32,
+    /// Candidate regions additionally proven empty by joint bounds.
+    pub killed_joint: u32,
+    /// Regions admitted after both levels of pruning.
+    pub admitted: u32,
+}
+
+/// Compute the directory statistics of one constraint, when the object
+/// carries a snapshot-visible directory. Shared by the engine's EXPLAIN
+/// assembly and the pruning benchmark.
+pub fn directory_stats(
+    snap: &MetaSnapshot,
+    object: ObjectId,
+    interval: &Interval,
+    joint: Option<&JointContext>,
+) -> Option<DirectoryStats> {
+    let meta = snap.meta(object).ok()?;
+    let dir = snap.directory(object)?;
+    let probe = dir.probe(interval);
+    let regions_total = meta.num_regions();
+    let mut killed_joint = 0u32;
+    if let Some(j) = joint {
+        for &r in &probe.candidates {
+            if r < regions_total && j.proves_empty(r, meta.region_span(r).len, interval) {
+                killed_joint += 1;
+            }
+        }
+    }
+    let candidates = probe.candidates.iter().filter(|&&r| r < regions_total).count() as u32;
+    Some(DirectoryStats {
+        object,
+        bins_probed: probe.bins_probed,
+        regions_total,
+        killed_1d: regions_total - candidates,
+        killed_joint,
+        admitted: candidates - killed_joint,
+    })
+}
+
 /// Histogram min/max region elimination.
 pub struct PruneOp {
     hists: Arc<Vec<Histogram>>,
@@ -139,6 +324,52 @@ pub struct PruneOp {
     /// historically charges the work counters without settling (a quirk
     /// every recorded cost baseline embeds, so it is preserved exactly).
     settle: bool,
+    /// Cross-variable joint bounds participating in this lane's verdict
+    /// (`None` when no registered grid pairs the object with another
+    /// constrained variable — then the verdict and its charges are
+    /// exactly the historical 1-D ones).
+    joint: Option<Arc<JointContext>>,
+}
+
+impl PruneOp {
+    /// The deterministic work charge of one verdict: the histogram bin
+    /// walk plus the joint-grid cell walks. Charged identically on cache
+    /// hits, misses, and directory skips.
+    fn charge_verdict_work(&self, st: &mut ServerState, task: &RegionTask) {
+        let h = &self.hists[task.region as usize];
+        st.work.histogram_bins += h.num_bins() as u64;
+        if let Some(j) = &self.joint {
+            st.work.histogram_bins += j.cells_examined(task.region, task.span.len);
+        }
+    }
+
+    fn ctx_hash(&self) -> u64 {
+        self.joint.as_ref().map_or(0, |j| j.ctx_hash)
+    }
+
+    /// Replay the prune pipeline for a region the directory already
+    /// proved disjoint: charges, cache seeding, and settling are
+    /// bit-identical to [`PhysicalOp::run`] with a `true` verdict — which
+    /// is what `run` necessarily computes, since disjoint bounds force
+    /// `estimate_hits` to zero. Only the host-side estimate walk is
+    /// skipped.
+    fn run_directory_pruned(&self, ctx: &EvalCtx, st: &mut ServerState, task: &RegionTask) {
+        let before = st.work;
+        self.charge_verdict_work(st, task);
+        if ctx.use_cache {
+            st.qcache.prune_or_compute(
+                task.object,
+                task.region,
+                task.span.len,
+                &task.interval,
+                self.ctx_hash(),
+                || true,
+            );
+        }
+        if self.settle {
+            st.settle_cpu(ctx.cost, &before);
+        }
+    }
 }
 
 impl PhysicalOp for PruneOp {
@@ -154,15 +385,29 @@ impl PhysicalOp for PruneOp {
     ) -> PdcResult<OpOutput> {
         let before = st.work;
         let h = &self.hists[task.region as usize];
-        // The bin walk is charged whether or not the verdict is cached —
-        // a cache hit only skips the host-side `estimate_hits` walk.
-        st.work.histogram_bins += h.num_bins() as u64;
-        let pruned = if ctx.use_cache {
-            st.qcache.prune_or_compute(task.object, task.region, task.span.len, &task.interval, || {
-                prune_verdict(h, &task.interval)
-            })
-        } else {
+        // The bin and joint-cell walks are charged whether or not the
+        // verdict is cached — a cache hit only skips the host-side
+        // estimate walks.
+        self.charge_verdict_work(st, task);
+        let joint = self.joint.as_deref();
+        // Non-short-circuiting `|`: the joint test runs whether or not
+        // the 1-D test already pruned, so the verdict's host work is a
+        // pure function of the task — replay paths charge identically.
+        let verdict = || {
             prune_verdict(h, &task.interval)
+                | joint.is_some_and(|j| j.proves_empty(task.region, task.span.len, &task.interval))
+        };
+        let pruned = if ctx.use_cache {
+            st.qcache.prune_or_compute(
+                task.object,
+                task.region,
+                task.span.len,
+                &task.interval,
+                self.ctx_hash(),
+                verdict,
+            )
+        } else {
+            verdict()
         };
         if self.settle {
             st.settle_cpu(ctx.cost, &before);
@@ -530,6 +775,8 @@ pub struct RegionPlanner {
     /// `MissingPrerequisite` (the primary lane's).
     missing_index_scans: bool,
     adaptive: Option<AdaptiveInputs>,
+    /// The conjunction's joint-bounds context for this object, when any.
+    joint: Option<Arc<JointContext>>,
 }
 
 /// Pre-resolved inputs for the adaptive per-region cost comparison.
@@ -546,6 +793,7 @@ impl RegionPlanner {
         object: ObjectId,
         hists: Option<Arc<Vec<Histogram>>>,
         missing_index_scans: bool,
+        joint: Option<Arc<JointContext>>,
     ) -> PdcResult<RegionPlanner> {
         let meta = ctx.snap.meta(object)?;
         let index_available = meta.index_object.is_some();
@@ -563,13 +811,16 @@ impl RegionPlanner {
         };
         Ok(RegionPlanner {
             strategy: ctx.strategy,
-            prune: hists
-                .as_ref()
-                .map(|hs| PruneOp { hists: Arc::clone(hs), settle: missing_index_scans }),
+            prune: hists.as_ref().map(|hs| PruneOp {
+                hists: Arc::clone(hs),
+                settle: missing_index_scans,
+                joint: joint.clone(),
+            }),
             hists,
             index_available,
             missing_index_scans,
             adaptive,
+            joint,
         })
     }
 
@@ -578,24 +829,32 @@ impl RegionPlanner {
     /// requires them. Bin walks are left unsettled (the primary lane's
     /// historical accounting), and a missing index under
     /// `HistogramIndex` is a hard `MissingPrerequisite`.
-    pub fn for_primary(ctx: &EvalCtx, object: ObjectId) -> PdcResult<RegionPlanner> {
+    pub fn for_primary(
+        ctx: &EvalCtx,
+        object: ObjectId,
+        joint: Option<Arc<JointContext>>,
+    ) -> PdcResult<RegionPlanner> {
         let hists = match ctx.strategy {
             Strategy::FullScan => None,
             _ => Some(ctx.snap.region_histograms(object)?),
         };
-        Self::build(ctx, object, hists, false)
+        Self::build(ctx, object, hists, false, joint)
     }
 
     /// Planner for the point-check (filter) and count lanes: histograms
     /// are advisory (objects without them simply never prune), bin walks
     /// are clock-settled, and `HistogramIndex` degrades to a scan when
     /// the object has no index.
-    pub fn for_filter(ctx: &EvalCtx, object: ObjectId) -> PdcResult<RegionPlanner> {
+    pub fn for_filter(
+        ctx: &EvalCtx,
+        object: ObjectId,
+        joint: Option<Arc<JointContext>>,
+    ) -> PdcResult<RegionPlanner> {
         let hists = match ctx.strategy {
             Strategy::FullScan => None,
             _ => ctx.snap.region_histograms_opt(object),
         };
-        Self::build(ctx, object, hists, true)
+        Self::build(ctx, object, hists, true, joint)
     }
 
     /// The prune operator, when this lane/strategy prunes at all.
@@ -603,11 +862,28 @@ impl RegionPlanner {
         self.prune.as_ref()
     }
 
-    /// The histogram hit-bound estimate for one region task (`None` when
-    /// the lane carries no histograms). Pure host work — EXPLAIN uses it
-    /// to report estimated vs actual selectivity without charging.
+    /// The hit-bound estimate for one region task (`None` when the lane
+    /// carries no histograms): the histogram's bounds, with the upper
+    /// bound tightened by the joint grids when the conjunction carries a
+    /// joint context. Pure host work — EXPLAIN uses it to report
+    /// estimated vs actual selectivity without charging, and the adaptive
+    /// access choice consumes the tightened bounds.
     pub fn estimate_for(&self, task: &RegionTask) -> Option<HitBounds> {
-        self.hists.as_ref().map(|hs| hs[task.region as usize].estimate_hits(&task.interval))
+        let mut est = self
+            .hists
+            .as_ref()
+            .map(|hs| hs[task.region as usize].estimate_hits(&task.interval))?;
+        if let Some(j) = &self.joint {
+            if let Some(upper) = j.upper(task.region, task.span.len, &task.interval) {
+                est.upper = est.upper.min(upper);
+                // The 1-D lower bound counts elements matching this
+                // variable alone; the joint rectangle can exclude them,
+                // so the conjunction's lower bound degrades to 0 when the
+                // joint upper undercuts it.
+                est.lower = est.lower.min(est.upper);
+            }
+        }
+        Some(est)
     }
 
     /// Choose the access operator for one region.
@@ -768,6 +1044,10 @@ pub struct ExplainPlan {
     /// Whether the primary constraint was answered from the sorted
     /// replica.
     pub sorted_primary: bool,
+    /// Per-constraint directory statistics (one entry per constrained
+    /// object carrying a region directory; empty when the directory is
+    /// disabled).
+    pub directory: Vec<DirectoryStats>,
     /// Per-region rows, ordered by (object, region, phase).
     pub regions: Vec<RegionExplain>,
 }
@@ -854,6 +1134,44 @@ pub fn execute_region(
         );
     }
     Ok(out)
+}
+
+/// Replay the pipeline for a region the directory excluded from the
+/// candidate set. Such a region's `[min, max]` bounds are disjoint from
+/// the interval, which forces `estimate_hits` to zero bounds — so
+/// [`execute_region`] would necessarily take its pruned path with a
+/// `true` verdict. This fast path reproduces that outcome bit-for-bit —
+/// the same work-counter charges, cache seeding, settling, and EXPLAIN
+/// row — while skipping the host-side estimate walk and operator
+/// dispatch. Callers must only invoke it on a planner that prunes
+/// (`prune_op().is_some()`); `FullScan` lanes never consult the
+/// directory.
+pub fn execute_region_skipped(
+    ctx: &EvalCtx,
+    st: &mut ServerState,
+    planner: &RegionPlanner,
+    task: &RegionTask,
+    phase: ExplainPhase,
+) {
+    let p = planner.prune_op().expect("directory skip requires a pruning lane");
+    p.run_directory_pruned(ctx, st, task);
+    if st.explain.is_some() {
+        let chosen = planner.access_for(ctx, task);
+        let est = planner.estimate_for(task);
+        record_explain(
+            st,
+            RegionExplain {
+                object: task.object,
+                region: task.region,
+                phase,
+                op: access_kind(chosen),
+                pruned: true,
+                span_len: task.span.len,
+                est,
+                actual_hits: None,
+            },
+        );
+    }
 }
 
 fn access_kind(choice: AccessChoice) -> OpKind {

@@ -56,6 +56,14 @@ impl IntervalKey {
 /// append changed (the grown tail region and the appended regions).
 type Key = (ObjectId, u32, u64, IntervalKey);
 
+/// Prune verdicts additionally key on a **joint-context hash**: the
+/// verdict of a region folds in cross-variable joint-bounds tests, whose
+/// outcome depends on the registered grids and the *other* variables'
+/// intervals in the conjunction. Two queries with the same 1-D interval
+/// but different joint contexts must never share a verdict; `0` encodes
+/// "no joint context" (no grids registered for the object's pairs).
+type PruneKey = (ObjectId, u32, u64, u64, IntervalKey);
+
 /// Replay record for a region answered from its bitmap index: enough to
 /// reproduce the simulated accounting of [`crate::exec`]'s indexed path
 /// (conditional data read + candidate-count scan charge) without
@@ -96,7 +104,7 @@ pub struct QueryArtifactCache {
     epoch: u64,
     budget_bytes: u64,
     bytes: u64,
-    prune: HashMap<Key, bool>,
+    prune: HashMap<PruneKey, bool>,
     scans: HashMap<Key, Selection>,
     indexed: HashMap<Key, IndexedEntry>,
     /// Lookup statistics (survive epoch invalidation).
@@ -155,17 +163,19 @@ impl QueryArtifactCache {
         self.bytes += add;
     }
 
-    /// The cached histogram prune verdict for `(object, region,
-    /// interval)`, computing and caching it with `compute` on a miss.
+    /// The cached prune verdict for `(object, region, interval)` under
+    /// the given joint-context hash (`0` = no joint context), computing
+    /// and caching it with `compute` on a miss.
     pub fn prune_or_compute(
         &mut self,
         object: ObjectId,
         region: u32,
         span_len: u64,
         interval: &Interval,
+        joint_ctx: u64,
         compute: impl FnOnce() -> bool,
     ) -> bool {
-        let key = (object, region, span_len, IntervalKey::of(interval));
+        let key = (object, region, span_len, joint_ctx, IntervalKey::of(interval));
         if let Some(&v) = self.prune.get(&key) {
             self.stats.hits += 1;
             return v;
@@ -288,18 +298,23 @@ mod tests {
         let mut c = QueryArtifactCache::new(1 << 20);
         let obj = ObjectId(1);
         let mut calls = 0;
-        let v1 = c.prune_or_compute(obj, 0, 10, &iv(0.0, 1.0), || {
+        let v1 = c.prune_or_compute(obj, 0, 10, &iv(0.0, 1.0), 0, || {
             calls += 1;
             true
         });
-        let v2 = c.prune_or_compute(obj, 0, 10, &iv(0.0, 1.0), || {
+        let v2 = c.prune_or_compute(obj, 0, 10, &iv(0.0, 1.0), 0, || {
             calls += 1;
             false
         });
+        let v3 = c.prune_or_compute(obj, 0, 10, &iv(0.0, 1.0), 77, || {
+            calls += 1;
+            false
+        });
+        assert!(!v3, "a different joint context must not share the verdict");
         assert!(v1 && v2, "hit must replay the first verdict");
-        assert_eq!(calls, 1);
+        assert_eq!(calls, 2, "v1 and v3 compute; v2 is a hit");
         assert_eq!(c.stats.hits, 1);
-        assert_eq!(c.stats.misses, 1);
+        assert_eq!(c.stats.misses, 2);
     }
 
     #[test]
@@ -308,7 +323,7 @@ mod tests {
         let obj = ObjectId(3);
         c.validate(7);
         c.put_scan(obj, 0, 10, &iv(0.0, 1.0), Selection::from_span(0, 10));
-        c.prune_or_compute(obj, 1, 10, &iv(0.0, 1.0), || true);
+        c.prune_or_compute(obj, 1, 10, &iv(0.0, 1.0), 0, || true);
         c.put_indexed(
             obj,
             2,

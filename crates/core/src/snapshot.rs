@@ -28,6 +28,7 @@
 //!   degrading `SortedHistogram`/`Adaptive` to the per-region path until
 //!   deferred maintenance rebuilds the replica.
 
+use pdc_directory::{JointGrid, RegionDirectory};
 use pdc_histogram::Histogram;
 use pdc_odms::{ObjectMeta, Odms};
 use pdc_sorted::SortedReplica;
@@ -40,6 +41,7 @@ struct ObjectView {
     meta: Arc<ObjectMeta>,
     hists: Option<Arc<Vec<Histogram>>>,
     sorted: Option<Arc<SortedReplica>>,
+    directory: Option<Arc<RegionDirectory>>,
 }
 
 /// The pinned metadata of every object one query plan touches, captured
@@ -49,6 +51,7 @@ struct ObjectView {
 pub struct MetaSnapshot {
     epoch: u64,
     views: HashMap<ObjectId, ObjectView>,
+    joints: Vec<Arc<JointGrid>>,
 }
 
 impl MetaSnapshot {
@@ -59,6 +62,11 @@ impl MetaSnapshot {
         for &obj in objects {
             // Metadata first (see module docs: the registration order of
             // `append_array` makes meta-then-histograms the safe order).
+            // The directory is read after the histograms; `append_array`
+            // publishes it *before* them, so the pinned directory is
+            // never older than the pinned histograms — at worst newer,
+            // i.e. wider bounds, whose candidate sets are supersets and
+            // therefore still sound.
             let meta = odms.meta().get(obj)?;
             let hists = odms.meta().region_histograms(obj).ok();
             let sorted = if meta.has_sorted_replica {
@@ -66,9 +74,22 @@ impl MetaSnapshot {
             } else {
                 None
             };
-            views.insert(obj, ObjectView { meta, hists, sorted });
+            let directory = odms.meta().directory(obj);
+            views.insert(obj, ObjectView { meta, hists, sorted, directory });
         }
-        Ok(MetaSnapshot { epoch, views })
+        // Joint grids whose both sides the plan touches. Grids carry
+        // their own per-region coverage rule (`rect_upper` declines when
+        // the pinned extent outruns the grid), so no staleness gate is
+        // needed here.
+        let mut joints = Vec::new();
+        for (a, b) in odms.meta().all_joint_pairs() {
+            if views.contains_key(&a) && views.contains_key(&b) {
+                if let Some(g) = odms.meta().joint_grid(a, b) {
+                    joints.push(g);
+                }
+            }
+        }
+        Ok(MetaSnapshot { epoch, views, joints })
     }
 
     /// The store epoch observed when the snapshot was captured.
@@ -104,6 +125,22 @@ impl MetaSnapshot {
         self.view(object)?.sorted.clone().ok_or_else(|| {
             PdcError::MissingPrerequisite(format!("sorted replica of {object}"))
         })
+    }
+
+    /// The pinned region directory of `object`, when it can answer for
+    /// this snapshot: it must index at least the snapshot's region count
+    /// (the publication order of `append_array` guarantees it is never
+    /// behind the pinned metadata; this gate is the defensive fallback).
+    pub fn directory(&self, object: ObjectId) -> Option<Arc<RegionDirectory>> {
+        let v = self.views.get(&object)?;
+        let dir = v.directory.clone()?;
+        (dir.num_regions() >= v.meta.num_regions()).then_some(dir)
+    }
+
+    /// The pinned joint-bounds grids both of whose objects this snapshot
+    /// covers.
+    pub fn joint_grids(&self) -> &[Arc<JointGrid>] {
+        &self.joints
     }
 
     /// Whether the sorted replica can answer for this snapshot: present

@@ -275,6 +275,90 @@ fn deferred_maintenance_never_changes_selections() {
     }
 }
 
+/// Streaming ingest maintains the region directory and the joint-bounds
+/// grid *incrementally* — the tail region's bounds are updated and each
+/// sealed new region inserted on append, and the joint grid is extended
+/// to the grown common extent, all without a rebuild — and conjunctive
+/// queries routed through the directory stay sealed-consistent at every
+/// extent.
+#[test]
+fn directory_and_joint_bounds_follow_streaming_appends() {
+    let total = PREFIX + APPENDS * CHUNK;
+    let energy = gen(total);
+    let x: Vec<f32> = (0..total).map(|i| 332.0 * i as f32 / total as f32).collect();
+    let build_pair = |extent: usize| {
+        let odms = Arc::new(Odms::new(4));
+        let c = odms.create_container("ingest");
+        let e = odms
+            .import_array(c, "energy", TypedVec::Float(energy[..extent].to_vec()), &import_opts())
+            .unwrap()
+            .object;
+        let xo = odms
+            .import_array(c, "x", TypedVec::Float(x[..extent].to_vec()), &import_opts())
+            .unwrap()
+            .object;
+        (odms, e, xo)
+    };
+    let (odms, e, xo) = build_pair(PREFIX);
+    odms.register_joint_pair(e, xo).unwrap();
+    let eng = engine(&odms, Strategy::Histogram, None);
+    let q = PdcQuery::range_open(e, 2.1f32, 2.2f32)
+        .and(PdcQuery::range_open(xo, 100.0f32, 200.0f32));
+
+    for k in 0..=APPENDS {
+        if k > 0 {
+            let lo = PREFIX + (k - 1) * CHUNK;
+            let hi = PREFIX + k * CHUNK;
+            odms.append_array(e, &TypedVec::Float(energy[lo..hi].to_vec())).unwrap();
+            odms.append_array(xo, &TypedVec::Float(x[lo..hi].to_vec())).unwrap();
+        }
+        let extent = PREFIX + k * CHUNK;
+        // The directory tracked the append without a rebuild: it indexes
+        // every region and its bounds agree with the (incrementally
+        // maintained) region histograms.
+        for obj in [e, xo] {
+            let meta = odms.meta().get(obj).unwrap();
+            let dir = odms.meta().directory(obj).expect("directory survives appends");
+            assert!(dir.self_check(meta.num_regions()), "append {k}");
+            let hists = odms.meta().region_histograms(obj).unwrap();
+            for r in 0..meta.num_regions() {
+                let h = &hists[r as usize];
+                assert_eq!(
+                    dir.region_bounds(r),
+                    Some((h.min(), h.max())),
+                    "append {k}, region {r}: directory bounds drifted from histograms"
+                );
+            }
+        }
+        // The joint grid extended to the grown common extent.
+        let grid = odms.meta().joint_grid(e, xo).unwrap();
+        assert_eq!(grid.covered(), extent as u64, "append {k}: joint coverage lags");
+        assert!(grid.self_check(), "append {k}");
+        // And the conjunctive query, routed through the directory, stays
+        // sealed-consistent.
+        let out = eng.run(&q).unwrap();
+        let expect: Vec<u64> = (0..extent as u64)
+            .filter(|&i| {
+                let ev = energy[i as usize] as f64;
+                let xv = x[i as usize] as f64;
+                ev > 2.1 && ev < 2.2 && xv > 100.0 && xv < 200.0
+            })
+            .collect();
+        assert_eq!(
+            out.selection.iter_coords().collect::<Vec<_>>(),
+            expect,
+            "append {k}: interleaved directory-routed query disagrees with naive filter"
+        );
+        let (sealed, se, sx) = build_pair(extent);
+        sealed.register_joint_pair(se, sx).unwrap();
+        let seng = engine(&sealed, Strategy::Histogram, None);
+        let sq = PdcQuery::range_open(se, 2.1f32, 2.2f32)
+            .and(PdcQuery::range_open(sx, 100.0f32, 200.0f32));
+        let sout = seng.run(&sq).unwrap();
+        assert_eq!(out.selection, sout.selection, "append {k}: interleaved != sealed");
+    }
+}
+
 /// A real two-thread schedule: a writer streams appends while a reader
 /// runs the same range query in a loop. Every outcome the reader sees
 /// must carry a registered extent and match the sealed baseline at that

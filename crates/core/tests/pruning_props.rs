@@ -1,0 +1,235 @@
+//! Soundness and bit-identity properties of the hierarchical region
+//! directory and the cross-variable joint-bounds pruning.
+//!
+//! Three invariants:
+//!
+//! 1. **Candidate soundness**: the directory's candidate set contains
+//!    every region that truly holds a match, and admits nothing the 1-D
+//!    histogram bounds test would kill (candidates == the exact
+//!    bounds-overlap set).
+//! 2. **Bit-identity**: selections *and* every simulated cost (elapsed,
+//!    per-server times, I/O, work, breakdown, integrity) are identical
+//!    with the directory on or off, for all five strategies, on clean
+//!    pools and under seeded faults plus ≤20% corruption.
+//! 3. **Joint invariance**: registering a joint-bounds grid kills
+//!    additional candidate regions but never changes the selection.
+
+use pdc_odms::{ImportOptions, Odms};
+use pdc_query::{EngineConfig, PdcQuery, QueryEngine, QueryOutcome, Strategy};
+use pdc_server::{CorruptionSpec, FaultPlan};
+use pdc_types::{Interval, ObjectId, QueryOp, TypedVec};
+use std::sync::Arc;
+
+const ALL_STRATEGIES: [Strategy; 5] = [
+    Strategy::FullScan,
+    Strategy::Histogram,
+    Strategy::HistogramIndex,
+    Strategy::SortedHistogram,
+    Strategy::Adaptive,
+];
+
+const N: usize = 40_000;
+
+/// Deterministic VPIC-flavoured world: `x` sweeps [0, 332] monotonically
+/// (so each region covers a narrow spatial window), and the energetic
+/// tail (> 2.0) appears in a periodic cluster regardless of `x` — which
+/// is exactly the correlation structure that makes independent 1-D
+/// pruning admit tail regions a joint (energy, x) grid can kill.
+struct World {
+    odms: Arc<Odms>,
+    energy: ObjectId,
+    x: ObjectId,
+    raw_energy: Vec<f32>,
+    raw_x: Vec<f32>,
+}
+
+fn build_world() -> World {
+    let odms = Arc::new(Odms::new(8));
+    let c = odms.create_container("vpic");
+    let energy: Vec<f32> = (0..N)
+        .map(|i| {
+            if (3000..3400).contains(&(i % 8000)) {
+                2.0 + ((i * 31) % 160) as f32 / 100.0 // tail [2.0, 3.6)
+            } else {
+                ((i as f32 * 0.37).sin() + 1.0) * 0.9 // bulk [0, 1.8]
+            }
+        })
+        .collect();
+    let x: Vec<f32> = (0..N).map(|i| 332.0 * i as f32 / N as f32).collect();
+    let opts = ImportOptions {
+        region_bytes: 4096,
+        build_index: true,
+        build_sorted: true,
+        ..Default::default()
+    };
+    let energy_id =
+        odms.import_array(c, "energy", TypedVec::Float(energy.clone()), &opts).unwrap().object;
+    let x_id = odms.import_array(c, "x", TypedVec::Float(x.clone()), &opts).unwrap().object;
+    World { odms, energy: energy_id, x: x_id, raw_energy: energy, raw_x: x }
+}
+
+fn engine(world: &World, strategy: Strategy, use_directory: bool, plan: Option<FaultPlan>) -> QueryEngine {
+    QueryEngine::new(
+        Arc::clone(&world.odms),
+        EngineConfig {
+            strategy,
+            num_servers: 4,
+            fault_plan: plan,
+            use_directory,
+            ..Default::default()
+        },
+    )
+}
+
+/// The conjunctive window query: tail energy inside a spatial slab.
+fn window_query(world: &World) -> PdcQuery {
+    PdcQuery::create(world.energy, QueryOp::Gt, 2.0f32)
+        .and(PdcQuery::range_open(world.x, 100.0f32, 200.0f32))
+}
+
+fn assert_outcomes_identical(a: &QueryOutcome, b: &QueryOutcome, tag: &str) {
+    assert_eq!(a.selection, b.selection, "{tag}: selection");
+    assert_eq!(a.nhits, b.nhits, "{tag}: nhits");
+    assert_eq!(a.elapsed, b.elapsed, "{tag}: elapsed");
+    assert_eq!(a.per_server, b.per_server, "{tag}: per-server times");
+    assert_eq!(a.io, b.io, "{tag}: io counters");
+    assert_eq!(a.work, b.work, "{tag}: work counters");
+    assert_eq!(a.breakdown, b.breakdown, "{tag}: cost breakdown");
+    assert_eq!(a.failed_servers, b.failed_servers, "{tag}: failed servers");
+    assert_eq!(a.retry_rounds, b.retry_rounds, "{tag}: retry rounds");
+    assert_eq!(a.integrity, b.integrity, "{tag}: integrity counters");
+}
+
+#[test]
+fn directory_candidates_cover_matches_and_respect_1d_bounds() {
+    let world = build_world();
+    let meta = world.odms.meta().get(world.energy).unwrap();
+    let dir = world.odms.meta().directory(world.energy).expect("import builds a directory");
+    let hists = world.odms.meta().region_histograms(world.energy).unwrap();
+    for iv in [
+        Interval::from_op(QueryOp::Gt, 2.0),
+        Interval::open(2.1, 2.2),
+        Interval::open(0.0, 0.5),
+        Interval::from_op(QueryOp::Lt, -10.0), // empty everywhere
+        Interval::from_op(QueryOp::Gt, -1e9),  // everything
+    ] {
+        let probe = dir.probe(&iv);
+        for r in 0..meta.num_regions() {
+            let span = meta.region_span(r);
+            let truly_matches = (span.offset..span.offset + span.len)
+                .any(|i| iv.contains(world.raw_energy[i as usize] as f64));
+            let candidate = probe.candidates.binary_search(&r).is_ok();
+            if truly_matches {
+                assert!(candidate, "region {r} holds a match of {iv} but was not admitted");
+            }
+            if !candidate {
+                // Non-candidates are exactly the regions the 1-D bounds
+                // test kills: the histogram estimate is provably zero.
+                let est = hists[r as usize].estimate_hits(&iv);
+                assert_eq!(est.upper, 0, "region {r} skipped for {iv} but 1-D admits it");
+            }
+        }
+        assert!(probe.bins_probed as usize <= dir.num_bins().max(1), "{iv}");
+    }
+}
+
+#[test]
+fn directory_on_off_bit_identical_all_strategies() {
+    for strategy in ALL_STRATEGIES {
+        // Separate worlds per engine: cache state must not leak between
+        // the compared runs.
+        let (won, woff) = (build_world(), build_world());
+        let on = engine(&won, strategy, true, None);
+        let off = engine(&woff, strategy, false, None);
+        let (qon, qoff) = (window_query(&won), window_query(&woff));
+        let a = on.run(&qon).unwrap();
+        let b = off.run(&qoff).unwrap();
+        assert!(a.nhits > 0, "{strategy}: window query must hit");
+        assert_outcomes_identical(&a, &b, &format!("{strategy} cold"));
+        // Warm (cached) runs stay identical too.
+        let a2 = on.run(&qon).unwrap();
+        let b2 = off.run(&qoff).unwrap();
+        assert_outcomes_identical(&a2, &b2, &format!("{strategy} warm"));
+    }
+}
+
+#[test]
+fn directory_on_off_bit_identical_under_faults_and_corruption() {
+    let plan = || {
+        FaultPlan::seeded(11, 4).with_corruption(CorruptionSpec::new(0.2, 0.2, 42))
+    };
+    for strategy in ALL_STRATEGIES {
+        let (won, woff) = (build_world(), build_world());
+        // A joint pair in play exercises the grid's corruption/rebuild
+        // lane as well.
+        won.odms.register_joint_pair(won.energy, won.x).unwrap();
+        woff.odms.register_joint_pair(woff.energy, woff.x).unwrap();
+        let on = engine(&won, strategy, true, Some(plan()));
+        let off = engine(&woff, strategy, false, Some(plan()));
+        let (qon, qoff) = (window_query(&won), window_query(&woff));
+        let a = on.run(&qon).unwrap();
+        let b = off.run(&qoff).unwrap();
+        assert_outcomes_identical(&a, &b, &format!("{strategy} corrupt"));
+        assert!(
+            a.integrity.any(),
+            "{strategy}: 20% corruption must surface integrity work"
+        );
+    }
+}
+
+#[test]
+fn joint_registration_never_changes_the_selection() {
+    let baseline = {
+        let w = build_world();
+        engine(&w, Strategy::Histogram, true, None).run(&window_query(&w)).unwrap()
+    };
+    for strategy in ALL_STRATEGIES {
+        for use_directory in [true, false] {
+            let w = build_world();
+            w.odms.register_joint_pair(w.energy, w.x).unwrap();
+            let eng = engine(&w, strategy, use_directory, None);
+            let out = eng.run(&window_query(&w)).unwrap();
+            assert_eq!(
+                out.selection, baseline.selection,
+                "{strategy} use_directory={use_directory}: joint bounds changed hits"
+            );
+        }
+    }
+    // And the joint-killed regions are provably empty under the full
+    // conjunction: the naive filter agrees with the baseline.
+    let w = build_world();
+    let expect: Vec<u64> = (0..N as u64)
+        .filter(|&i| {
+            w.raw_energy[i as usize] > 2.0
+                && w.raw_x[i as usize] > 100.0
+                && w.raw_x[i as usize] < 200.0
+        })
+        .collect();
+    assert_eq!(baseline.selection.iter_coords().collect::<Vec<_>>(), expect);
+}
+
+#[test]
+fn joint_bounds_kill_regions_independent_pruning_admits() {
+    let w = build_world();
+    w.odms.register_joint_pair(w.energy, w.x).unwrap();
+    let eng = engine(&w, Strategy::Histogram, true, None);
+    let (_, plan) = eng.explain(&window_query(&w)).unwrap();
+    let stats = plan
+        .directory
+        .iter()
+        .find(|d| d.object == w.energy)
+        .expect("energy constraint carries directory stats");
+    // The tail cluster recurs every 8000 elements, so 1-D energy bounds
+    // admit tail regions across the whole x sweep; the joint grid kills
+    // the ones outside the x window.
+    assert!(stats.killed_joint > 0, "joint bounds killed nothing: {stats:?}");
+    assert!(
+        stats.admitted < stats.regions_total - stats.killed_1d,
+        "joint pruning must shrink the 1-D admitted set: {stats:?}"
+    );
+    assert_eq!(
+        stats.killed_1d + stats.killed_joint + stats.admitted,
+        stats.regions_total,
+        "{stats:?}"
+    );
+}

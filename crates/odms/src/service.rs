@@ -9,6 +9,7 @@
 
 use crate::meta::{MetaValue, ObjectMeta};
 use parking_lot::RwLock;
+use pdc_directory::{JointGrid, RegionDirectory};
 use pdc_histogram::{merge_all, Histogram};
 use pdc_sorted::SortedReplica;
 use pdc_types::{ContainerId, ObjectId, PdcError, PdcResult, ServerId};
@@ -33,6 +34,12 @@ pub struct MetadataService {
     sorted: RwLock<HashMap<ObjectId, Arc<SortedReplica>>>,
     /// Per-object serialized index region sizes (bytes per region).
     index_sizes: RwLock<HashMap<ObjectId, Arc<Vec<u64>>>>,
+    /// Per-object hierarchical region directory (bin tree over region
+    /// value bounds).
+    directories: RwLock<HashMap<ObjectId, Arc<RegionDirectory>>>,
+    /// Joint-bounds grids of registered variable pairs, keyed by the
+    /// pair in registration order.
+    joint_grids: RwLock<HashMap<(ObjectId, ObjectId), Arc<JointGrid>>>,
 }
 
 impl MetadataService {
@@ -287,6 +294,50 @@ impl MetadataService {
             .get(&data_object)
             .cloned()
             .ok_or_else(|| PdcError::MissingPrerequisite(format!("index of {data_object}")))
+    }
+
+    /// Record (or replace) an object's hierarchical region directory.
+    pub fn set_directory(&self, id: ObjectId, directory: RegionDirectory) {
+        self.directories.write().insert(id, Arc::new(directory));
+    }
+
+    /// The hierarchical region directory of an object, if built. Absence
+    /// is not an error: the directory is advisory and every consumer
+    /// falls back to the full region-metadata walk.
+    pub fn directory(&self, id: ObjectId) -> Option<Arc<RegionDirectory>> {
+        self.directories.read().get(&id).cloned()
+    }
+
+    /// Record (or replace) the joint-bounds grid of a variable pair.
+    pub fn set_joint_grid(&self, grid: JointGrid) {
+        self.joint_grids.write().insert(grid.pair(), Arc::new(grid));
+    }
+
+    /// The joint-bounds grid registered for exactly `(a, b)` (in
+    /// registration order), if any.
+    pub fn joint_grid(&self, a: ObjectId, b: ObjectId) -> Option<Arc<JointGrid>> {
+        self.joint_grids.read().get(&(a, b)).cloned()
+    }
+
+    /// Every joint-bounds grid that involves `id` (either side).
+    pub fn joint_grids_for(&self, id: ObjectId) -> Vec<Arc<JointGrid>> {
+        let mut out: Vec<Arc<JointGrid>> = self
+            .joint_grids
+            .read()
+            .iter()
+            .filter(|((a, b), _)| *a == id || *b == id)
+            .map(|(_, g)| Arc::clone(g))
+            .collect();
+        out.sort_by_key(|g| g.pair());
+        out
+    }
+
+    /// All registered pairs, ordered — the integrity sweep's worklist.
+    pub fn all_joint_pairs(&self) -> Vec<(ObjectId, ObjectId)> {
+        let mut out: Vec<(ObjectId, ObjectId)> =
+            self.joint_grids.read().keys().copied().collect();
+        out.sort_unstable();
+        out
     }
 
     /// Total in-memory metadata footprint of the histograms (bytes) — the

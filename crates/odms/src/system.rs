@@ -18,6 +18,7 @@ use crate::service::MetadataService;
 use parking_lot::RwLock;
 use pdc_bitmap::{BinnedBitmapIndex, BinningConfig};
 use pdc_bitmap::index::ValueDomain;
+use pdc_directory::{DirectoryConfig, JointGrid, RegionDirectory};
 use pdc_histogram::{Histogram, HistogramConfig};
 use pdc_sorted::SortedReplica;
 use pdc_storage::{ObjectStore, StorageTier, StoredPayload};
@@ -70,6 +71,8 @@ pub struct ImportReport {
     pub sorted_bytes: u64,
     /// Histogram metadata bytes.
     pub histogram_bytes: u64,
+    /// Region-directory metadata bytes.
+    pub directory_bytes: u64,
 }
 
 /// What one streaming append did (the ingest-side counterpart of
@@ -257,6 +260,16 @@ impl Odms {
                 self.store.seal(rid)?;
             }
         }
+        // Region directory: hierarchical bins over the per-region value
+        // bounds the local histograms just observed — built at import
+        // time like the histograms themselves, before the object's
+        // registration makes it queryable.
+        let dir = RegionDirectory::from_bounds(
+            DirectoryConfig::default(),
+            &hists.iter().map(|h| (h.min(), h.max())).collect::<Vec<_>>(),
+        );
+        report.directory_bytes = dir.size_bytes();
+        self.meta.set_directory(id, dir);
         self.meta.set_region_histograms(id, hists);
         if index_object.is_some() {
             self.meta.set_index_sizes(id, index_sizes);
@@ -371,8 +384,40 @@ impl Odms {
             }
             _ => None,
         };
+        // Region directory, maintained incrementally like the histograms:
+        // the filled tail's bounds widen to its merged histogram's, and
+        // each appended region enters as a fresh entry — never a rebuild.
+        if let Some(dir) = self.meta.directory(object) {
+            let mut d = (*dir).clone();
+            if let Some((tail_idx, merged)) = &tail_replacement {
+                d.update_region(*tail_idx, merged.min(), merged.max());
+            }
+            for h in &new_hists {
+                d.push_region(h.min(), h.max());
+            }
+            self.meta.set_directory(object, d);
+        }
         deltas.extend(new_hists.iter().cloned());
         self.meta.extend_histograms(object, tail_replacement, new_hists, deltas)?;
+
+        // Registered joint grids involving this object extend to the new
+        // common coordinate extent `min(extent(a), extent(b))` — the
+        // appended payloads are already stored, so the pair values are
+        // readable even though the grown meta is not yet published.
+        for grid in self.meta.joint_grids_for(object) {
+            let (a, b) = grid.pair();
+            let extent = |o: ObjectId| -> PdcResult<u64> {
+                Ok(if o == object { old_n + added } else { self.meta.get(o)?.num_elements() })
+            };
+            let target = extent(a)?.min(extent(b)?);
+            if target > grid.covered() {
+                let av = self.read_f64_range(a, grid.covered(), target)?;
+                let bv = self.read_f64_range(b, grid.covered(), target)?;
+                let mut g = (*grid).clone();
+                g.extend(&av, &bv);
+                self.meta.set_joint_grid(g);
+            }
+        }
 
         // 3. Deferred aux maintenance bookkeeping.
         if let Some(idx_obj) = meta.index_object {
@@ -528,6 +573,96 @@ impl Odms {
         // Metadata-only mutation (see rebuild_region_histogram).
         self.store.bump_epoch();
         Ok(size)
+    }
+
+    /// Read the f64-widened values at linear coordinates `[lo, hi)` of an
+    /// object, spanning region payloads as needed.
+    fn read_f64_range(&self, object: ObjectId, lo: u64, hi: u64) -> PdcResult<Vec<f64>> {
+        let meta = self.meta.get(object)?;
+        let re = meta.region_elems;
+        let mut out = Vec::with_capacity((hi - lo) as usize);
+        let mut at = lo;
+        while at < hi {
+            let r = (at / re) as u32;
+            let payload = self.read_region(object, r)?;
+            let vals = payload.to_f64_vec();
+            let base = r as u64 * re;
+            let start = (at - base) as usize;
+            let end = ((hi - base).min(vals.len() as u64)) as usize;
+            if end <= start {
+                return Err(pdc_types::PdcError::InvalidQuery(format!(
+                    "coordinate range [{lo}, {hi}) exceeds stored extent of {object}"
+                )));
+            }
+            out.extend_from_slice(&vals[start..end]);
+            at = base + end as u64;
+        }
+        Ok(out)
+    }
+
+    /// Register cross-variable joint bounds for the object pair `(a, b)`:
+    /// build the per-region 2-D grid from the pair's stored payloads over
+    /// their common coordinate extent and publish it to the metadata
+    /// service. Requires aligned region grids (identical elements per
+    /// region). Re-registering rebuilds from scratch. Returns the grid's
+    /// metadata footprint in bytes.
+    pub fn register_joint_pair(&self, a: ObjectId, b: ObjectId) -> PdcResult<u64> {
+        if a == b {
+            return Err(pdc_types::PdcError::InvalidQuery(format!(
+                "joint pair requires two distinct objects, got ({a}, {a})"
+            )));
+        }
+        let ma = self.meta.get(a)?;
+        let mb = self.meta.get(b)?;
+        if ma.region_elems != mb.region_elems {
+            return Err(pdc_types::PdcError::InvalidQuery(format!(
+                "joint pair requires aligned region grids: {} has {} elems/region, {} has {}",
+                a, ma.region_elems, b, mb.region_elems
+            )));
+        }
+        let target = ma.num_elements().min(mb.num_elements());
+        let mut grid = JointGrid::new(a, b, ma.region_elems);
+        // Stream region-sized chunks so the build never widens a region's
+        // cell geometry from a partial extent unnecessarily.
+        let mut at = 0u64;
+        while at < target {
+            let hi = (at + ma.region_elems).min(target);
+            let av = self.read_f64_range(a, at, hi)?;
+            let bv = self.read_f64_range(b, at, hi)?;
+            grid.extend(&av, &bv);
+            at = hi;
+        }
+        let size = grid.size_bytes();
+        self.meta.set_joint_grid(grid);
+        // Metadata-only mutation (see rebuild_region_histogram).
+        self.store.bump_epoch();
+        Ok(size)
+    }
+
+    /// Rebuild an object's region directory from its region histograms,
+    /// replacing a copy that failed [`RegionDirectory::self_check`].
+    /// Returns the directory's metadata footprint in bytes.
+    pub fn rebuild_directory(&self, object: ObjectId) -> PdcResult<u64> {
+        let hists = self.meta.region_histograms(object)?;
+        let bounds: Vec<(f64, f64)> = hists.iter().map(|h| (h.min(), h.max())).collect();
+        let dir = RegionDirectory::from_bounds(DirectoryConfig::default(), &bounds);
+        let size = dir.size_bytes();
+        self.meta.set_directory(object, dir);
+        // Metadata-only mutation (see rebuild_region_histogram).
+        self.store.bump_epoch();
+        Ok(size)
+    }
+
+    /// Rebuild a registered joint grid from the pair's stored payloads,
+    /// replacing a copy that failed [`JointGrid::self_check`]. Returns the
+    /// grid's metadata footprint in bytes.
+    pub fn rebuild_joint_grid(&self, a: ObjectId, b: ObjectId) -> PdcResult<u64> {
+        if self.meta.joint_grid(a, b).is_none() {
+            return Err(pdc_types::PdcError::MissingPrerequisite(format!(
+                "joint grid of ({a}, {b})"
+            )));
+        }
+        self.register_joint_pair(a, b)
     }
 
     /// Remove one region from the system: the data payload plus the
@@ -834,6 +969,59 @@ mod tests {
         ));
         // missing object
         assert!(odms.append_array(ObjectId(4040), &vpic_like(1)).is_err());
+    }
+
+    #[test]
+    fn import_builds_directory_and_append_maintains_it() {
+        let opts = ImportOptions { region_bytes: 4096, ..Default::default() }; // 1024 f32
+        let (odms, report) = system_with_import(2500, &opts);
+        assert!(report.directory_bytes > 0);
+        let dir = odms.meta().directory(report.object).unwrap();
+        assert!(dir.self_check(3));
+        odms.append_array(report.object, &vpic_like(2000)).unwrap();
+        let meta = odms.meta().get(report.object).unwrap();
+        let dir = odms.meta().directory(report.object).unwrap();
+        assert!(dir.self_check(meta.num_regions()));
+        // Incrementally maintained bounds match the merged histograms.
+        let hists = odms.meta().region_histograms(report.object).unwrap();
+        for (r, h) in hists.iter().enumerate() {
+            assert_eq!(dir.region_bounds(r as u32), Some((h.min(), h.max())), "region {r}");
+        }
+        // A from-scratch rebuild reproduces the incremental state exactly.
+        assert!(odms.rebuild_directory(report.object).unwrap() > 0);
+        assert_eq!(*odms.meta().directory(report.object).unwrap(), *dir);
+    }
+
+    #[test]
+    fn joint_pair_registration_and_append_extension() {
+        let opts = ImportOptions { region_bytes: 4096, ..Default::default() }; // 1024 f32
+        let odms = Odms::new(4);
+        let c = odms.create_container("t");
+        let ra = odms.import_array(c, "a", vpic_like(2500), &opts).unwrap();
+        let rb = odms.import_array(c, "b", vpic_like(2500), &opts).unwrap();
+        assert!(odms.register_joint_pair(ra.object, rb.object).unwrap() > 0);
+        let g = odms.meta().joint_grid(ra.object, rb.object).unwrap();
+        assert_eq!(g.covered(), 2500);
+        assert!(g.self_check());
+        // Appending to `a` alone cannot extend past `b`'s extent.
+        odms.append_array(ra.object, &vpic_like(700)).unwrap();
+        assert_eq!(odms.meta().joint_grid(ra.object, rb.object).unwrap().covered(), 2500);
+        // Appending to `b` extends the grid to the common extent.
+        odms.append_array(rb.object, &vpic_like(1000)).unwrap();
+        let g = odms.meta().joint_grid(ra.object, rb.object).unwrap();
+        assert_eq!(g.covered(), 3200);
+        assert!(g.self_check());
+        // Misaligned region grids and self-pairs are refused.
+        let bad_opts = ImportOptions { region_bytes: 1024, ..Default::default() };
+        let rc = odms.import_array(c, "c", vpic_like(100), &bad_opts).unwrap();
+        assert!(odms.register_joint_pair(ra.object, rc.object).is_err());
+        assert!(odms.register_joint_pair(ra.object, ra.object).is_err());
+        // Rebuild requires prior registration, then restores a valid grid.
+        assert!(odms.rebuild_joint_grid(ra.object, rc.object).is_err());
+        let e0 = odms.store().epoch();
+        assert!(odms.rebuild_joint_grid(ra.object, rb.object).unwrap() > 0);
+        assert!(odms.store().epoch() > e0, "rebuild must bump the epoch");
+        assert!(odms.meta().joint_grid(ra.object, rb.object).unwrap().self_check());
     }
 
     #[test]

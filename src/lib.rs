@@ -9,6 +9,8 @@
 //! * [`histogram`] — mergeable global histograms (Algorithm 1).
 //! * [`bitmap`] — FastBit-style binned bitmap index with WAH compression.
 //! * [`sorted`] — value-sorted data reorganization.
+//! * [`directory`] — hierarchical region directory + joint-bounds grids
+//!   for cross-variable candidate pruning.
 //! * [`odms`] — the object-centric data management substrate (PDC).
 //! * [`server`] — the client/server runtime with simulated network.
 //! * [`query`] — **the paper's contribution**: the parallel query service.
@@ -17,6 +19,7 @@
 
 pub use pdc_baseline as baseline;
 pub use pdc_bitmap as bitmap;
+pub use pdc_directory as directory;
 pub use pdc_histogram as histogram;
 pub use pdc_odms as odms;
 pub use pdc_query as query;
