@@ -1,0 +1,252 @@
+//! K-way replication kill-matrix and elastic-membership benchmark.
+//!
+//! One engine per (strategy, k, kill) cell over the same imported VPIC
+//! world: k ∈ {1, 2, 3} replicas per assignment slot, with and without
+//! a server crash injected on the first data access. Every cell runs
+//! the same 6-query series cold (the kill fires during query 1, so the
+//! measured pass includes the failure-handling cost) and must produce
+//! selections bit-identical to the unkilled unreplicated reference.
+//!
+//! The point being measured: under the classic single-home layout
+//! (k = 1, PR 1 recovery) a kill forces a whole-batch rescan on one
+//! survivor, while under k-way placement each of the dead server's
+//! fine-grained slots fails over to a *distinct* live replica, so the
+//! degradation flattens to roughly `1/spread`. The gate asserts the
+//! killed series stays within 1.1x the unkilled series for every
+//! strategy at k >= 2.
+//!
+//! A second scenario exercises elastic membership: join a fresh server
+//! mid-series, then retire one of the originals — selections must be
+//! unchanged at every step, and the live-migration volume is recorded.
+//!
+//! Writes `BENCH_replication.json` (path overridable as argv[1]).
+//! Particle count via `PDC_REPLICATION_N` (default 983,040 = 240
+//! regions of 16 KiB — slot count and region count align so healthy
+//! per-server work is perfectly balanced). Exits non-zero on any gate
+//! violation (set `PDC_REPLICATION_NO_ASSERT=1` to record without
+//! gating).
+
+use pdc_bench::{import_vpic, Scale};
+use pdc_query::{EngineConfig, PdcQuery, QueryEngine, Strategy};
+use pdc_server::FaultPlan;
+use pdc_storage::SimDuration;
+use pdc_types::{ObjectId, Selection};
+use pdc_workloads::{VpicConfig, VpicData};
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// 240 regions of 16 KiB: one region per assignment slot at 16 servers
+/// (spread 15), so a failover moves exactly one region to each backup.
+const DEFAULT_N: usize = 240 * 4096;
+const SERVERS: u32 = 16;
+const REGION_BYTES: u64 = 16 << 10;
+const VICTIM: u32 = 3;
+const GATE: f64 = 1.10;
+
+const STRATEGIES: [Strategy; 5] = [
+    Strategy::FullScan,
+    Strategy::Histogram,
+    Strategy::HistogramIndex,
+    Strategy::SortedHistogram,
+    Strategy::Adaptive,
+];
+
+/// The series: a full-touch filter first (so the kill probe fires on
+/// query 1 for every strategy), then narrow Energy tail windows and
+/// wide spatial windows.
+fn series(energy: ObjectId, x: ObjectId) -> Vec<PdcQuery> {
+    let x_max = pdc_workloads::vpic::X_MAX as f32;
+    vec![
+        PdcQuery::create(energy, pdc_types::QueryOp::Gt, 0.0f32),
+        PdcQuery::range_open(energy, 2.10f32, 2.15f32),
+        PdcQuery::range_open(energy, 2.60f32, 2.65f32),
+        PdcQuery::range_open(energy, 3.10f32, 3.15f32),
+        PdcQuery::range_open(x, 0.05 * x_max, 0.38 * x_max),
+        PdcQuery::range_open(x, 0.50 * x_max, 0.83 * x_max),
+    ]
+}
+
+fn build(
+    world: &pdc_bench::VpicWorld,
+    scale: &Scale,
+    strategy: Strategy,
+    replicas: u32,
+    kill: bool,
+) -> QueryEngine {
+    QueryEngine::new(
+        Arc::clone(&world.odms),
+        EngineConfig {
+            strategy,
+            num_servers: SERVERS,
+            cache_bytes_per_server: 1 << 30,
+            cost: scale.cost(),
+            replicas,
+            fault_plan: kill.then(|| FaultPlan::kill(&[VICTIM])),
+            ..Default::default()
+        },
+    )
+}
+
+struct Cell {
+    total: SimDuration,
+    selections: Vec<Selection>,
+    failover: SimDuration,
+    recovery: SimDuration,
+    rebuild_regions: u32,
+    rebuild_bytes: u64,
+}
+
+/// Run the series cold and fold the outcomes.
+fn measure(eng: &QueryEngine, qs: &[PdcQuery]) -> Cell {
+    let mut cell = Cell {
+        total: SimDuration::ZERO,
+        selections: Vec::with_capacity(qs.len()),
+        failover: SimDuration::ZERO,
+        recovery: SimDuration::ZERO,
+        rebuild_regions: 0,
+        rebuild_bytes: 0,
+    };
+    for q in qs {
+        let out = eng.run(q).expect("matrix cell must recover");
+        if std::env::var("PDC_REPLICATION_VERBOSE").is_ok() {
+            println!(
+                "    q: {:>10.3} ms (failover {:.3} ms, recovery {:.3} ms, retry {}, io {} B)",
+                out.elapsed.as_secs_f64() * 1e3,
+                out.breakdown.failover.as_secs_f64() * 1e3,
+                out.breakdown.recovery.as_secs_f64() * 1e3,
+                out.retry_rounds,
+                out.io.pfs_bytes_read,
+            );
+        }
+        cell.total += out.elapsed;
+        cell.failover += out.breakdown.failover;
+        cell.recovery += out.breakdown.recovery;
+        cell.rebuild_regions += out.rebuild_regions;
+        cell.rebuild_bytes += out.rebuild_bytes;
+        cell.selections.push(out.selection);
+    }
+    cell
+}
+
+fn main() {
+    let out_path =
+        std::env::args().nth(1).unwrap_or_else(|| "BENCH_replication.json".to_string());
+    let n: usize = std::env::var("PDC_REPLICATION_N")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_N);
+    let scale = Scale { particles: n, servers: SERVERS, ..Scale::from_env() };
+
+    let data = VpicData::generate(&VpicConfig { particles: n, seed: scale.seed });
+    let world = import_vpic(&data, REGION_BYTES, true);
+    let qs = series(world.objects.energy, world.objects.x);
+
+    let reference = measure(&build(&world, &scale, Strategy::Histogram, 1, false), &qs);
+
+    let gate = std::env::var("PDC_REPLICATION_NO_ASSERT").is_err();
+    let mut ok = true;
+    let mut json = format!(
+        "{{\n  \"particles\": {n},\n  \"servers\": {SERVERS},\n  \
+         \"region_bytes\": {REGION_BYTES},\n  \"victim\": {VICTIM},\n  \
+         \"queries\": {},\n  \"gate\": {GATE},\n  \"matrix\": {{\n",
+        qs.len(),
+    );
+    for (si, &strategy) in STRATEGIES.iter().enumerate() {
+        let _ = writeln!(json, "    \"{}\": {{", strategy.label());
+        for (ki, k) in [1u32, 2, 3].into_iter().enumerate() {
+            let clean = measure(&build(&world, &scale, strategy, k, false), &qs);
+            let killed = measure(&build(&world, &scale, strategy, k, true), &qs);
+            for (name, cell) in [("clean", &clean), ("killed", &killed)] {
+                if cell.selections != reference.selections {
+                    eprintln!("FAIL: {strategy} k={k} {name}: selections diverged");
+                    ok = false;
+                }
+            }
+            let degradation = killed.total.as_secs_f64() / clean.total.as_secs_f64();
+            println!(
+                "{:<7} k={k}: clean {:>9.3} ms, killed {:>9.3} ms ({degradation:.3}x) — \
+                 failover {:.3} ms, recovery {:.3} ms, rebuilt {} regions",
+                strategy.label(),
+                clean.total.as_secs_f64() * 1e3,
+                killed.total.as_secs_f64() * 1e3,
+                killed.failover.as_secs_f64() * 1e3,
+                killed.recovery.as_secs_f64() * 1e3,
+                killed.rebuild_regions,
+            );
+            if k >= 2 {
+                if degradation > GATE {
+                    eprintln!(
+                        "FAIL: {strategy} k={k}: kill degradation {degradation:.3}x \
+                         exceeds {GATE}x"
+                    );
+                    ok = false;
+                }
+                if killed.recovery > SimDuration::ZERO {
+                    eprintln!("FAIL: {strategy} k={k}: recovery lane charged under placement");
+                    ok = false;
+                }
+            }
+            let _ = write!(
+                json,
+                "      \"k{k}\": {{ \"clean_ms\": {:.3}, \"killed_ms\": {:.3}, \
+                 \"degradation\": {degradation:.4}, \"failover_ms\": {:.3}, \
+                 \"recovery_ms\": {:.3}, \"rebuild_regions\": {}, \"rebuild_bytes\": {} }}{}",
+                clean.total.as_secs_f64() * 1e3,
+                killed.total.as_secs_f64() * 1e3,
+                killed.failover.as_secs_f64() * 1e3,
+                killed.recovery.as_secs_f64() * 1e3,
+                killed.rebuild_regions,
+                killed.rebuild_bytes,
+                if ki < 2 { ",\n" } else { "\n" },
+            );
+        }
+        let _ = write!(json, "    }}{}", if si + 1 < STRATEGIES.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  },\n");
+
+    // Elastic membership under a live series: join, then retire server 0.
+    let eng = build(&world, &scale, Strategy::Histogram, 2, false);
+    let before = measure(&eng, &qs);
+    let joined = eng.join_server().expect("join");
+    let mid = measure(&eng, &qs);
+    let left = eng.leave_server(0).expect("leave");
+    let after = measure(&eng, &qs);
+    for (name, cell) in [("join", &mid), ("leave", &after)] {
+        if cell.selections != before.selections || cell.selections != reference.selections {
+            eprintln!("FAIL: membership {name}: selections diverged");
+            ok = false;
+        }
+    }
+    println!(
+        "membership: +server {} ({} slots, {} regions, {} B), -server 0 ({} slots, {} regions, \
+         {} B) — results unchanged",
+        joined.server,
+        joined.slots_changed,
+        joined.regions_copied,
+        joined.bytes_copied,
+        left.slots_changed,
+        left.regions_copied,
+        left.bytes_copied,
+    );
+    let _ = write!(
+        json,
+        "  \"membership\": {{\n    \"join\": {{ \"server\": {}, \"slots_changed\": {}, \
+         \"regions_copied\": {}, \"bytes_copied\": {} }},\n    \"leave\": {{ \"server\": 0, \
+         \"slots_changed\": {}, \"regions_copied\": {}, \"bytes_copied\": {} }},\n    \
+         \"results_unchanged\": {}\n  }}\n}}\n",
+        joined.server,
+        joined.slots_changed,
+        joined.regions_copied,
+        joined.bytes_copied,
+        left.slots_changed,
+        left.regions_copied,
+        left.bytes_copied,
+        mid.selections == before.selections && after.selections == before.selections,
+    );
+    std::fs::write(&out_path, &json).expect("write benchmark json");
+    println!("wrote {out_path}");
+
+    if gate && !ok {
+        std::process::exit(1);
+    }
+}

@@ -13,7 +13,7 @@
 use pdc_odms::{ImportOptions, Odms};
 use pdc_query::{parse_query, EngineConfig, ExplainPlan, QueryEngine, Strategy};
 use pdc_server::{CorruptionSpec, FaultPlan};
-use pdc_storage::CostModel;
+use pdc_storage::{CostModel, SimDuration};
 use pdc_workloads::{VpicConfig, VpicData};
 use std::sync::Arc;
 
@@ -36,6 +36,12 @@ pub enum Command {
         /// Variable pair (`"A,B"`) to register a joint-bounds grid for
         /// before querying.
         joint: Option<String>,
+        /// Admit a fresh server into the replicated pool mid-series
+        /// (elastic scale-out; requires `--replicas >= 2`).
+        join_server: bool,
+        /// Retire this server from the replicated pool mid-series
+        /// (elastic scale-in; requires `--replicas >= 2`).
+        leave_server: Option<u32>,
     },
     /// Compare all five strategies on a few standard queries.
     Demo {
@@ -89,6 +95,8 @@ pub struct CommonOpts {
     /// Disable the hierarchical region directory (candidate regions are
     /// then enumerated from per-region metadata; results are identical).
     pub no_directory: bool,
+    /// Replicas per assignment slot (1 = classic single-home layout).
+    pub replicas: u32,
 }
 
 impl Default for CommonOpts {
@@ -106,6 +114,7 @@ impl Default for CommonOpts {
             scan_threads: 0,
             explain: false,
             no_directory: false,
+            replicas: 1,
         }
     }
 }
@@ -146,6 +155,10 @@ OPTIONS:
                      seed, then the RNG seed)
   --scan-threads <N> wall-clock threads per region scan; 0 = auto, 1 disables
                      the chunk-parallel kernel path (default 0)
+  --replicas <K>     replicate every assignment slot on K servers (default 1
+                     = classic single-home layout); killed servers then fail
+                     over to live replicas instead of forcing a rescan, and
+                     redundancy is rebuilt in the background after a crash
   --explain          print the per-region operator table: chosen physical
                      operator (scan / probe / sorted / rebuild), prune
                      verdicts, and estimated vs actual hits per region; in
@@ -161,6 +174,12 @@ OPTIONS:
                      both variables then kill candidate regions whose joint
                      cells are provably empty (e.g. --joint Energy,x)
   --get-data <var>   fetch that variable's values for the matches (query only)
+  --join-server      (query only; needs --replicas >= 2) run the query, admit
+                     a fresh server with live migration, and re-run — prints
+                     the membership report and whether results changed
+  --leave-server <S> (query only; needs --replicas >= 2) run the query, retire
+                     server S (its replicas re-home with a verified copy),
+                     and re-run — prints the membership report
   --queries <N>      (query only) admit the expression N times as one
                      concurrent batch: shared-scan prewarm + plan/artifact
                      caching; prints a throughput report (results are
@@ -208,6 +227,8 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, St
                 queries: batch.queries,
                 batch_file: batch.batch_file,
                 joint: batch.joint,
+                join_server: batch.join_server,
+                leave_server: batch.leave_server,
             })
         }
         "demo" => {
@@ -291,11 +312,20 @@ struct BatchOpts {
     queries: u32,
     batch_file: Option<String>,
     joint: Option<String>,
+    join_server: bool,
+    leave_server: Option<u32>,
 }
 
 impl Default for BatchOpts {
     fn default() -> Self {
-        Self { get_data: None, queries: 1, batch_file: None, joint: None }
+        Self {
+            get_data: None,
+            queries: 1,
+            batch_file: None,
+            joint: None,
+            join_server: false,
+            leave_server: None,
+        }
     }
 }
 
@@ -352,6 +382,13 @@ fn parse_options<I: Iterator<Item = String>>(
                     .parse()
                     .map_err(|e| format!("--scan-threads: {e}"))?;
             }
+            "--replicas" => {
+                opts.replicas =
+                    value("--replicas")?.parse().map_err(|e| format!("--replicas: {e}"))?;
+                if opts.replicas == 0 {
+                    return Err("--replicas must be at least 1".to_string());
+                }
+            }
             "--strategy" => {
                 opts.strategy = parse_strategy(&value("--strategy")?)?;
             }
@@ -379,6 +416,20 @@ fn parse_options<I: Iterator<Item = String>>(
             "--batch-file" => match query_only.as_deref_mut() {
                 Some(b) => b.batch_file = Some(value("--batch-file")?),
                 None => return Err("--batch-file is only valid for 'pdc query'".to_string()),
+            },
+            "--join-server" => match query_only.as_deref_mut() {
+                Some(b) => b.join_server = true,
+                None => return Err("--join-server is only valid for 'pdc query'".to_string()),
+            },
+            "--leave-server" => match query_only.as_deref_mut() {
+                Some(b) => {
+                    b.leave_server = Some(
+                        value("--leave-server")?
+                            .parse()
+                            .map_err(|e| format!("--leave-server: {e}"))?,
+                    );
+                }
+                None => return Err("--leave-server is only valid for 'pdc query'".to_string()),
             },
             other => return Err(format!("unknown option '{other}'")),
         }
@@ -458,6 +509,7 @@ pub fn build_engine(odms: &Arc<Odms>, opts: &CommonOpts) -> QueryEngine {
             fault_plan: fault_plan(opts).expect("fault plan validated at parse time"),
             scan_threads: opts.scan_threads,
             use_directory: !opts.no_directory,
+            replicas: opts.replicas,
             ..Default::default()
         },
     )
@@ -489,6 +541,27 @@ pub fn format_explain(odms: &Arc<Odms>, plan: &ExplainPlan) -> String {
             ),
             None => writeln!(s, "  constraint: {} {}", name_of(*obj), iv),
         };
+    }
+    if !plan.slot_routes.is_empty() {
+        const MAX_ROUTES: usize = 48;
+        let shown: Vec<String> = plan
+            .slot_routes
+            .iter()
+            .enumerate()
+            .take(MAX_ROUTES)
+            .map(|(slot, srv)| format!("{slot}\u{2192}{srv}"))
+            .collect();
+        let tail = if plan.slot_routes.len() > MAX_ROUTES {
+            format!(" ... ({} more)", plan.slot_routes.len() - MAX_ROUTES)
+        } else {
+            String::new()
+        };
+        let _ = writeln!(
+            s,
+            "  slot routes (slot\u{2192}chosen server): {}{}",
+            shown.join(" "),
+            tail
+        );
     }
     for d in &plan.directory {
         let _ = writeln!(
@@ -535,7 +608,16 @@ pub fn format_explain(odms: &Arc<Odms>, plan: &ExplainPlan) -> String {
 pub fn run(cmd: Command) -> Result<String, String> {
     match cmd {
         Command::Help => Ok(USAGE.to_string()),
-        Command::Query { expr, opts, get_data, queries, batch_file, joint } => {
+        Command::Query {
+            expr,
+            opts,
+            get_data,
+            queries,
+            batch_file,
+            joint,
+            join_server,
+            leave_server,
+        } => {
             let mut out = String::new();
             fault_plan(&opts)?; // validate before the expensive import
             let (odms, _data) = build_world(&opts);
@@ -551,6 +633,48 @@ pub fn run(cmd: Command) -> Result<String, String> {
             let engine = build_engine(&odms, &opts);
             let query = parse_query(&expr, &odms).map_err(|e| e.to_string())?;
             out.push_str(&format!("query: {query}\n"));
+            if opts.replicas > 1 {
+                let members = engine.placement_members().unwrap_or_default();
+                let slots = engine.replica_sets().map(|s| s.len()).unwrap_or(0);
+                out.push_str(&format!(
+                    "replication: k={} over {} member(s), {} slot(s)\n",
+                    opts.replicas,
+                    members.len(),
+                    slots,
+                ));
+            }
+            // Elastic membership smoke: bracket the change with runs of
+            // the same query and report whether the bits moved (they
+            // must not).
+            if join_server || leave_server.is_some() {
+                let before = engine.run(&query).map_err(|e| e.to_string())?;
+                if join_server {
+                    let rep = engine.join_server().map_err(|e| e.to_string())?;
+                    let after = engine.run(&query).map_err(|e| e.to_string())?;
+                    out.push_str(&format!(
+                        "membership: +server {} — {} slot(s) re-homed, {} region(s) / {} B \
+                         copied; results unchanged: {}\n",
+                        rep.server,
+                        rep.slots_changed,
+                        rep.regions_copied,
+                        rep.bytes_copied,
+                        if after.selection == before.selection { "yes" } else { "NO" },
+                    ));
+                }
+                if let Some(s) = leave_server {
+                    let rep = engine.leave_server(s).map_err(|e| e.to_string())?;
+                    let after = engine.run(&query).map_err(|e| e.to_string())?;
+                    out.push_str(&format!(
+                        "membership: -server {} — {} slot(s) re-homed, {} region(s) / {} B \
+                         copied; results unchanged: {}\n",
+                        rep.server,
+                        rep.slots_changed,
+                        rep.regions_copied,
+                        rep.bytes_copied,
+                        if after.selection == before.selection { "yes" } else { "NO" },
+                    ));
+                }
+            }
 
             // Assemble the admitted series: the main expression repeated
             // `--queries` times, plus every expression from the batch file.
@@ -619,10 +743,29 @@ pub fn run(cmd: Command) -> Result<String, String> {
                 outcome.work.elements_scanned,
             ));
             if !outcome.failed_servers.is_empty() {
+                if outcome.breakdown.failover > SimDuration::ZERO
+                    || (opts.replicas > 1 && outcome.breakdown.recovery == SimDuration::ZERO)
+                {
+                    out.push_str(&format!(
+                        "faults: servers {:?} failed; slots failed over to live replicas \
+                         in {} retry round(s), failover overhead {}\n",
+                        outcome.failed_servers,
+                        outcome.retry_rounds,
+                        outcome.breakdown.failover,
+                    ));
+                } else {
+                    out.push_str(&format!(
+                        "faults: servers {:?} failed; recovered in {} retry round(s), \
+                         recovery overhead {}\n",
+                        outcome.failed_servers, outcome.retry_rounds, outcome.breakdown.recovery,
+                    ));
+                }
+            }
+            if outcome.rebuild_regions > 0 {
                 out.push_str(&format!(
-                    "faults: servers {:?} failed; recovered in {} retry round(s), \
-                     recovery overhead {}\n",
-                    outcome.failed_servers, outcome.retry_rounds, outcome.breakdown.recovery,
+                    "rebuild: redundancy restored in the background — {} region(s) / {} B \
+                     re-replicated\n",
+                    outcome.rebuild_regions, outcome.rebuild_bytes,
                 ));
             }
             if outcome.integrity.any() {
@@ -845,7 +988,7 @@ mod tests {
         ])
         .unwrap();
         match cmd {
-            Command::Query { expr, opts, get_data, queries, batch_file, joint } => {
+            Command::Query { expr, opts, get_data, queries, batch_file, joint, join_server, leave_server } => {
                 assert_eq!(expr, "Energy > 2.0");
                 assert_eq!(opts.strategy, Strategy::HistogramIndex);
                 assert_eq!(opts.particles, 1000);
@@ -853,6 +996,8 @@ mod tests {
                 assert_eq!(queries, 1);
                 assert_eq!(batch_file, None);
                 assert_eq!(joint, None);
+                assert!(!join_server);
+                assert_eq!(leave_server, None);
             }
             other => panic!("{other:?}"),
         }
@@ -885,6 +1030,8 @@ mod tests {
             queries: 1,
             batch_file: None,
             joint: Some("Energy,x".to_string()),
+            join_server: false,
+            leave_server: None,
         })
         .unwrap();
         let without = run(Command::Query {
@@ -894,6 +1041,8 @@ mod tests {
             queries: 1,
             batch_file: None,
             joint: None,
+            join_server: false,
+            leave_server: None,
         })
         .unwrap();
         assert!(with.contains("joint bounds: registered (Energy,x)"), "{with}");
@@ -948,6 +1097,8 @@ mod tests {
             queries: 1,
             batch_file: None,
             joint: None,
+            join_server: false,
+            leave_server: None,
         })
         .unwrap();
         assert!(out.contains("explain: strategy PDC-A"), "{out}");
@@ -971,6 +1122,8 @@ mod tests {
             queries: 4,
             batch_file: None,
             joint: None,
+            join_server: false,
+            leave_server: None,
         })
         .unwrap();
         assert!(out.contains("batch: 4 queries"), "{out}");
@@ -1032,6 +1185,8 @@ mod tests {
             queries: 1,
             batch_file: None,
             joint: None,
+            join_server: false,
+            leave_server: None,
         })
         .unwrap();
         let corrupt = run(Command::Query {
@@ -1041,6 +1196,8 @@ mod tests {
             queries: 1,
             batch_file: None,
             joint: None,
+            join_server: false,
+            leave_server: None,
         })
         .unwrap();
         let hits = |s: &str| {
@@ -1083,6 +1240,8 @@ mod tests {
             queries: 1,
             batch_file: None,
             joint: None,
+            join_server: false,
+            leave_server: None,
         })
         .unwrap();
         let faulty = run(Command::Query {
@@ -1092,6 +1251,8 @@ mod tests {
             queries: 1,
             batch_file: None,
             joint: None,
+            join_server: false,
+            leave_server: None,
         })
         .unwrap();
         // Same hit count despite two dead servers; fault report present.
@@ -1149,6 +1310,8 @@ mod tests {
             queries: 1,
             batch_file: None,
             joint: None,
+            join_server: false,
+            leave_server: None,
         })
         .unwrap();
         let batched = run(Command::Query {
@@ -1158,6 +1321,8 @@ mod tests {
             queries: 8,
             batch_file: None,
             joint: None,
+            join_server: false,
+            leave_server: None,
         })
         .unwrap();
         assert!(batched.contains("batch: 8 queries"), "{batched}");
@@ -1178,6 +1343,8 @@ mod tests {
             queries: 1,
             batch_file: Some("/nonexistent/queries.txt".to_string()),
             joint: None,
+            join_server: false,
+            leave_server: None,
         });
         assert!(out.is_err());
     }
@@ -1254,5 +1421,120 @@ mod tests {
         ])
         .unwrap();
         assert!(run(cmd).is_err());
+    }
+
+    #[test]
+    fn replication_flags_parse() {
+        let cmd =
+            parse_args(argv("query Energy>2 --replicas 2 --join-server --leave-server 0"))
+                .unwrap();
+        match cmd {
+            Command::Query { opts, join_server, leave_server, .. } => {
+                assert_eq!(opts.replicas, 2);
+                assert!(join_server);
+                assert_eq!(leave_server, Some(0));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(CommonOpts::default().replicas, 1);
+        // --replicas is a common flag; membership ops are query-only.
+        assert!(parse_args(argv("demo --replicas 3")).is_ok());
+        assert!(parse_args(argv("query E>1 --replicas 0")).is_err());
+        assert!(parse_args(argv("demo --join-server")).is_err());
+        assert!(parse_args(argv("demo --leave-server 1")).is_err());
+    }
+
+    #[test]
+    fn replication_query_survives_kill_with_failover() {
+        let base = CommonOpts { particles: 50_000, servers: 4, ..CommonOpts::default() };
+        let query = |opts: CommonOpts| {
+            // A query that touches every region, so the killed server's
+            // crash probe actually fires mid-evaluation.
+            run(Command::Query {
+                expr: "Energy > 0".to_string(),
+                opts,
+                get_data: None,
+                queries: 1,
+                batch_file: None,
+                joint: None,
+                join_server: false,
+                leave_server: None,
+            })
+            .unwrap()
+        };
+        let healthy = query(base.clone());
+        let replicated =
+            query(CommonOpts { replicas: 2, kill_servers: 1, fault_seed: Some(3), ..base });
+        let hits = |s: &str| {
+            s.lines().find(|l| l.contains(" hits (")).unwrap().split(':').nth(1).unwrap()
+                .trim().split(' ').next().unwrap().to_string()
+        };
+        assert_eq!(hits(&healthy), hits(&replicated), "{healthy}\n{replicated}");
+        assert!(replicated.contains("replication: k=2"), "{replicated}");
+        assert!(replicated.contains("failed over to live replicas"), "{replicated}");
+        assert!(replicated.contains("rebuild: redundancy restored"), "{replicated}");
+        assert!(!healthy.contains("replication:"), "{healthy}");
+    }
+
+    #[test]
+    fn replication_membership_smoke_preserves_results() {
+        let out = run(Command::Query {
+            expr: "2.1 < Energy < 2.2".to_string(),
+            opts: CommonOpts {
+                particles: 50_000,
+                servers: 4,
+                replicas: 2,
+                ..CommonOpts::default()
+            },
+            get_data: None,
+            queries: 1,
+            batch_file: None,
+            joint: None,
+            join_server: true,
+            leave_server: Some(0),
+        })
+        .unwrap();
+        assert!(out.contains("membership: +server 4"), "{out}");
+        assert!(out.contains("membership: -server 0"), "{out}");
+        assert_eq!(out.matches("results unchanged: yes").count(), 2, "{out}");
+        assert!(!out.contains("results unchanged: NO"), "{out}");
+    }
+
+    #[test]
+    fn replication_membership_requires_replicas() {
+        let out = run(Command::Query {
+            expr: "Energy > 2.0".to_string(),
+            opts: CommonOpts { particles: 10_000, servers: 2, ..CommonOpts::default() },
+            get_data: None,
+            queries: 1,
+            batch_file: None,
+            joint: None,
+            join_server: true,
+            leave_server: None,
+        });
+        assert!(out.unwrap_err().contains("replicas"), "needs --replicas >= 2");
+    }
+
+    #[test]
+    fn replication_explain_shows_chosen_replica_per_slot() {
+        let out = run(Command::Query {
+            expr: "2.1 < Energy < 2.2".to_string(),
+            opts: CommonOpts {
+                particles: 50_000,
+                servers: 4,
+                replicas: 2,
+                explain: true,
+                ..CommonOpts::default()
+            },
+            get_data: None,
+            queries: 1,
+            batch_file: None,
+            joint: None,
+            join_server: false,
+            leave_server: None,
+        })
+        .unwrap();
+        assert!(out.contains("slot routes (slot\u{2192}chosen server):"), "{out}");
+        assert!(out.contains("0\u{2192}0"), "healthy anchors serve their own slots: {out}");
     }
 }

@@ -10,12 +10,14 @@ use crate::snapshot::MetaSnapshot;
 use crate::state::ServerState;
 use pdc_histogram::Histogram;
 use pdc_odms::Odms;
-use pdc_server::{FaultPlan, ServerPool};
+use pdc_server::{FaultPlan, Placement, ServerPool};
 use pdc_storage::{
     CostBreakdown, CostModel, IntegrityCounters, IoCounters, SimDuration, StoredPayload,
     WorkCounters,
 };
-use pdc_types::{Interval, ObjectId, PdcResult, PdcType, RegionId, Run, Selection, TypedVec};
+use pdc_types::{
+    Interval, ObjectId, PdcError, PdcResult, PdcType, RegionId, Run, Selection, ServerId, TypedVec,
+};
 use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, Mutex};
 
@@ -105,6 +107,17 @@ pub struct EngineConfig {
     /// simulated costs are bit-identical with the directory on or off
     /// (property-tested in `tests/pruning_props.rs`).
     pub use_directory: bool,
+    /// Replicas per assignment slot. `1` (the default) keeps the classic
+    /// single-home layout and code path byte-for-byte; `k ≥ 2` activates
+    /// the k-way [`Placement`] — each slot gets an ordered replica set,
+    /// faults fail over within the set (charging the `failover` lane
+    /// instead of `recovery`), and elastic membership
+    /// ([`QueryEngine::join_server`] / [`QueryEngine::leave_server`])
+    /// becomes available. Results are bit-identical at every setting.
+    pub replicas: u32,
+    /// Seed of the deterministic rendezvous placement layout (same seed ⇒
+    /// same replica sets on every host). Ignored when `replicas == 1`.
+    pub placement_seed: u64,
 }
 
 impl Default for EngineConfig {
@@ -121,6 +134,8 @@ impl Default for EngineConfig {
             scan_threads: 0,
             scan_kernels: true,
             use_directory: true,
+            replicas: 1,
+            placement_seed: 0x5EED,
         }
     }
 }
@@ -165,6 +180,13 @@ pub struct QueryOutcome {
     /// ingest this is the extent the query answered — a store sealed at
     /// this extent returns a bit-identical selection.
     pub planned_elements: u64,
+    /// Regions the background redundancy rebuild copied to new replica
+    /// servers after this query observed a crash (k-way placement only;
+    /// 0 on a healthy or unreplicated run). Rebuild work is background —
+    /// it is reported here but never charged to `elapsed`.
+    pub rebuild_regions: u32,
+    /// Bytes the background redundancy rebuild copied.
+    pub rebuild_bytes: u64,
 }
 
 /// The result of a `PDCquery_get_data` call.
@@ -271,6 +293,41 @@ pub struct QueryEngine {
     pool: ServerPool<ServerState>,
     cfg: EngineConfig,
     plans: Mutex<PlanCache>,
+    /// The k-way replica placement; `None` when `cfg.replicas <= 1`
+    /// (classic single-home scheduling, untouched code path). Swapped
+    /// wholesale on membership changes so in-flight queries keep their
+    /// own consistent snapshot.
+    placement: Mutex<Option<Arc<Placement>>>,
+}
+
+/// What an elastic membership change did ([`QueryEngine::join_server`] /
+/// [`QueryEngine::leave_server`]): the live migration volume the
+/// placement diff implied.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MembershipReport {
+    /// The server that joined or left.
+    pub server: u32,
+    /// Slots whose replica sets changed.
+    pub slots_changed: u32,
+    /// Regions copied to their new replica servers.
+    pub regions_copied: u32,
+    /// Bytes copied.
+    pub bytes_copied: u64,
+}
+
+/// How many assignment slots each server is spread over under k-way
+/// replication. Finer slots make a failover move `1/spread` of the dead
+/// server's work to each distinct backup instead of a whole server's
+/// share — that is what flattens the PR 1 degradation curve. `n_servers`
+/// always divides `num_slots`, so region `r`'s anchor server stays
+/// `r % n_servers` and a healthy replicated run does byte-identical
+/// per-server work to the unreplicated layout.
+fn slot_spread(replicas: u32, num_servers: u32) -> u32 {
+    if replicas <= 1 {
+        1
+    } else {
+        num_servers.saturating_sub(1).clamp(1, 24)
+    }
 }
 
 pub(crate) fn diff_io(after: &IoCounters, before: &IoCounters) -> IoCounters {
@@ -319,14 +376,197 @@ impl QueryEngine {
             }
             st
         });
+        let placement = (cfg.replicas > 1).then(|| {
+            let spread = slot_spread(cfg.replicas, cfg.num_servers);
+            Arc::new(Placement::new(
+                cfg.num_servers * spread,
+                cfg.num_servers,
+                cfg.replicas,
+                cfg.placement_seed,
+            ))
+        });
         let engine = Self {
             odms,
             pool,
             cfg,
             plans: Mutex::new(PlanCache { map: HashMap::new(), hits: 0, misses: 0 }),
+            placement: Mutex::new(placement),
         };
         engine.apply_planned_corruption();
         engine
+    }
+
+    /// The current placement, if k-way replication is active.
+    fn placement_snapshot(&self) -> Option<Arc<Placement>> {
+        self.placement.lock().unwrap().clone()
+    }
+
+    /// The ordered replica set of every assignment slot, indexed by slot;
+    /// `None` without replication. Introspection for tests, benches, and
+    /// the CLI report.
+    pub fn replica_sets(&self) -> Option<Vec<Vec<u32>>> {
+        self.placement_snapshot().map(|p| p.replica_sets().to_vec())
+    }
+
+    /// The current placement membership (server ids), sorted; `None`
+    /// without replication.
+    pub fn placement_members(&self) -> Option<Vec<u32>> {
+        self.placement_snapshot().map(|p| p.members().to_vec())
+    }
+
+    /// Admit a fresh server into the pool and the placement (elastic
+    /// scale-out). The new replica copies over the regions of every slot
+    /// it now serves (live migration through the checksum-verified
+    /// mover); queries running before, during, and after return
+    /// bit-identical results. Requires `replicas >= 2`.
+    pub fn join_server(&self) -> PdcResult<MembershipReport> {
+        let mut guard = self.placement.lock().unwrap();
+        let Some(cur) = guard.as_ref() else {
+            return Err(PdcError::MissingPrerequisite(
+                "elastic membership requires replicas >= 2".into(),
+            ));
+        };
+        let mut p = (**cur).clone();
+        let cache = self.cfg.cache_bytes_per_server;
+        let plan = self.cfg.fault_plan.clone();
+        let id = self.pool.add_server(|id| {
+            let mut st = ServerState::new(cache);
+            if let Some(fp) = &plan {
+                st.fault = fp.probe_for(id.raw());
+            }
+            st
+        });
+        let mplan = p.join(id.raw());
+        let p = Arc::new(p);
+        *guard = Some(Arc::clone(&p));
+        drop(guard);
+        let (regions_copied, bytes_copied) =
+            self.copy_slot_regions(&p, &mplan.slots_gaining_replicas())?;
+        Ok(MembershipReport {
+            server: id.raw(),
+            slots_changed: mplan.changes.len() as u32,
+            regions_copied,
+            bytes_copied,
+        })
+    }
+
+    /// Retire `server` from the placement (elastic scale-in). Its slots'
+    /// redundancy is restored by copying their regions to the replacement
+    /// replicas the layout promotes; the server's pool state stays
+    /// addressable (ids are stable) but no further work routes to it.
+    /// Requires `replicas >= 2` and at least two members.
+    pub fn leave_server(&self, server: u32) -> PdcResult<MembershipReport> {
+        let mut guard = self.placement.lock().unwrap();
+        let Some(cur) = guard.as_ref() else {
+            return Err(PdcError::MissingPrerequisite(
+                "elastic membership requires replicas >= 2".into(),
+            ));
+        };
+        if !cur.is_member(server) {
+            return Err(PdcError::InvalidQuery(format!(
+                "server {server} is not a placement member"
+            )));
+        }
+        if cur.members().len() <= 1 {
+            return Err(PdcError::InvalidQuery(
+                "the last placement member cannot leave".into(),
+            ));
+        }
+        let mut p = (**cur).clone();
+        let mplan = p.leave(server);
+        let p = Arc::new(p);
+        *guard = Some(Arc::clone(&p));
+        drop(guard);
+        let (regions_copied, bytes_copied) =
+            self.copy_slot_regions(&p, &mplan.slots_gaining_replicas())?;
+        Ok(MembershipReport {
+            server,
+            slots_changed: mplan.changes.len() as u32,
+            regions_copied,
+            bytes_copied,
+        })
+    }
+
+    /// The data mover behind membership changes and failure rebuilds:
+    /// copy every region of the given slots (across all registered
+    /// objects) to their new replica homes via the checksum-verified
+    /// read path. Returns `(regions, bytes)`.
+    fn copy_slot_regions(&self, p: &Placement, slots: &[u32]) -> PdcResult<(u32, u64)> {
+        if slots.is_empty() {
+            return Ok((0, 0));
+        }
+        let slot_set: HashSet<u32> = slots.iter().copied().collect();
+        let num_slots = p.num_slots();
+        let mut ids: Vec<RegionId> = Vec::new();
+        for meta in self.odms.meta().all_objects() {
+            for r in 0..meta.num_regions() {
+                if slot_set.contains(&(r % num_slots)) {
+                    ids.push(RegionId::new(meta.id, r));
+                }
+            }
+        }
+        let report = self.odms.rebuild_regions(ids.iter().copied())?;
+        // The copy materializes each slot's regions on its replica
+        // servers: seed their caches so the next query reads the
+        // replica-local copy instead of re-paying the shared-PFS read the
+        // rebuild already made.
+        let n = self.pool.num_servers();
+        for rid in ids {
+            let slot = rid.index % num_slots;
+            let Ok((pdc_storage::StoredPayload::Typed(payload), _)) = self.odms.store().get(rid)
+            else {
+                continue;
+            };
+            for &q in p.replicas(slot) {
+                if q < n {
+                    self.pool.with_server(ServerId(q), |st| {
+                        if !st.is_crashed() {
+                            st.cache.put(rid, Arc::clone(&payload));
+                        }
+                    });
+                }
+            }
+        }
+        Ok((report.regions, report.bytes))
+    }
+
+    /// After a query observed crashed servers under k-way placement:
+    /// evict them from the membership and restore each affected slot's
+    /// redundancy by copying its regions to the replacement replicas.
+    /// Background work — reported, never charged to query latency.
+    /// Returns `(rebuild_regions, rebuild_bytes)`.
+    fn rebuild_after_failures(&self, failed: &[u32]) -> (u32, u64) {
+        let crashed: Vec<u32> = failed
+            .iter()
+            .copied()
+            .filter(|&s| {
+                (s < self.pool.num_servers())
+                    && self.pool.with_server(ServerId(s), |st| st.is_crashed())
+            })
+            .collect();
+        if crashed.is_empty() {
+            return (0, 0);
+        }
+        let mut guard = self.placement.lock().unwrap();
+        let Some(cur) = guard.as_ref() else { return (0, 0) };
+        let mut p = (**cur).clone();
+        let mut gained: Vec<u32> = Vec::new();
+        let mut changed = false;
+        for s in crashed {
+            if p.is_member(s) && p.members().len() > 1 {
+                gained.extend(p.leave(s).slots_gaining_replicas());
+                changed = true;
+            }
+        }
+        if !changed {
+            return (0, 0);
+        }
+        let p = Arc::new(p);
+        *guard = Some(Arc::clone(&p));
+        drop(guard);
+        gained.sort_unstable();
+        gained.dedup();
+        self.copy_slot_regions(&p, &gained).unwrap_or((0, 0))
     }
 
     /// Damage the store and aux structures per the fault plan's corruption
@@ -348,21 +588,21 @@ impl QueryEngine {
     }
 
     /// Per-slot region counts for the plan's objects: slot `s` owns the
-    /// regions with `r % num_servers == s`, so its weight is a closed
+    /// regions with `r % num_slots == s`, so its weight is a closed
     /// form of each object's region count (at the plan-time snapshot).
-    /// Used to balance reassignment.
+    /// Used to balance reassignment and replica routing.
     fn slot_weights_for_objects(
         &self,
         snap: &MetaSnapshot,
         objects: &[ObjectId],
+        num_slots: u32,
     ) -> PdcResult<Vec<u64>> {
-        let n = self.cfg.num_servers;
-        let mut weights = vec![0u64; n as usize];
+        let n = u64::from(num_slots);
+        let mut weights = vec![0u64; num_slots as usize];
         for &obj in objects {
             let regions = u64::from(snap.meta(obj)?.num_regions());
-            for s in 0..u64::from(n) {
-                weights[s as usize] +=
-                    regions / u64::from(n) + u64::from(s < regions % u64::from(n));
+            for (s, w) in weights.iter_mut().enumerate() {
+                *w += regions / n + u64::from((s as u64) < regions % n);
             }
         }
         Ok(weights)
@@ -427,6 +667,19 @@ impl QueryEngine {
             pc.hits = 0;
             pc.misses = 0;
         }
+        // Membership resets with the servers: crashed-and-evicted members
+        // come back up, joins/leaves are forgotten (the pool may keep
+        // extra states around — ids are stable — but no work routes to
+        // non-members).
+        *self.placement.lock().unwrap() = (self.cfg.replicas > 1).then(|| {
+            let spread = slot_spread(self.cfg.replicas, self.cfg.num_servers);
+            Arc::new(Placement::new(
+                self.cfg.num_servers * spread,
+                self.cfg.num_servers,
+                self.cfg.replicas,
+                self.cfg.placement_seed,
+            ))
+        });
         self.apply_planned_corruption();
     }
 
@@ -542,17 +795,21 @@ impl QueryEngine {
         };
         let n = self.cfg.num_servers;
         let cost = self.cfg.cost;
+        // Snapshot the placement once per query: membership changes land
+        // between queries, never mid-broadcast.
+        let placement = self.placement_snapshot();
+        let n_slots = placement.as_ref().map(|p| p.num_slots()).unwrap_or(n);
         let mut objects = Vec::new();
         plan.root.objects(&mut objects);
         objects.sort_unstable();
         objects.dedup();
-        let weights = self.slot_weights_for_objects(&snap, &objects)?;
+        let weights = self.slot_weights_for_objects(&snap, &objects, n_slots)?;
 
         // PDC-F pre-loads all data of every queried object. Failures
         // during the pre-load recover the same way evaluation does; they
         // are carried into the outcome's fault report.
         let preload = if self.cfg.strategy == Strategy::FullScan {
-            Some(self.preload_objects(&snap, &objects, &weights)?)
+            Some(self.preload_objects(&snap, &objects, &weights, placement.as_deref())?)
         } else {
             None
         };
@@ -570,6 +827,7 @@ impl QueryEngine {
             &self.pool,
             &cost,
             &self.recovery_policy(),
+            placement.as_deref(),
             &weights,
             |r: &(
                 Selection,
@@ -591,6 +849,7 @@ impl QueryEngine {
                     cost: &cost,
                     strategy,
                     n_servers: n,
+                    n_slots,
                     server: slot,
                     scan_threads,
                     scan_kernels,
@@ -648,6 +907,7 @@ impl QueryEngine {
             cpu: cost.cpu.work_cost(&work),
             net: broadcast + merge_cpu,
             recovery: out.recovery,
+            failover: out.failover,
             integrity: preflight_time + slot_integrity_time,
         };
 
@@ -679,6 +939,7 @@ impl QueryEngine {
                 sorted_primary: sorted_hint.is_some(),
                 directory,
                 regions,
+                slot_routes: out.routes.clone(),
             }
         });
         let mut failed_servers = out.failed_servers;
@@ -700,6 +961,16 @@ impl QueryEngine {
         }
         let planned_elements =
             snap.meta(plan.primary_object()).map(|m| m.num_elements()).unwrap_or(0);
+        // Background redundancy repair: after a replicated run that saw
+        // crashes, re-home the dead members' slots and copy the regions
+        // the new replicas gained. Reported, not charged — the rebuild
+        // overlaps subsequent work like the paper's async movement.
+        let (rebuild_regions, rebuild_bytes) = if placement.is_some() && !failed_servers.is_empty()
+        {
+            self.rebuild_after_failures(&failed_servers)
+        } else {
+            (0, 0)
+        };
         Ok((
             QueryOutcome {
                 nhits: selection.count(),
@@ -715,6 +986,8 @@ impl QueryEngine {
                 integrity,
                 planned_epoch: snap.epoch(),
                 planned_elements,
+                rebuild_regions,
+                rebuild_bytes,
             },
             out.eval_time,
             explain_plan,
@@ -761,12 +1034,17 @@ impl QueryEngine {
 
         let mut outcomes = Vec::with_capacity(queries.len());
         let mut client_overhead = SimDuration::ZERO;
+        // Sized per outcome, not from config: an elastic join mid-series
+        // can grow the pool between queries.
         let mut per_server_total = vec![SimDuration::ZERO; self.cfg.num_servers as usize];
         for q in queries {
             let (outcome, eval_time, _) = self.run_impl(q, true, false)?;
             // elapsed = overheads + eval_time; keep the overheads serial
             // and fold eval into the per-server schedule below.
             client_overhead += outcome.elapsed.saturating_sub(eval_time);
+            if outcome.per_server.len() > per_server_total.len() {
+                per_server_total.resize(outcome.per_server.len(), SimDuration::ZERO);
+            }
             for (s, t) in outcome.per_server.iter().enumerate() {
                 per_server_total[s] += *t;
             }
@@ -978,8 +1256,10 @@ impl QueryEngine {
         snap: &Arc<MetaSnapshot>,
         objects: &[ObjectId],
         weights: &[u64],
+        placement: Option<&Placement>,
     ) -> PdcResult<crate::recover::SlotRunOutput<IntegrityCounters>> {
         let n = self.cfg.num_servers;
+        let n_slots = weights.len() as u32;
         let cost = self.cfg.cost;
         let odms = Arc::clone(&self.odms);
         let snap = Arc::clone(snap);
@@ -987,6 +1267,7 @@ impl QueryEngine {
             &self.pool,
             &cost,
             &self.recovery_policy(),
+            placement,
             weights,
             |_: &IntegrityCounters| 0,
             |slot, st| {
@@ -994,7 +1275,7 @@ impl QueryEngine {
                 for &obj in objects {
                     let meta = snap.meta(obj)?;
                     for r in 0..meta.num_regions() {
-                        if r % n != slot {
+                        if r % n_slots != slot {
                             continue;
                         }
                         st.read_data_region(
@@ -1076,13 +1357,16 @@ impl QueryEngine {
         let use_sorted = matches!(sorted_hint, Some((o, _)) if *o == object);
         let span_hint = sorted_hint.map(|(_, s)| *s);
         let snap = Arc::new(MetaSnapshot::capture(&self.odms, &[object])?);
-        let weights = self.slot_weights_for_objects(&snap, &[object])?;
+        let placement = self.placement_snapshot();
+        let n_slots = placement.as_ref().map(|p| p.num_slots()).unwrap_or(n);
+        let weights = self.slot_weights_for_objects(&snap, &[object], n_slots)?;
         let elem = elem_bytes;
 
         let out = run_slots(
             &self.pool,
             &cost,
             &self.recovery_policy(),
+            placement.as_deref(),
             &weights,
             |r: &(Vec<(u64, f64)>, IoCounters)| r.0.len() as u64 * (8 + elem),
             |slot, st| {
@@ -1097,7 +1381,7 @@ impl QueryEngine {
                     let span = span_hint.unwrap();
                     let sorted_obj = ObjectId(object.raw() | 1 << 63);
                     for (i, sr) in replica.regions_of_span(&span).iter().enumerate() {
-                        if i as u32 % n != slot {
+                        if i as u32 % n_slots != slot {
                             continue;
                         }
                         let region_start = *sr as u64 * replica.region_len();
@@ -1124,7 +1408,7 @@ impl QueryEngine {
                     // Coordinate path: this slot gathers from its
                     // round-robin share of the regions holding hits.
                     for r in 0..meta.num_regions() {
-                        if r % n != slot {
+                        if r % n_slots != slot {
                             continue;
                         }
                         let span = meta.region_span(r);

@@ -52,7 +52,14 @@ pub struct EvalCtx<'a> {
     pub strategy: Strategy,
     /// Number of servers participating (= read concurrency).
     pub n_servers: u32,
-    /// This server's index.
+    /// Number of assignment slots work is partitioned into. Equal to
+    /// `n_servers` classically; with k-way replication the engine spreads
+    /// each server over several finer slots so a failover moves a sliver
+    /// of a server's work instead of all of it. Because `n_servers`
+    /// divides `n_slots`, region `r`'s anchor server is still `r %
+    /// n_servers` and healthy per-server region sets are unchanged.
+    pub n_slots: u32,
+    /// The slot this evaluation covers (`< n_slots`).
     pub server: u32,
     /// Host threads for chunk-parallel region scans (0 = auto,
     /// 1 = sequential). Affects wall-clock only, never results or
@@ -235,7 +242,7 @@ fn eval_primary(
 
     let mut out: Vec<Run> = Vec::new();
     for r in 0..meta.num_regions() {
-        if r % ctx.n_servers != ctx.server {
+        if r % ctx.n_slots != ctx.server {
             continue; // load-balanced round-robin assignment
         }
         let span = meta.region_span(r);
@@ -289,7 +296,7 @@ fn eval_primary_sorted(
     };
     let mut sels: Vec<Selection> = Vec::new();
     for (i, &sr) in touched.iter().enumerate() {
-        if i as u32 % ctx.n_servers != ctx.server {
+        if i as u32 % ctx.n_slots != ctx.server {
             continue;
         }
         let rspan = op.replica.region_span(sr);

@@ -53,7 +53,8 @@ pub mod state;
 pub use ast::PdcQuery;
 pub use parse::parse_query;
 pub use engine::{
-    BatchOutcome, BatchStats, EngineConfig, GetDataOutcome, QueryEngine, QueryOutcome, Strategy,
+    BatchOutcome, BatchStats, EngineConfig, GetDataOutcome, MembershipReport, QueryEngine,
+    QueryOutcome, Strategy,
 };
 pub use ops::{
     directory_stats, DirectoryStats, ExplainPhase, ExplainPlan, JointContext, OpKind,

@@ -100,6 +100,7 @@ impl QueryEngine {
                     cost: &cost,
                     strategy,
                     n_servers: n,
+                    n_slots: n,
                     server: id.raw(),
                     scan_threads,
                     scan_kernels,

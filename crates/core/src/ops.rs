@@ -1050,6 +1050,10 @@ pub struct ExplainPlan {
     pub directory: Vec<DirectoryStats>,
     /// Per-region rows, ordered by (object, region, phase).
     pub regions: Vec<RegionExplain>,
+    /// The server that answered each assignment slot (index = slot id).
+    /// On a healthy pool this is the slot's anchor; under k-way
+    /// replication a failed-over slot shows its chosen replica instead.
+    pub slot_routes: Vec<u32>,
 }
 
 /// Record an EXPLAIN row on the evaluating server, when EXPLAIN capture

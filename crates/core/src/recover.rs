@@ -34,9 +34,22 @@
 //! detection time for failed/slow servers), rounds are sequential, and
 //! everything beyond the fault-free critical path is surfaced as the
 //! `recovery` component of the cost breakdown.
+//!
+//! ## Replica-aware routing (k-way placement)
+//!
+//! With a [`Placement`] the slot→server map generalizes: each slot has an
+//! ordered replica set and is dispatched to its **least-loaded live
+//! replica** (anchor-affine on a healthy pool: ties break by replica
+//! rank, so rank 0 — the classic owner — wins and per-server work is
+//! bit-identical to the unreplicated layout). On a fault the slot fails
+//! over to the next live replica of *its own set* — no global region
+//! reassignment — and the added time is charged to the much cheaper
+//! `failover` lane instead of `recovery`. A slot whose replicas are all
+//! dead fails the query with [`PdcError::RetriesExhausted`] immediately:
+//! under replication that is the only unrecoverable shape.
 
 use crate::state::ServerState;
-use pdc_server::{assign, ServerPool};
+use pdc_server::{assign, Placement, ServerPool};
 use pdc_storage::{CostModel, SimDuration};
 use pdc_types::{PdcError, PdcResult, ServerId};
 
@@ -67,12 +80,19 @@ pub(crate) struct SlotRunOutput<R> {
     /// Total evaluation wall time: sum over rounds of the round maximum.
     pub eval_time: SimDuration,
     /// The slice of `eval_time` attributable to failure handling
-    /// (timeout waits + retry rounds); zero on a fault-free run.
+    /// (timeout waits + retry rounds); zero on a fault-free run and under
+    /// an active placement (which charges `failover` instead).
     pub recovery: SimDuration,
+    /// The slice of `eval_time` spent failing slots over to replicas
+    /// (placement mode only); zero on a fault-free run.
+    pub failover: SimDuration,
     /// Servers that failed or were quarantined during this run.
     pub failed_servers: Vec<u32>,
     /// Retry rounds used (0 on a fault-free run).
     pub retry_rounds: u32,
+    /// The server that produced each slot's accepted result, indexed by
+    /// slot (the chosen replica, for `--explain`).
+    pub routes: Vec<u32>,
 }
 
 /// One server's batch outcome for a round: per-slot results plus the
@@ -86,11 +106,14 @@ struct BatchOut<R> {
 /// Evaluate one result per slot across the pool, reassigning failed
 /// servers' slots to survivors. `eval` runs a single slot against a
 /// server's state; `ret_bytes` sizes the server→client transfer of a
-/// slot's result.
+/// slot's result. With `placement` set, slots route to their replica
+/// sets (see the module docs); without it, slot `s` belongs to server
+/// `s` and `slot_weights.len()` must equal the pool size.
 pub(crate) fn run_slots<R, F, B>(
     pool: &ServerPool<ServerState>,
     cost: &CostModel,
     policy: &RecoveryPolicy,
+    placement: Option<&Placement>,
     slot_weights: &[u64],
     ret_bytes: B,
     eval: F,
@@ -101,38 +124,68 @@ where
     B: Fn(&R) -> u64 + Sync,
 {
     let n = pool.num_servers() as usize;
-    debug_assert_eq!(slot_weights.len(), n);
+    let num_slots = slot_weights.len();
 
     let mut alive: Vec<bool> = Vec::with_capacity(n);
     pool.for_each_server(|_, st| alive.push(!st.is_crashed()));
 
-    // Round 0: live servers take their own slot; slots of already-dead
-    // servers are distributed over the survivors.
     let mut batches: Vec<Vec<u32>> = vec![Vec::new(); n];
     let mut pending: Vec<u32> = Vec::new();
-    for s in 0..n as u32 {
-        if alive[s as usize] {
-            batches[s as usize].push(s);
-        } else {
-            pending.push(s);
-        }
-    }
-    if pending.len() == n {
+    let mut quarantined = vec![false; n];
+    // Servers that have already been handed each slot this run (so a
+    // failover prefers a replica that has not been tried yet).
+    let mut tried: Vec<Vec<u32>> = vec![Vec::new(); num_slots];
+
+    if !alive.iter().any(|&a| a) {
         return Err(PdcError::ServerFailed {
             server: 0,
             reason: "no live servers in the pool".into(),
         });
     }
-    if !pending.is_empty() {
-        distribute(&mut batches, &pending, &alive, slot_weights);
-        pending.clear();
+    match placement {
+        None => {
+            debug_assert_eq!(num_slots, n);
+            // Round 0: live servers take their own slot; slots of
+            // already-dead servers are distributed over the survivors.
+            for s in 0..n as u32 {
+                if alive[s as usize] {
+                    batches[s as usize].push(s);
+                } else {
+                    pending.push(s);
+                }
+            }
+            if !pending.is_empty() {
+                distribute(&mut batches, &pending, &alive, slot_weights);
+                pending.clear();
+            }
+        }
+        Some(p) => {
+            // Round 0: every slot to its least-loaded live replica
+            // (anchor-affine when the pool is healthy).
+            if route_replicated(
+                &mut batches,
+                &mut tried,
+                0..num_slots as u32,
+                p,
+                &alive,
+                &quarantined,
+                slot_weights,
+            )
+            .is_err()
+            {
+                // Some slot's entire replica set is dead: no retry can
+                // recover it.
+                return Err(PdcError::RetriesExhausted { attempts: 0 });
+            }
+        }
     }
 
-    let mut per_slot: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let mut per_slot: Vec<Option<R>> = (0..num_slots).map(|_| None).collect();
     let mut per_server = vec![SimDuration::ZERO; n];
     let mut eval_time = SimDuration::ZERO;
     let mut recovery = SimDuration::ZERO;
-    let mut quarantined = vec![false; n];
+    let mut failover = SimDuration::ZERO;
+    let mut routes = vec![0u32; num_slots];
     let mut failed_servers: Vec<u32> = Vec::new();
     let mut retry_rounds = 0u32;
 
@@ -276,7 +329,9 @@ where
 
         // A slow server is quarantined only when a faster live server
         // exists to take over; otherwise its results are accepted (a
-        // query with one live server must still complete).
+        // query with one live server must still complete). Under a
+        // placement the alternative must be a live, unquarantined
+        // *replica* of every slot the slow server holds.
         let fast_alternative_exists = entries
             .iter()
             .any(|e| !e.slow && e.failed_slots.is_empty())
@@ -285,7 +340,15 @@ where
         let mut round_max = SimDuration::ZERO;
         let mut healthy_max = SimDuration::ZERO;
         for mut e in entries {
-            let quarantine_slow = e.slow && fast_alternative_exists;
+            let quarantine_slow = e.slow
+                && match placement {
+                    None => fast_alternative_exists,
+                    Some(p) => batches[e.server as usize].iter().all(|&slot| {
+                        p.replicas(slot).iter().any(|&q| {
+                            q != e.server && alive[q as usize] && !quarantined[q as usize]
+                        })
+                    }),
+                };
             if !e.failed_slots.is_empty() || quarantine_slow {
                 if e.died {
                     alive[e.server as usize] = false;
@@ -312,17 +375,22 @@ where
             }
             for (slot, v) in e.successes {
                 per_slot[slot as usize] = Some(v);
+                routes[slot as usize] = e.server;
             }
             per_server[e.server as usize] += e.contribution;
             round_max = round_max.max(e.contribution);
         }
         eval_time += round_max;
+        // Fault-handling time beyond the healthy critical path: with a
+        // placement it is replica failover; without, reassign-and-rescan
+        // recovery.
+        let lane = if placement.is_some() { &mut failover } else { &mut recovery };
         if retry_rounds == 0 {
             // Round 0: only the slice beyond the healthy critical path is
-            // recovery time.
-            recovery += round_max.saturating_sub(healthy_max);
+            // fault-handling time.
+            *lane += round_max.saturating_sub(healthy_max);
         } else {
-            recovery += round_max;
+            *lane += round_max;
         }
 
         if pending.is_empty() {
@@ -332,22 +400,44 @@ where
         if retry_rounds > policy.max_retries {
             return Err(PdcError::RetriesExhausted { attempts: retry_rounds });
         }
-        if !(0..n).any(|s| alive[s] && !quarantined[s]) {
-            let server = *pending.first().unwrap_or(&0);
-            return Err(PdcError::ServerFailed {
-                server,
-                reason: format!(
-                    "no surviving servers to reassign {} region slot(s)",
-                    pending.len()
-                ),
-            });
-        }
         pending.sort_unstable();
         pending.dedup();
-        let candidates: Vec<bool> =
-            (0..n).map(|s| alive[s] && !quarantined[s]).collect();
         batches.iter_mut().for_each(Vec::clear);
-        distribute(&mut batches, &pending, &candidates, slot_weights);
+        match placement {
+            None => {
+                if !(0..n).any(|s| alive[s] && !quarantined[s]) {
+                    let server = *pending.first().unwrap_or(&0);
+                    return Err(PdcError::ServerFailed {
+                        server,
+                        reason: format!(
+                            "no surviving servers to reassign {} region slot(s)",
+                            pending.len()
+                        ),
+                    });
+                }
+                let candidates: Vec<bool> =
+                    (0..n).map(|s| alive[s] && !quarantined[s]).collect();
+                distribute(&mut batches, &pending, &candidates, slot_weights);
+            }
+            Some(p) => {
+                // Each unfinished slot fails over to the next live
+                // replica of its own set — no global reassignment. Only
+                // a slot with zero live replicas is unrecoverable.
+                if route_replicated(
+                    &mut batches,
+                    &mut tried,
+                    pending.iter().copied(),
+                    p,
+                    &alive,
+                    &quarantined,
+                    slot_weights,
+                )
+                .is_err()
+                {
+                    return Err(PdcError::RetriesExhausted { attempts: retry_rounds });
+                }
+            }
+        }
         pending.clear();
     }
 
@@ -361,9 +451,96 @@ where
         per_server,
         eval_time,
         recovery,
+        failover,
         failed_servers,
         retry_rounds,
+        routes,
     })
+}
+
+/// Route each slot to the best replica of its set — untried first, then
+/// unquarantined, then **replica rank**, then projected load, then server
+/// id — followed by a deterministic rebalance pass that moves a slot to a
+/// less-loaded live replica only when that strictly narrows the load
+/// spread. Rank-before-load keeps routing *anchor-affine*: the replica
+/// that owned (and cached) a slot's regions keeps it whenever it is live,
+/// so a failover touches exactly the dead server's slots instead of
+/// cascading healthy slots onto cache-cold replicas. The rebalance pass
+/// then bounds the round makespan when a membership change leaves anchors
+/// uneven. Returns `Err(slot)` when a slot has no live replica at all.
+fn route_replicated(
+    batches: &mut [Vec<u32>],
+    tried: &mut [Vec<u32>],
+    slots: impl Iterator<Item = u32>,
+    p: &Placement,
+    alive: &[bool],
+    quarantined: &[bool],
+    weights: &[u64],
+) -> Result<(), u32> {
+    let mut load = vec![0u64; batches.len()];
+    let mut placed: Vec<(u32, u32)> = Vec::new();
+    for slot in slots {
+        let pick = p
+            .replicas(slot)
+            .iter()
+            .enumerate()
+            .filter(|&(_, &q)| alive[q as usize])
+            .min_by_key(|&(rank, &q)| {
+                (
+                    tried[slot as usize].contains(&q),
+                    quarantined[q as usize],
+                    rank,
+                    load[q as usize],
+                    q,
+                )
+            })
+            .map(|(_, &q)| q);
+        let Some(q) = pick else { return Err(slot) };
+        load[q as usize] += weights[slot as usize].max(1);
+        placed.push((slot, q));
+    }
+    // Local search: shed work from overloaded servers onto live, untried,
+    // unquarantined replicas while each move strictly lowers the sum of
+    // squared loads (so it terminates and the makespan never grows). On a
+    // balanced layout no move qualifies and the affine routing survives
+    // untouched.
+    let mut improved = true;
+    while improved {
+        improved = false;
+        for entry in placed.iter_mut() {
+            let (slot, cur) = *entry;
+            let w = weights[slot as usize].max(1);
+            let alt = p
+                .replicas(slot)
+                .iter()
+                .copied()
+                .filter(|&q| {
+                    q != cur
+                        && alive[q as usize]
+                        && !quarantined[q as usize]
+                        && !tried[slot as usize].contains(&q)
+                })
+                .min_by_key(|&q| (load[q as usize], q));
+            if let Some(alt) = alt {
+                if load[alt as usize] + w < load[cur as usize] {
+                    load[cur as usize] -= w;
+                    load[alt as usize] += w;
+                    entry.1 = alt;
+                    improved = true;
+                }
+            }
+        }
+    }
+    for (slot, q) in placed {
+        batches[q as usize].push(slot);
+        if !tried[slot as usize].contains(&q) {
+            tried[slot as usize].push(q);
+        }
+    }
+    for b in batches.iter_mut() {
+        b.sort_unstable();
+    }
+    Ok(())
 }
 
 /// Deterministically spread `slots` across the live servers, balancing by

@@ -22,7 +22,7 @@ pub mod service;
 pub mod system;
 
 pub use meta::{MetaValue, ObjectMeta};
-pub use movement::MoveReport;
+pub use movement::{MoveReport, RebuildReport};
 pub use persist::{MetadataSnapshot, SnapshotJournal};
 pub use service::MetadataService;
 pub use system::{AppendReport, ImportOptions, ImportReport, MaintenanceReport, Odms};

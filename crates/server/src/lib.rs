@@ -19,8 +19,10 @@
 
 pub mod assign;
 pub mod fault;
+pub mod placement;
 pub mod pool;
 
-pub use assign::{balanced_by_weight, round_robin};
+pub use assign::{balanced_by_weight, rebalance_hotspots, round_robin, Migration};
 pub use fault::{CorruptionSpec, FaultPlan, FaultProbe, ServerFaultSpec};
+pub use placement::{MigrationPlan, Placement, SlotChange};
 pub use pool::{ServerPanic, ServerPool};

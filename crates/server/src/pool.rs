@@ -1,8 +1,9 @@
 //! The logical server pool.
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use pdc_types::ServerId;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// A handler panic caught during [`ServerPool::try_broadcast`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -29,10 +30,12 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-/// A pool of `N` logical PDC servers with persistent per-server state,
-/// dispatched over real worker threads.
+/// A pool of logical PDC servers with persistent per-server state,
+/// dispatched over real worker threads. The pool is **elastic**: servers
+/// can be added at runtime ([`Self::add_server`]) without disturbing the
+/// existing states — server ids are stable for the pool's lifetime.
 pub struct ServerPool<S> {
-    states: Vec<Mutex<S>>,
+    states: RwLock<Vec<Arc<Mutex<S>>>>,
     worker_threads: usize,
 }
 
@@ -40,14 +43,25 @@ impl<S: Send> ServerPool<S> {
     /// Create a pool of `num_servers` logical servers, initializing each
     /// server's state with `init`.
     pub fn new(num_servers: u32, init: impl Fn(ServerId) -> S) -> Self {
-        let states = (0..num_servers).map(|i| Mutex::new(init(ServerId(i)))).collect();
+        let states =
+            (0..num_servers).map(|i| Arc::new(Mutex::new(init(ServerId(i))))).collect();
         let worker_threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
-        Self { states, worker_threads }
+        Self { states: RwLock::new(states), worker_threads }
     }
 
     /// Number of logical servers.
     pub fn num_servers(&self) -> u32 {
-        self.states.len() as u32
+        self.states.read().len() as u32
+    }
+
+    /// Grow the pool by one logical server (elastic scale-out); returns
+    /// the new server's id. Existing states are untouched, in-flight
+    /// broadcasts on other threads keep their own snapshot of the pool.
+    pub fn add_server(&self, init: impl FnOnce(ServerId) -> S) -> ServerId {
+        let mut states = self.states.write();
+        let id = ServerId(states.len() as u32);
+        states.push(Arc::new(Mutex::new(init(id))));
+        id
     }
 
     /// Override the number of real worker threads (defaults to the host
@@ -55,6 +69,12 @@ impl<S: Send> ServerPool<S> {
     pub fn with_worker_threads(mut self, n: usize) -> Self {
         self.worker_threads = n.max(1);
         self
+    }
+
+    /// A point-in-time snapshot of the server states (membership changes
+    /// after the snapshot do not affect the broadcast using it).
+    fn snapshot(&self) -> Vec<Arc<Mutex<S>>> {
+        self.states.read().clone()
     }
 
     /// Run `handler` once per logical server ("broadcast"), giving it the
@@ -69,11 +89,11 @@ impl<S: Send> ServerPool<S> {
         R: Send,
         F: Fn(ServerId, &mut S) -> R + Sync,
     {
-        let n = self.states.len();
+        let states = self.snapshot();
+        let n = states.len();
         let workers = self.worker_threads.min(n).max(1);
         if workers == 1 {
-            return self
-                .states
+            return states
                 .iter()
                 .enumerate()
                 .map(|(i, s)| handler(ServerId(i as u32), &mut s.lock()))
@@ -88,7 +108,7 @@ impl<S: Send> ServerPool<S> {
                     if i >= n {
                         break;
                     }
-                    let mut state = self.states[i].lock();
+                    let mut state = states[i].lock();
                     let r = handler(ServerId(i as u32), &mut state);
                     *results[i].lock() = Some(r);
                 });
@@ -115,11 +135,11 @@ impl<S: Send> ServerPool<S> {
         R: Send,
         F: Fn(ServerId, &mut S) -> R + Sync,
     {
-        let n = self.states.len();
+        let states = self.snapshot();
+        let n = states.len();
         let workers = self.worker_threads.min(n).max(1);
         if workers == 1 {
-            return self
-                .states
+            return states
                 .iter()
                 .enumerate()
                 .map(|(i, s)| {
@@ -147,7 +167,7 @@ impl<S: Send> ServerPool<S> {
                         break;
                     }
                     let r = {
-                        let mut state = self.states[i].lock();
+                        let mut state = states[i].lock();
                         std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                             handler(ServerId(i as u32), &mut state)
                         }))
@@ -168,14 +188,16 @@ impl<S: Send> ServerPool<S> {
     /// Run `f` against one server's state (e.g. the metadata owner of an
     /// object, or test inspection).
     pub fn with_server<R>(&self, id: ServerId, f: impl FnOnce(&mut S) -> R) -> R {
-        let mut state = self.states[id.raw() as usize].lock();
+        let state = Arc::clone(&self.states.read()[id.raw() as usize]);
+        let mut state = state.lock();
         f(&mut state)
     }
 
     /// Apply `f` to every server's state sequentially (e.g. cache resets
     /// between experiments).
     pub fn for_each_server(&self, mut f: impl FnMut(ServerId, &mut S)) {
-        for (i, st) in self.states.iter().enumerate() {
+        let states = self.snapshot();
+        for (i, st) in states.iter().enumerate() {
             f(ServerId(i as u32), &mut st.lock());
         }
     }
@@ -249,6 +271,24 @@ mod tests {
         });
         assert_eq!(results.len(), 512);
         assert_eq!(results[511], 511);
+    }
+
+    #[test]
+    fn add_server_grows_the_pool_with_stable_ids() {
+        let pool = ServerPool::new(3, |id| State { invocations: 0, total: id.raw() as u64 });
+        pool.with_server(ServerId(1), |st| st.total = 41);
+        let id = pool.add_server(|id| State { invocations: 0, total: id.raw() as u64 });
+        assert_eq!(id, ServerId(3));
+        assert_eq!(pool.num_servers(), 4);
+        // Pre-existing state survives the join; the new server is
+        // addressable and participates in broadcasts.
+        assert_eq!(pool.with_server(ServerId(1), |st| st.total), 41);
+        let results = pool.broadcast(|id, st| {
+            st.invocations += 1;
+            id.raw()
+        });
+        assert_eq!(results, vec![0, 1, 2, 3]);
+        assert_eq!(pool.with_server(ServerId(3), |st| st.invocations), 1);
     }
 
     #[test]

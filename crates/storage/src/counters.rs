@@ -130,6 +130,11 @@ pub struct CostBreakdown {
     /// Time spent detecting and recovering from server failures (timeout
     /// waits plus retry rounds); zero on a fault-free run.
     pub recovery: SimDuration,
+    /// Time spent failing slots over to replica servers under k-way
+    /// placement (detection wait plus the backup's re-evaluation); zero
+    /// without replication or on a fault-free run. Replaces `recovery`'s
+    /// reassign-and-rescan cost when a placement is active.
+    pub failover: SimDuration,
     /// Time spent on data-plane integrity: verifying checksums that
     /// failed, re-reading durable copies, and rebuilding auxiliary
     /// structures; zero on a corruption-free run.
@@ -139,7 +144,7 @@ pub struct CostBreakdown {
 impl CostBreakdown {
     /// Total of all components.
     pub fn total(&self) -> SimDuration {
-        self.io + self.cpu + self.net + self.recovery + self.integrity
+        self.io + self.cpu + self.net + self.recovery + self.failover + self.integrity
     }
 
     /// Merge another breakdown into this one.
@@ -148,6 +153,7 @@ impl CostBreakdown {
         self.cpu += other.cpu;
         self.net += other.net;
         self.recovery += other.recovery;
+        self.failover += other.failover;
         self.integrity += other.integrity;
     }
 }
@@ -202,13 +208,15 @@ mod tests {
             cpu: SimDuration::from_millis(2),
             net: SimDuration::from_millis(1),
             recovery: SimDuration::from_millis(4),
+            failover: SimDuration::from_millis(3),
             integrity: SimDuration::from_millis(0),
         };
-        assert_eq!(b.total().as_millis_f64(), 12.0);
+        assert_eq!(b.total().as_millis_f64(), 15.0);
         let mut c = CostBreakdown::default();
         c.merge(&b);
         c.merge(&b);
-        assert_eq!(c.total().as_millis_f64(), 24.0);
+        assert_eq!(c.total().as_millis_f64(), 30.0);
         assert_eq!(c.recovery.as_millis_f64(), 8.0);
+        assert_eq!(c.failover.as_millis_f64(), 6.0);
     }
 }

@@ -387,3 +387,203 @@ fn slow_server_inflates_time_not_results() {
     assert!(out.retry_rounds >= 1);
     assert!(out.breakdown.recovery > SimDuration::ZERO);
 }
+
+// ---------------------------------------------------------------------------
+// K-way replication: kill matrix, failover accounting, elastic membership.
+// ---------------------------------------------------------------------------
+
+const FIVE_STRATEGIES: [Strategy; 5] = [
+    Strategy::FullScan,
+    Strategy::Histogram,
+    Strategy::HistogramIndex,
+    Strategy::SortedHistogram,
+    Strategy::Adaptive,
+];
+
+fn replicated_engine(
+    odms: &Arc<Odms>,
+    strategy: Strategy,
+    n: u32,
+    replicas: u32,
+    plan: Option<FaultPlan>,
+) -> QueryEngine {
+    QueryEngine::new(
+        Arc::clone(odms),
+        EngineConfig { strategy, num_servers: n, replicas, fault_plan: plan, ..Default::default() },
+    )
+}
+
+/// The replication acceptance matrix: for every strategy, k ∈ {1, 2, 3}
+/// and killed ∈ {1, N−2, N−1}, a run either returns results bit-identical
+/// to the unkilled unreplicated reference, or — exactly when some slot's
+/// entire replica set is dead — fails with the typed `RetriesExhausted`.
+/// The expectation is computed from the engine's own replica sets, never
+/// hardcoded.
+#[test]
+fn replication_kill_matrix_is_bit_identical_or_typed() {
+    let (odms, obj, data) = small_world();
+    let n = 6u32;
+    let q = PdcQuery::range_open(obj, 2.0f32, 7.5f32);
+    let expect = data.iter().filter(|&&v| v > 2.0 && v < 7.5).count() as u64;
+    let reference = QueryEngine::new(
+        Arc::clone(&odms),
+        EngineConfig { strategy: Strategy::Histogram, num_servers: n, ..Default::default() },
+    )
+    .run(&q)
+    .unwrap();
+    assert_eq!(reference.nhits, expect);
+    for strategy in FIVE_STRATEGIES {
+        for k in [1u32, 2, 3] {
+            for kills in [1u32, n - 2, n - 1] {
+                let victims: Vec<u32> = (0..kills).collect();
+                let eng =
+                    replicated_engine(&odms, strategy, n, k, Some(FaultPlan::kill(&victims)));
+                // A slot is doomed iff every one of its replicas is a
+                // victim. k = 1 has no placement: the legacy reassignment
+                // path recovers as long as one server lives.
+                let doomed = eng
+                    .replica_sets()
+                    .map(|sets| {
+                        sets.iter().any(|rs| rs.iter().all(|s| victims.contains(s)))
+                    })
+                    .unwrap_or(false);
+                match eng.run(&q) {
+                    Ok(out) => {
+                        assert!(
+                            !doomed,
+                            "{strategy} k={k} kills={kills}: doomed slot but run succeeded"
+                        );
+                        assert_eq!(
+                            out.selection, reference.selection,
+                            "{strategy} k={k} kills={kills}: selection diverged"
+                        );
+                        assert_eq!(out.nhits, expect);
+                    }
+                    Err(e) => {
+                        assert!(
+                            doomed,
+                            "{strategy} k={k} kills={kills}: live replicas but failed: {e}"
+                        );
+                        assert!(
+                            matches!(e, PdcError::RetriesExhausted { .. }),
+                            "{strategy} k={k} kills={kills}: got {e:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A healthy replicated run does exactly the unreplicated run's work:
+/// anchor routing keeps each server's region set identical to k = 1, so
+/// selections, I/O, and kernel work match and both fault lanes stay zero.
+#[test]
+fn replication_healthy_run_matches_unreplicated_work() {
+    let (odms, obj, _) = small_world();
+    let n = 6u32;
+    let q = PdcQuery::range_open(obj, 2.0f32, 7.5f32);
+    let base = QueryEngine::new(
+        Arc::clone(&odms),
+        EngineConfig { strategy: Strategy::Histogram, num_servers: n, ..Default::default() },
+    )
+    .run(&q)
+    .unwrap();
+    let out = replicated_engine(&odms, Strategy::Histogram, n, 2, None).run(&q).unwrap();
+    assert_eq!(out.selection, base.selection);
+    assert_eq!(out.io, base.io);
+    assert_eq!(out.work, base.work);
+    assert_eq!(out.breakdown.recovery, SimDuration::ZERO);
+    assert_eq!(out.breakdown.failover, SimDuration::ZERO);
+    assert_eq!(out.rebuild_regions, 0);
+}
+
+/// With a placement active, a kill charges the (cheap) `failover` lane
+/// instead of `recovery`: surviving replicas each absorb a small slice of
+/// the dead server's slots, the breakdown invariant holds against the
+/// same-k healthy baseline, and the cost undercuts the unreplicated
+/// reassign-and-rescan recovery for the same kill.
+#[test]
+fn replication_failover_lane_replaces_recovery() {
+    let (odms, obj, _) = small_world();
+    let n = 6u32;
+    let q = PdcQuery::create(obj, QueryOp::Gte, -1.0f32); // touches every region
+    let healthy = replicated_engine(&odms, Strategy::Histogram, n, 2, None).run(&q).unwrap();
+    assert_eq!(healthy.breakdown.failover, SimDuration::ZERO);
+    let out = replicated_engine(&odms, Strategy::Histogram, n, 2, Some(FaultPlan::kill(&[1])))
+        .run(&q)
+        .unwrap();
+    assert_eq!(out.selection, healthy.selection);
+    assert_eq!(out.failed_servers, vec![1]);
+    assert_eq!(out.breakdown.recovery, SimDuration::ZERO, "placement must not reassign");
+    assert!(out.breakdown.failover > SimDuration::ZERO);
+    assert_eq!(out.breakdown.total(), healthy.breakdown.total() + out.breakdown.failover);
+    // The point of fine-grained replica failover: far cheaper than the
+    // unreplicated path's whole-slot reassignment for the same kill.
+    let unrep = fault_engine(&odms, Strategy::Histogram, n, FaultPlan::kill(&[1]))
+        .run(&q)
+        .unwrap();
+    assert!(unrep.breakdown.recovery > out.breakdown.failover);
+}
+
+/// After a replicated run observes a crash, redundancy is rebuilt in the
+/// background: the dead member is evicted, its slots' regions are copied
+/// to replacement replicas (reported on the outcome), and the next query
+/// runs clean — no retries, no failover, same bits.
+#[test]
+fn replication_rebuild_restores_redundancy_after_crash() {
+    let (odms, obj, _) = small_world();
+    let n = 6u32;
+    let q = PdcQuery::range_open(obj, 2.0f32, 7.5f32);
+    let eng = replicated_engine(&odms, Strategy::Histogram, n, 2, Some(FaultPlan::kill(&[2])));
+    let first = eng.run(&q).unwrap();
+    assert_eq!(first.failed_servers, vec![2]);
+    assert!(first.rebuild_regions > 0, "crash must trigger a redundancy rebuild");
+    assert!(first.rebuild_bytes > 0);
+    assert!(!eng.placement_members().unwrap().contains(&2), "dead member evicted");
+    let second = eng.run(&q).unwrap();
+    assert_eq!(second.selection, first.selection);
+    assert!(second.failed_servers.is_empty(), "evicted server receives no work");
+    assert_eq!(second.retry_rounds, 0);
+    assert_eq!(second.breakdown.failover, SimDuration::ZERO);
+    assert_eq!(second.rebuild_regions, 0);
+}
+
+/// Elastic membership under a live query series: join a fresh server,
+/// then retire one of the originals — every run in between returns the
+/// same bits, and the reports carry the live-migration volume.
+#[test]
+fn replication_join_and_leave_never_change_results() {
+    let (odms, obj, data) = small_world();
+    let n = 4u32;
+    let q = PdcQuery::range_open(obj, 1.0f32, 6.0f32);
+    let expect = data.iter().filter(|&&v| v > 1.0 && v < 6.0).count() as u64;
+    let eng = replicated_engine(&odms, Strategy::Histogram, n, 2, None);
+    let before = eng.run(&q).unwrap();
+    assert_eq!(before.nhits, expect);
+
+    let joined = eng.join_server().unwrap();
+    assert_eq!(joined.server, n, "fresh server gets the next stable id");
+    assert!(joined.slots_changed > 0, "HRW must hand the newcomer some replicas");
+    assert!(joined.regions_copied > 0 && joined.bytes_copied > 0);
+    assert!(eng.placement_members().unwrap().contains(&n));
+    let mid = eng.run(&q).unwrap();
+    assert_eq!(mid.selection, before.selection);
+
+    let left = eng.leave_server(0).unwrap();
+    assert_eq!(left.server, 0);
+    assert!(left.regions_copied > 0, "the leaver's replicas re-home with a copy");
+    assert!(!eng.placement_members().unwrap().contains(&0));
+    let after = eng.run(&q).unwrap();
+    assert_eq!(after.selection, before.selection);
+
+    // Typed guard rails: double-leave is invalid, and membership is a
+    // replication feature.
+    assert!(matches!(eng.leave_server(0), Err(PdcError::InvalidQuery(_))));
+    let unrep = QueryEngine::new(
+        Arc::clone(&odms),
+        EngineConfig { strategy: Strategy::Histogram, num_servers: n, ..Default::default() },
+    );
+    assert!(unrep.replica_sets().is_none());
+    assert!(matches!(unrep.join_server(), Err(PdcError::MissingPrerequisite(_))));
+}
