@@ -170,6 +170,29 @@ $PDC query "$SMOKE_Q" $SMOKE_ARGS --replicas 2 --explain | grep -q 'slot routes 
 }
 echo "replication smoke: '$repl_hits' identical under kill, join, and leave"
 
+echo "== out-of-core gate =="
+# Spill tier: block files must roundtrip bit-exact and fail typed on
+# damage, and a memory-budgeted store must answer every strategy
+# bit-identically to an unbounded one (incl. simulated costs) across
+# faults, corruption, batches, and streaming appends.
+cargo test -q $OFFLINE -p pdc-blockstore
+cargo test -q $OFFLINE -p pdc-query --test spill_equivalence
+# Bench-bin gate (compression >= 2x, resident high-water <= budget with
+# demotions observed, all strategies identical to unbounded), then a
+# CLI smoke under a budget far below the dataset.
+target/release/blockstore /tmp/ci_blockstore.json
+spill_out=$($PDC query "$SMOKE_Q" $SMOKE_ARGS --memory-budget 256K)
+spill_hits=$(echo "$spill_out" | grep -o '[0-9]* hits ([0-9]* runs)')
+if [ "$clean_hits" != "$spill_hits" ]; then
+    echo "ci: out-of-core smoke FAILED: unbounded '$clean_hits' vs budgeted '$spill_hits'" >&2
+    exit 1
+fi
+echo "$spill_out" | grep -q '^out-of-core: resident high-water' || {
+    echo "ci: out-of-core smoke FAILED: no spill report in budgeted run" >&2
+    exit 1
+}
+echo "out-of-core smoke: '$spill_hits' identical under a 256K budget"
+
 echo "== clippy gate =="
 cargo clippy --release $OFFLINE --workspace --all-targets -- -D warnings
 

@@ -1,0 +1,731 @@
+//! Per-block lightweight compression for typed arrays and raw index bytes.
+//!
+//! All codecs are hand-rolled (the workspace builds offline against
+//! `compat/` shims) and operate on the little-endian *byte representation*
+//! of elements, so decoding is bit-exact — NaN payloads, signed zeros and
+//! ±inf round-trip unchanged.
+//!
+//! Encodings (the `u8` tag stored in each block frame):
+//!
+//! * `0` **Raw** — little-endian element bytes, no transform.
+//! * `1` **Shuffle** — byte-plane transpose (all byte 0s, then all byte
+//!   1s, …) followed by PackBits RLE. HPC float data has near-constant
+//!   exponent bytes and trailing-zero mantissa bytes, which the transpose
+//!   turns into long runs.
+//! * `2` **ForPack** — frame-of-reference: subtract the block minimum,
+//!   bit-pack the offsets at the minimal width. Integers only.
+//! * `3` **DeltaForPack** — consecutive deltas, then frame-of-reference
+//!   bit-packing of the deltas. Wins on monotone sequences (timestamps,
+//!   sorted replicas). Integers only.
+//! * `4` **RleBytes** — PackBits over the raw bytes; fallback for `Raw`
+//!   index payloads (bitmap segments are dominated by literal-word runs).
+//!
+//! The encoder tries every applicable encoding and keeps the smallest;
+//! `Raw` is always applicable, so encoded size never exceeds raw size
+//! plus the frame header.
+
+use pdc_types::error::{PdcError, PdcResult};
+use pdc_types::value::{PdcType, TypedVec};
+
+/// Encoding tag: little-endian element bytes.
+pub const ENC_RAW: u8 = 0;
+/// Encoding tag: byte-shuffle + PackBits.
+pub const ENC_SHUFFLE: u8 = 1;
+/// Encoding tag: frame-of-reference bit-packing.
+pub const ENC_FOR_PACK: u8 = 2;
+/// Encoding tag: delta + frame-of-reference bit-packing.
+pub const ENC_DELTA_FOR_PACK: u8 = 3;
+/// Encoding tag: PackBits over raw bytes.
+pub const ENC_RLE_BYTES: u8 = 4;
+/// Encoding tag: doubles that are exactly `f32`-representable stored as
+/// byte-shuffled + PackBits `f32` bit patterns (width reduction).
+pub const ENC_F64_AS_F32: u8 = 5;
+
+fn corrupt(msg: impl Into<String>) -> PdcError {
+    PdcError::Codec(msg.into())
+}
+
+// ---------------------------------------------------------------------------
+// PackBits run-length coding
+// ---------------------------------------------------------------------------
+
+/// PackBits-encode `src`.
+///
+/// Control byte `c < 128`: the next `c + 1` bytes are literals.
+/// Control byte `c > 128`: the next byte repeats `257 - c` times.
+/// `c == 128` is never emitted. Worst-case expansion is 1/128.
+pub fn packbits_encode(src: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(src.len() / 4 + 8);
+    let mut i = 0;
+    let n = src.len();
+    while i < n {
+        // Measure the run starting at i.
+        let b = src[i];
+        let mut run = 1;
+        while i + run < n && src[i + run] == b && run < 128 {
+            run += 1;
+        }
+        if run >= 3 {
+            out.push((257 - run) as u8);
+            out.push(b);
+            i += run;
+            continue;
+        }
+        // Literal segment: scan forward until a run of >= 3 starts or we
+        // hit the 128-literal packet limit.
+        let lit_start = i;
+        i += run;
+        while i < n && (i - lit_start) < 128 {
+            let b = src[i];
+            let mut r = 1;
+            while i + r < n && src[i + r] == b && r < 3 {
+                r += 1;
+            }
+            if r >= 3 {
+                break;
+            }
+            i += r;
+        }
+        let mut lit_len = i - lit_start;
+        if lit_len > 128 {
+            i -= lit_len - 128;
+            lit_len = 128;
+        }
+        out.push((lit_len - 1) as u8);
+        out.extend_from_slice(&src[lit_start..lit_start + lit_len]);
+    }
+    out
+}
+
+/// PackBits-decode `src` into exactly `expect` bytes.
+pub fn packbits_decode(src: &[u8], expect: usize) -> PdcResult<Vec<u8>> {
+    let mut out = Vec::with_capacity(expect);
+    let mut i = 0;
+    while i < src.len() {
+        let c = src[i];
+        i += 1;
+        if c < 128 {
+            let len = c as usize + 1;
+            let end = i.checked_add(len).ok_or_else(|| corrupt("packbits: literal overflow"))?;
+            if end > src.len() {
+                return Err(corrupt("packbits: truncated literal packet"));
+            }
+            out.extend_from_slice(&src[i..end]);
+            i = end;
+        } else if c > 128 {
+            if i >= src.len() {
+                return Err(corrupt("packbits: truncated run packet"));
+            }
+            let count = 257 - c as usize;
+            out.extend(std::iter::repeat_n(src[i], count));
+            i += 1;
+        } else {
+            return Err(corrupt("packbits: reserved control byte 128"));
+        }
+        if out.len() > expect {
+            return Err(corrupt(format!(
+                "packbits: output overruns expected {expect} bytes"
+            )));
+        }
+    }
+    if out.len() != expect {
+        return Err(corrupt(format!(
+            "packbits: decoded {} bytes, expected {expect}",
+            out.len()
+        )));
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Byte-plane shuffle
+// ---------------------------------------------------------------------------
+
+/// Transpose `src` (n elements of `width` bytes, little-endian) into
+/// byte planes: all byte-0s, then all byte-1s, …
+fn shuffle_bytes(src: &[u8], width: usize) -> Vec<u8> {
+    debug_assert_eq!(src.len() % width, 0);
+    let n = src.len() / width;
+    let mut out = vec![0u8; src.len()];
+    for plane in 0..width {
+        for e in 0..n {
+            out[plane * n + e] = src[e * width + plane];
+        }
+    }
+    out
+}
+
+/// Inverse of [`shuffle_bytes`].
+fn unshuffle_bytes(src: &[u8], width: usize) -> Vec<u8> {
+    debug_assert_eq!(src.len() % width, 0);
+    let n = src.len() / width;
+    let mut out = vec![0u8; src.len()];
+    for plane in 0..width {
+        for e in 0..n {
+            out[e * width + plane] = src[plane * n + e];
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Bit-packing
+// ---------------------------------------------------------------------------
+
+/// Append `vals`, each truncated to `width` bits, LSB-first into `out`.
+fn bitpack(vals: &[u64], width: u32, out: &mut Vec<u8>) {
+    if width == 0 {
+        return;
+    }
+    let mut acc: u64 = 0;
+    let mut nbits: u32 = 0;
+    for &v in vals {
+        let v = if width == 64 { v } else { v & ((1u64 << width) - 1) };
+        let mut rem = width;
+        let mut cur = v;
+        while rem > 0 {
+            let take = (64 - nbits).min(rem);
+            acc |= (cur & ones(take)) << nbits;
+            nbits += take;
+            cur = if take == 64 { 0 } else { cur >> take };
+            rem -= take;
+            if nbits == 64 {
+                out.extend_from_slice(&acc.to_le_bytes());
+                acc = 0;
+                nbits = 0;
+            }
+        }
+    }
+    if nbits > 0 {
+        let used = nbits.div_ceil(8) as usize;
+        out.extend_from_slice(&acc.to_le_bytes()[..used]);
+    }
+}
+
+#[inline]
+fn ones(bits: u32) -> u64 {
+    if bits == 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    }
+}
+
+/// Read `count` values of `width` bits each, LSB-first, from `src`.
+fn bitunpack(src: &[u8], width: u32, count: usize) -> PdcResult<Vec<u64>> {
+    if width == 0 {
+        return Ok(vec![0u64; count]);
+    }
+    let need_bits = (count as u64).saturating_mul(width as u64);
+    let need_bytes = need_bits.div_ceil(8);
+    if (src.len() as u64) < need_bytes {
+        return Err(corrupt(format!(
+            "bitpack: need {need_bytes} bytes for {count} x {width}-bit values, have {}",
+            src.len()
+        )));
+    }
+    let mut out = Vec::with_capacity(count);
+    let mut bitpos: u64 = 0;
+    for _ in 0..count {
+        let mut v: u64 = 0;
+        let mut got: u32 = 0;
+        while got < width {
+            let byte = src[(bitpos / 8) as usize] as u64;
+            let off = (bitpos % 8) as u32;
+            let avail = 8 - off;
+            let take = avail.min(width - got);
+            let bits = (byte >> off) & ones(take);
+            v |= bits << got;
+            got += take;
+            bitpos += take as u64;
+        }
+        out.push(v);
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Element <-> u64 bit mapping for frame-of-reference coding
+// ---------------------------------------------------------------------------
+
+/// Fixed-width element with an order-preserving (under wrapping
+/// subtraction) mapping into the `u64` domain.
+trait ForElem: Copy {
+    fn to_bits64(self) -> u64;
+    fn from_bits64(v: u64) -> Self;
+}
+
+impl ForElem for i32 {
+    // Sign-extend so that for a >= b, to_bits64(a).wrapping_sub(to_bits64(b))
+    // is the exact non-negative difference.
+    fn to_bits64(self) -> u64 {
+        self as i64 as u64
+    }
+    fn from_bits64(v: u64) -> Self {
+        v as u32 as i32
+    }
+}
+impl ForElem for u32 {
+    fn to_bits64(self) -> u64 {
+        self as u64
+    }
+    fn from_bits64(v: u64) -> Self {
+        v as u32
+    }
+}
+impl ForElem for i64 {
+    fn to_bits64(self) -> u64 {
+        self as u64
+    }
+    fn from_bits64(v: u64) -> Self {
+        v as i64
+    }
+}
+impl ForElem for u64 {
+    fn to_bits64(self) -> u64 {
+        self
+    }
+    fn from_bits64(v: u64) -> Self {
+        v
+    }
+}
+
+/// Frame-of-reference pack: `[min: 8B][width: 1B][packed offsets]`.
+fn for_pack_bits(bits: &[u64]) -> Vec<u8> {
+    let min = bits.iter().copied().min().unwrap_or(0);
+    let offsets: Vec<u64> = bits.iter().map(|&b| b.wrapping_sub(min)).collect();
+    let max_off = offsets.iter().copied().max().unwrap_or(0);
+    let width = 64 - max_off.leading_zeros();
+    let mut out = Vec::with_capacity(9 + (bits.len() * width as usize).div_ceil(8));
+    out.extend_from_slice(&min.to_le_bytes());
+    out.push(width as u8);
+    bitpack(&offsets, width, &mut out);
+    out
+}
+
+fn for_unpack_bits(src: &[u8], count: usize) -> PdcResult<Vec<u64>> {
+    if src.len() < 9 {
+        return Err(corrupt("for-pack: truncated header"));
+    }
+    let min = u64::from_le_bytes(src[..8].try_into().unwrap());
+    let width = src[8] as u32;
+    if width > 64 {
+        return Err(corrupt(format!("for-pack: invalid bit width {width}")));
+    }
+    let offs = bitunpack(&src[9..], width, count)?;
+    Ok(offs.into_iter().map(|o| min.wrapping_add(o)).collect())
+}
+
+/// Delta + frame-of-reference: `[first: 8B][for-packed deltas]`.
+fn delta_for_pack_bits(bits: &[u64]) -> Vec<u8> {
+    let first = bits.first().copied().unwrap_or(0);
+    let deltas: Vec<u64> = bits
+        .windows(2)
+        .map(|w| w[1].wrapping_sub(w[0]))
+        .collect();
+    let mut out = Vec::with_capacity(8 + 9 + deltas.len());
+    out.extend_from_slice(&first.to_le_bytes());
+    out.extend_from_slice(&for_pack_bits(&deltas));
+    out
+}
+
+fn delta_for_unpack_bits(src: &[u8], count: usize) -> PdcResult<Vec<u64>> {
+    if count == 0 {
+        return Ok(Vec::new());
+    }
+    if src.len() < 8 {
+        return Err(corrupt("delta-for-pack: truncated header"));
+    }
+    let first = u64::from_le_bytes(src[..8].try_into().unwrap());
+    let deltas = for_unpack_bits(&src[8..], count - 1)?;
+    let mut out = Vec::with_capacity(count);
+    let mut cur = first;
+    out.push(cur);
+    for d in deltas {
+        cur = cur.wrapping_add(d);
+        out.push(cur);
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Little-endian element bytes
+// ---------------------------------------------------------------------------
+
+macro_rules! le_bytes_of {
+    ($xs:expr, $w:expr) => {{
+        let mut out = Vec::with_capacity($xs.len() * $w);
+        for v in $xs {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out
+    }};
+}
+
+/// The little-endian byte image of `tv[start..start+len]`.
+pub fn le_bytes(tv: &TypedVec, start: usize, len: usize) -> Vec<u8> {
+    match tv {
+        TypedVec::Float(xs) => le_bytes_of!(&xs[start..start + len], 4),
+        TypedVec::Double(xs) => le_bytes_of!(&xs[start..start + len], 8),
+        TypedVec::Int32(xs) => le_bytes_of!(&xs[start..start + len], 4),
+        TypedVec::UInt32(xs) => le_bytes_of!(&xs[start..start + len], 4),
+        TypedVec::Int64(xs) => le_bytes_of!(&xs[start..start + len], 8),
+        TypedVec::UInt64(xs) => le_bytes_of!(&xs[start..start + len], 8),
+    }
+}
+
+macro_rules! vec_from_le {
+    ($bytes:expr, $t:ty, $w:expr) => {{
+        let mut out = Vec::with_capacity($bytes.len() / $w);
+        for chunk in $bytes.chunks_exact($w) {
+            out.push(<$t>::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        out
+    }};
+}
+
+fn typed_from_le(ty: PdcType, bytes: &[u8]) -> PdcResult<TypedVec> {
+    let w = ty.size_bytes() as usize;
+    if !bytes.len().is_multiple_of(w) {
+        return Err(corrupt(format!(
+            "decode: {} bytes not a multiple of element width {w}",
+            bytes.len()
+        )));
+    }
+    Ok(match ty {
+        PdcType::Float => TypedVec::Float(vec_from_le!(bytes, f32, 4)),
+        PdcType::Double => TypedVec::Double(vec_from_le!(bytes, f64, 8)),
+        PdcType::Int32 => TypedVec::Int32(vec_from_le!(bytes, i32, 4)),
+        PdcType::UInt32 => TypedVec::UInt32(vec_from_le!(bytes, u32, 4)),
+        PdcType::Int64 => TypedVec::Int64(vec_from_le!(bytes, i64, 8)),
+        PdcType::UInt64 => TypedVec::UInt64(vec_from_le!(bytes, u64, 8)),
+    })
+}
+
+fn int_bits64(tv: &TypedVec, start: usize, len: usize) -> Option<Vec<u64>> {
+    Some(match tv {
+        TypedVec::Int32(xs) => xs[start..start + len].iter().map(|v| v.to_bits64()).collect(),
+        TypedVec::UInt32(xs) => xs[start..start + len].iter().map(|v| v.to_bits64()).collect(),
+        TypedVec::Int64(xs) => xs[start..start + len].iter().map(|v| v.to_bits64()).collect(),
+        TypedVec::UInt64(xs) => xs[start..start + len].iter().map(|v| v.to_bits64()).collect(),
+        TypedVec::Float(_) | TypedVec::Double(_) => return None,
+    })
+}
+
+fn typed_from_bits64(ty: PdcType, bits: Vec<u64>) -> PdcResult<TypedVec> {
+    Ok(match ty {
+        PdcType::Int32 => TypedVec::Int32(bits.into_iter().map(i32::from_bits64).collect()),
+        PdcType::UInt32 => TypedVec::UInt32(bits.into_iter().map(u32::from_bits64).collect()),
+        PdcType::Int64 => TypedVec::Int64(bits.into_iter().map(i64::from_bits64).collect()),
+        PdcType::UInt64 => TypedVec::UInt64(bits.into_iter().map(u64::from_bits64).collect()),
+        PdcType::Float | PdcType::Double => {
+            return Err(corrupt("decode: integer encoding tag on float payload"))
+        }
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Public block encode/decode
+// ---------------------------------------------------------------------------
+
+/// Encode `tv[start..start+len]` with the smallest applicable encoding.
+///
+/// Returns `(encoding_tag, payload)`. Floats try Raw vs Shuffle; integers
+/// additionally try ForPack and DeltaForPack.
+pub fn encode_block(tv: &TypedVec, start: usize, len: usize) -> (u8, Vec<u8>) {
+    let raw = le_bytes(tv, start, len);
+    let width = tv.pdc_type().size_bytes() as usize;
+    let mut best = (ENC_RAW, raw.clone());
+    let shuffled = packbits_encode(&shuffle_bytes(&raw, width));
+    if shuffled.len() < best.1.len() {
+        best = (ENC_SHUFFLE, shuffled);
+    }
+    if let Some(bits) = int_bits64(tv, start, len) {
+        let fp = for_pack_bits(&bits);
+        if fp.len() < best.1.len() {
+            best = (ENC_FOR_PACK, fp);
+        }
+        let dfp = delta_for_pack_bits(&bits);
+        if dfp.len() < best.1.len() {
+            best = (ENC_DELTA_FOR_PACK, dfp);
+        }
+    }
+    // Width reduction: doubles that came from f32 sources (the VPIC
+    // generator emits f32; widening leaves the low 29 mantissa bits zero)
+    // are stored as their exact f32 bit patterns when that is lossless
+    // for every element of the block — checked bitwise, so NaN payloads
+    // that a narrowing cast would disturb fall back to the codecs above.
+    if let TypedVec::Double(xs) = tv {
+        let xs = &xs[start..start + len];
+        if xs
+            .iter()
+            .all(|&v| (v as f32 as f64).to_bits() == v.to_bits())
+        {
+            let narrow: Vec<u8> = xs
+                .iter()
+                .flat_map(|&v| (v as f32).to_le_bytes())
+                .collect();
+            let packed = packbits_encode(&shuffle_bytes(&narrow, 4));
+            if packed.len() < best.1.len() {
+                best = (ENC_F64_AS_F32, packed);
+            }
+        }
+    }
+    best
+}
+
+/// Decode one typed block of `elems` elements.
+pub fn decode_block(ty: PdcType, encoding: u8, elems: usize, payload: &[u8]) -> PdcResult<TypedVec> {
+    let width = ty.size_bytes() as usize;
+    let raw_len = elems
+        .checked_mul(width)
+        .ok_or_else(|| corrupt("decode: element count overflows byte length"))?;
+    match encoding {
+        ENC_RAW => {
+            if payload.len() != raw_len {
+                return Err(corrupt(format!(
+                    "decode: raw block has {} bytes, expected {raw_len}",
+                    payload.len()
+                )));
+            }
+            typed_from_le(ty, payload)
+        }
+        ENC_SHUFFLE => {
+            let shuffled = packbits_decode(payload, raw_len)?;
+            typed_from_le(ty, &unshuffle_bytes(&shuffled, width))
+        }
+        ENC_FOR_PACK => typed_from_bits64(ty, for_unpack_bits(payload, elems)?),
+        ENC_DELTA_FOR_PACK => typed_from_bits64(ty, delta_for_unpack_bits(payload, elems)?),
+        ENC_F64_AS_F32 => {
+            if ty != PdcType::Double {
+                return Err(corrupt("decode: f64-as-f32 tag on non-double payload"));
+            }
+            let narrow = packbits_decode(payload, elems * 4)?;
+            let bytes = unshuffle_bytes(&narrow, 4);
+            let mut xs = Vec::with_capacity(elems);
+            for chunk in bytes.chunks_exact(4) {
+                xs.push(f32::from_le_bytes(chunk.try_into().unwrap()) as f64);
+            }
+            Ok(TypedVec::Double(xs))
+        }
+        other => Err(corrupt(format!("decode: unknown encoding tag {other}"))),
+    }
+}
+
+/// Encode a raw-byte block (index payloads): Raw vs PackBits, smaller wins.
+pub fn encode_raw_block(bytes: &[u8]) -> (u8, Vec<u8>) {
+    let rle = packbits_encode(bytes);
+    if rle.len() < bytes.len() {
+        (ENC_RLE_BYTES, rle)
+    } else {
+        (ENC_RAW, bytes.to_vec())
+    }
+}
+
+/// Decode a raw-byte block of `raw_len` bytes.
+pub fn decode_raw_block(encoding: u8, raw_len: usize, payload: &[u8]) -> PdcResult<Vec<u8>> {
+    match encoding {
+        ENC_RAW => {
+            if payload.len() != raw_len {
+                return Err(corrupt(format!(
+                    "decode: raw byte block has {} bytes, expected {raw_len}",
+                    payload.len()
+                )));
+            }
+            Ok(payload.to_vec())
+        }
+        ENC_RLE_BYTES => packbits_decode(payload, raw_len),
+        other => Err(corrupt(format!(
+            "decode: unknown raw-byte encoding tag {other}"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(tv: &TypedVec) {
+        let (enc, payload) = encode_block(tv, 0, tv.len());
+        let back = decode_block(tv.pdc_type(), enc, tv.len(), &payload).unwrap();
+        // Compare byte images, not values: NaN != NaN under PartialEq but
+        // the decode contract is bit-exactness.
+        assert_eq!(back.pdc_type(), tv.pdc_type(), "encoding {enc}");
+        assert_eq!(
+            le_bytes(&back, 0, back.len()),
+            le_bytes(tv, 0, tv.len()),
+            "encoding {enc}"
+        );
+    }
+
+    #[test]
+    fn packbits_roundtrip_edge_cases() {
+        let cases: Vec<Vec<u8>> = vec![
+            vec![],
+            vec![7],
+            vec![0; 1000],
+            vec![1, 2, 3, 4, 5],
+            (0..=255).collect(),
+            [vec![9; 200], (0..100).collect(), vec![0; 5]].concat(),
+        ];
+        for case in cases {
+            let enc = packbits_encode(&case);
+            let dec = packbits_decode(&enc, case.len()).unwrap();
+            assert_eq!(dec, case);
+        }
+    }
+
+    #[test]
+    fn packbits_compresses_runs() {
+        // Run packets cap at 128 repeats, so an all-zero buffer costs
+        // exactly 2 bytes per 128 — a 64:1 floor.
+        let zeros = vec![0u8; 65536];
+        let enc = packbits_encode(&zeros);
+        assert_eq!(enc.len(), 65536 / 128 * 2, "got {} bytes", enc.len());
+    }
+
+    #[test]
+    fn typed_roundtrip_all_variants() {
+        roundtrip(&TypedVec::Float(vec![1.5, -2.0, f32::NAN, f32::INFINITY, 0.0, -0.0]));
+        roundtrip(&TypedVec::Double(vec![
+            1.5,
+            -2.0,
+            f64::NAN,
+            f64::NEG_INFINITY,
+            f64::MIN_POSITIVE,
+            -0.0,
+        ]));
+        roundtrip(&TypedVec::Int32(vec![i32::MIN, -1, 0, 1, i32::MAX]));
+        roundtrip(&TypedVec::UInt32(vec![0, 1, u32::MAX]));
+        roundtrip(&TypedVec::Int64(vec![i64::MIN, -1, 0, 1, i64::MAX]));
+        roundtrip(&TypedVec::UInt64(vec![0, 1, u64::MAX]));
+    }
+
+    #[test]
+    fn nan_bit_patterns_survive() {
+        // Two distinct NaN bit patterns must round-trip bit-exactly.
+        let a = f64::from_bits(0x7ff8_0000_0000_0001);
+        let b = f64::from_bits(0x7ff8_dead_beef_0001);
+        let tv = TypedVec::Double(vec![a, b, f64::NAN]);
+        let (enc, payload) = encode_block(&tv, 0, 3);
+        let back = decode_block(PdcType::Double, enc, 3, &payload).unwrap();
+        if let TypedVec::Double(xs) = back {
+            assert_eq!(xs[0].to_bits(), a.to_bits());
+            assert_eq!(xs[1].to_bits(), b.to_bits());
+            assert_eq!(xs[2].to_bits(), f64::NAN.to_bits());
+        } else {
+            panic!("wrong variant");
+        }
+    }
+
+    #[test]
+    fn monotone_ints_pick_delta_encoding() {
+        let tv = TypedVec::UInt64((0..4096u64).map(|i| 1_000_000 + i * 3).collect());
+        let (enc, payload) = encode_block(&tv, 0, 4096);
+        assert_eq!(enc, ENC_DELTA_FOR_PACK);
+        assert!(payload.len() * 8 < 4096 * 8, "payload {} bytes", payload.len());
+        roundtrip(&tv);
+    }
+
+    #[test]
+    fn narrow_range_ints_pick_for_pack() {
+        let tv = TypedVec::Int32((0..4096).map(|i| 50_000 + (i * 37) % 256).collect());
+        let (enc, payload) = encode_block(&tv, 0, 4096);
+        assert_eq!(enc, ENC_FOR_PACK);
+        assert!(payload.len() < 4096 * 2, "payload {} bytes", payload.len());
+        roundtrip(&tv);
+    }
+
+    #[test]
+    fn widened_floats_compress_2x() {
+        // f32 data widened to f64 (the VPIC generator path): every element
+        // is exactly f32-representable, so width reduction applies and the
+        // block must beat 2x. Positive energy-like values keep the f32
+        // sign/exponent plane run-heavy, as the VPIC energy variable does.
+        let xs: Vec<f64> =
+            (0..8192).map(|i| (0.05 + (i as f32 / 100.0).sin().abs()) as f64).collect();
+        let tv = TypedVec::Double(xs);
+        let (enc, payload) = encode_block(&tv, 0, 8192);
+        assert_eq!(enc, ENC_F64_AS_F32);
+        assert!(
+            payload.len() * 2 <= 8192 * 8,
+            "only {}x",
+            (8192.0 * 8.0) / payload.len() as f64
+        );
+        roundtrip(&tv);
+    }
+
+    #[test]
+    fn nan_payload_doubles_never_width_reduce() {
+        // A quiet-NaN payload that a narrowing cast would destroy must
+        // force the bitwise fallback path.
+        let odd_nan = f64::from_bits(0x7ff0_0000_0000_0001);
+        let mut xs: Vec<f64> = (0..512).map(|i| (i as f32) as f64).collect();
+        xs[300] = odd_nan;
+        let tv = TypedVec::Double(xs);
+        let (enc, payload) = encode_block(&tv, 0, 512);
+        assert_ne!(enc, ENC_F64_AS_F32);
+        let back = decode_block(PdcType::Double, enc, 512, &payload).unwrap();
+        if let TypedVec::Double(ys) = back {
+            assert_eq!(ys[300].to_bits(), odd_nan.to_bits());
+        } else {
+            panic!("wrong variant");
+        }
+    }
+
+    #[test]
+    fn sub_range_encoding_matches_slice() {
+        let tv = TypedVec::Double((0..100).map(|i| i as f64 * 0.5).collect());
+        let (enc_a, pay_a) = encode_block(&tv, 10, 20);
+        let sliced = tv.slice(10, 20);
+        let (enc_b, pay_b) = encode_block(&sliced, 0, 20);
+        assert_eq!((enc_a, pay_a), (enc_b, pay_b));
+    }
+
+    #[test]
+    fn raw_block_roundtrip() {
+        let bytes: Vec<u8> = [vec![0u8; 500], (0..50).collect(), vec![255; 300]].concat();
+        let (enc, payload) = encode_raw_block(&bytes);
+        assert_eq!(enc, ENC_RLE_BYTES);
+        assert!(payload.len() < bytes.len());
+        assert_eq!(decode_raw_block(enc, bytes.len(), &payload).unwrap(), bytes);
+
+        let incompressible: Vec<u8> = (0..97u32).map(|i| (i * 131 % 251) as u8).collect();
+        let (enc, payload) = encode_raw_block(&incompressible);
+        assert_eq!(enc, ENC_RAW);
+        assert_eq!(
+            decode_raw_block(enc, incompressible.len(), &payload).unwrap(),
+            incompressible
+        );
+    }
+
+    #[test]
+    fn hostile_payloads_yield_typed_errors() {
+        // Truncated packbits literal.
+        assert!(packbits_decode(&[10, 1, 2], 11).is_err());
+        // Truncated run packet.
+        assert!(packbits_decode(&[200], 10).is_err());
+        // Reserved control byte.
+        assert!(packbits_decode(&[128, 0], 1).is_err());
+        // Output overrun.
+        assert!(packbits_decode(&[200, 7], 3).is_err());
+        // Bad bit width.
+        assert!(for_unpack_bits(&[0, 0, 0, 0, 0, 0, 0, 0, 65], 4).is_err());
+        // Unknown encoding tag.
+        assert!(decode_block(PdcType::Double, 99, 4, &[0; 32]).is_err());
+        // Wrong raw length.
+        assert!(decode_block(PdcType::Double, ENC_RAW, 4, &[0; 31]).is_err());
+        // Float payload with integer tag.
+        assert!(decode_block(PdcType::Double, ENC_FOR_PACK, 1, &[0; 9]).is_err());
+        // Empty for-pack header.
+        assert!(for_unpack_bits(&[1, 2], 1).is_err());
+    }
+
+    #[test]
+    fn empty_blocks_roundtrip() {
+        roundtrip(&TypedVec::Double(vec![]));
+        roundtrip(&TypedVec::Int64(vec![]));
+        let (enc, payload) = encode_raw_block(&[]);
+        assert_eq!(decode_raw_block(enc, 0, &payload).unwrap(), Vec::<u8>::new());
+    }
+}

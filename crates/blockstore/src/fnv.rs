@@ -1,0 +1,117 @@
+//! Streaming FNV-1a 64-bit hasher.
+//!
+//! One shared implementation of the OFFSET/PRIME step for every checksum
+//! in the workspace: stored-payload checksums (`pdc-storage`), snapshot
+//! frame checksums (`pdc-odms`), block-frame checksums (this crate), and
+//! the joint-context interval hashing in `pdc-query`.
+
+/// FNV-1a 64-bit offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental FNV-1a 64-bit hasher.
+///
+/// `Fnv1a::new().chain(a).chain(b).finish()` equals `fnv1a64` of the
+/// concatenation `a ++ b`, so callers can stream element bytes without
+/// materializing a contiguous buffer.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv1a {
+    state: u64,
+}
+
+impl Fnv1a {
+    /// A fresh hasher at the offset basis.
+    #[inline]
+    pub const fn new() -> Self {
+        Fnv1a { state: FNV_OFFSET }
+    }
+
+    /// Absorb `bytes` into the running hash.
+    #[inline]
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut h = self.state;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        self.state = h;
+    }
+
+    /// Builder-style [`Fnv1a::update`].
+    #[inline]
+    #[must_use]
+    pub fn chain(mut self, bytes: &[u8]) -> Self {
+        self.update(bytes);
+        self
+    }
+
+    /// Absorb a `u64` as its 8 little-endian bytes.
+    #[inline]
+    pub fn write_u64(&mut self, w: u64) {
+        self.update(&w.to_le_bytes());
+    }
+
+    /// The current hash value.
+    #[inline]
+    pub const fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::hash::Hasher for Fnv1a {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        self.update(bytes);
+    }
+}
+
+/// One-shot FNV-1a 64 over a byte slice.
+#[inline]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    Fnv1a::new().chain(bytes).finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_known_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn streaming_equals_one_shot() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        for split in 0..data.len() {
+            let streamed = Fnv1a::new()
+                .chain(&data[..split])
+                .chain(&data[split..])
+                .finish();
+            assert_eq!(streamed, fnv1a64(data), "split at {split}");
+        }
+    }
+
+    #[test]
+    fn write_u64_equals_le_bytes() {
+        let mut a = Fnv1a::new();
+        a.write_u64(0xdead_beef_0bad_f00d);
+        let b = fnv1a64(&0xdead_beef_0bad_f00du64.to_le_bytes());
+        assert_eq!(a.finish(), b);
+    }
+}

@@ -1,0 +1,32 @@
+//! # pdc-blockstore
+//!
+//! Persistent block-compressed region files and the budgeted block cache
+//! — the physical backing for the `StorageTier::Pfs` cold tier.
+//!
+//! * [`fnv`] — the shared streaming FNV-1a 64 hasher used by every
+//!   checksum in the workspace (stored payloads, snapshot frames, block
+//!   frames).
+//! * [`codec`] — per-block lightweight compression: byte-shuffle +
+//!   PackBits for floats, width reduction for f32-widened doubles,
+//!   frame-of-reference / delta bit-packing for integers, PackBits for
+//!   raw index bytes. Bit-exact decode (NaN payloads survive).
+//! * [`blockfile`] — checksummed block framing with a virtual-offset
+//!   block index, so interval reads touch only overlapping blocks.
+//! * [`cache`] — byte-budgeted LRU of decoded blocks (admission +
+//!   eviction).
+//!
+//! Simulated time is **never** charged here: the cost model in
+//! `pdc-storage` keeps charging tier reads unconditionally, whether a
+//! region is physically resident or spilled — this crate only changes
+//! where the bytes physically live.
+
+pub mod blockfile;
+pub mod cache;
+pub mod codec;
+pub mod fnv;
+
+pub use blockfile::{
+    write_raw, write_typed, BlockFileMeta, BlockReader, PayloadKind, DEFAULT_BLOCK_ELEMS,
+};
+pub use cache::{BlockCache, BlockCacheStats, BlockKey};
+pub use fnv::{fnv1a64, Fnv1a, FNV_OFFSET, FNV_PRIME};

@@ -15,6 +15,7 @@ use pdc_query::{parse_query, EngineConfig, ExplainPlan, QueryEngine, Strategy};
 use pdc_server::{CorruptionSpec, FaultPlan};
 use pdc_storage::{CostModel, SimDuration};
 use pdc_workloads::{VpicConfig, VpicData};
+use std::path::PathBuf;
 use std::sync::Arc;
 
 /// Parsed command line.
@@ -97,6 +98,12 @@ pub struct CommonOpts {
     pub no_directory: bool,
     /// Replicas per assignment slot (1 = classic single-home layout).
     pub replicas: u32,
+    /// Out-of-core memory budget in bytes: sealed cold regions spill to
+    /// block-compressed files once resident bytes exceed it (`None` =
+    /// fully resident).
+    pub memory_budget: Option<u64>,
+    /// Root directory for spilled block files (`None` = system temp).
+    pub spill_dir: Option<String>,
 }
 
 impl Default for CommonOpts {
@@ -115,6 +122,8 @@ impl Default for CommonOpts {
             explain: false,
             no_directory: false,
             replicas: 1,
+            memory_budget: None,
+            spill_dir: None,
         }
     }
 }
@@ -169,6 +178,16 @@ OPTIONS:
                      regions are enumerated from per-region metadata instead
                      of the range->bin overlap lookup (results and simulated
                      costs are bit-identical either way)
+  --memory-budget <SIZE>
+                     out-of-core mode: once resident bytes exceed SIZE
+                     (suffixes K/M/G accepted), sealed cold regions spill to
+                     block-compressed checksummed files and are read back
+                     block-by-block through a budgeted block cache; results
+                     and simulated costs are bit-identical to a fully
+                     resident run (only host memory changes)
+  --spill-dir <P>    root directory for spilled block files (default: the
+                     system temp dir; each store spills into its own
+                     per-process subdirectory)
   --joint <A,B>      (query only) register a cross-variable joint-bounds
                      grid on the pair before querying; conjunctions over
                      both variables then kill candidate regions whose joint
@@ -389,6 +408,16 @@ fn parse_options<I: Iterator<Item = String>>(
                     return Err("--replicas must be at least 1".to_string());
                 }
             }
+            "--memory-budget" => {
+                let budget = parse_size(&value("--memory-budget")?)?;
+                if budget == 0 {
+                    return Err("--memory-budget must be positive".to_string());
+                }
+                opts.memory_budget = Some(budget);
+            }
+            "--spill-dir" => {
+                opts.spill_dir = Some(value("--spill-dir")?);
+            }
             "--strategy" => {
                 opts.strategy = parse_strategy(&value("--strategy")?)?;
             }
@@ -437,6 +466,22 @@ fn parse_options<I: Iterator<Item = String>>(
     Ok(())
 }
 
+/// Parse a byte size with an optional K/M/G binary suffix ("64M").
+fn parse_size(s: &str) -> Result<u64, String> {
+    let t = s.trim();
+    let (digits, mult) = match t.chars().last() {
+        Some('k') | Some('K') => (&t[..t.len() - 1], 1u64 << 10),
+        Some('m') | Some('M') => (&t[..t.len() - 1], 1u64 << 20),
+        Some('g') | Some('G') => (&t[..t.len() - 1], 1u64 << 30),
+        _ => (t, 1),
+    };
+    digits
+        .parse::<u64>()
+        .map_err(|e| format!("size '{s}': {e}"))?
+        .checked_mul(mult)
+        .ok_or_else(|| format!("size '{s}' overflows"))
+}
+
 /// Parse a strategy name (paper label or long form, case-insensitive).
 pub fn parse_strategy(s: &str) -> Result<Strategy, String> {
     match s.to_ascii_uppercase().as_str() {
@@ -454,6 +499,10 @@ pub fn parse_strategy(s: &str) -> Result<Strategy, String> {
 pub fn build_world(opts: &CommonOpts) -> (Arc<Odms>, VpicData) {
     let data = VpicData::generate(&VpicConfig { particles: opts.particles, seed: opts.seed });
     let odms = Arc::new(Odms::new(64));
+    // Spill is configured before the import so ingest itself runs under
+    // the budget: regions demote as they seal instead of peaking at the
+    // full dataset size first.
+    configure_spill(&odms, opts);
     let container = odms.create_container("cli");
     let import = ImportOptions {
         region_bytes: opts.region_bytes,
@@ -463,6 +512,44 @@ pub fn build_world(opts: &CommonOpts) -> (Arc<Odms>, VpicData) {
     };
     data.import_all(&odms, container, &import).expect("import");
     (odms, data)
+}
+
+/// Put the store in out-of-core mode when `--memory-budget` was given.
+/// Every store gets its own fresh subdirectory: block-file names encode
+/// only (object, region), and distinct worlds in one process reuse the
+/// same ids, so sharing a directory would cross their spill files.
+pub fn configure_spill(odms: &Arc<Odms>, opts: &CommonOpts) {
+    let Some(budget) = opts.memory_budget else { return };
+    static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let n = SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let root = opts.spill_dir.as_ref().map(PathBuf::from).unwrap_or_else(std::env::temp_dir);
+    let dir = root.join(format!("pdc_spill_{}_{n}", std::process::id()));
+    odms.store().configure_spill(&dir, budget, 32 << 20).expect("configure spill directory");
+}
+
+/// One-line out-of-core report, or `None` when spill is off.
+pub fn format_spill_report(odms: &Arc<Odms>, opts: &CommonOpts) -> Option<String> {
+    let stats = odms.store().spill_stats()?;
+    let budget = opts.memory_budget.unwrap_or(0);
+    let ratio = if stats.spilled_comp_bytes > 0 {
+        stats.spilled_raw_bytes as f64 / stats.spilled_comp_bytes as f64
+    } else {
+        1.0
+    };
+    Some(format!(
+        "out-of-core: resident high-water {} B of {} B budget, {} region(s) spilled \
+         ({} B as {} B on disk, {:.2}x), block cache {:.1}% hits, \
+         {} demotion(s), {} fault-in(s)\n",
+        stats.resident_high_water,
+        budget,
+        stats.spilled_regions,
+        stats.spilled_raw_bytes,
+        stats.spilled_comp_bytes,
+        ratio,
+        stats.block_cache.hit_rate() * 100.0,
+        stats.demotions,
+        stats.fault_ins,
+    ))
 }
 
 /// The fault plan implied by the options, if any. `--kill-servers` wins
@@ -578,8 +665,8 @@ pub fn format_explain(odms: &Arc<Odms>, plan: &ExplainPlan) -> String {
     }
     let _ = writeln!(
         s,
-        "  {:<8} {:>6}  {:<7} {:<7} {:>6}  {:>15} {:>8} {:>8}",
-        "object", "region", "phase", "op", "pruned", "est(lo..hi)", "actual", "span"
+        "  {:<8} {:>6}  {:<7} {:<7} {:>6} {:>4}  {:>15} {:>8} {:>8}",
+        "object", "region", "phase", "op", "pruned", "cold", "est(lo..hi)", "actual", "span"
     );
     const MAX_ROWS: usize = 64;
     for r in plan.regions.iter().take(MAX_ROWS) {
@@ -587,12 +674,13 @@ pub fn format_explain(odms: &Arc<Odms>, plan: &ExplainPlan) -> String {
         let actual = r.actual_hits.map_or_else(|| "-".to_string(), |h| h.to_string());
         let _ = writeln!(
             s,
-            "  {:<8} {:>6}  {:<7} {:<7} {:>6}  {:>15} {:>8} {:>8}",
+            "  {:<8} {:>6}  {:<7} {:<7} {:>6} {:>4}  {:>15} {:>8} {:>8}",
             name_of(r.object),
             r.region,
             r.phase.label(),
             r.op.label(),
             if r.pruned { "yes" } else { "no" },
+            if r.cold { "yes" } else { "no" },
             est,
             actual,
             r.span_len,
@@ -742,6 +830,9 @@ pub fn run(cmd: Command) -> Result<String, String> {
                 outcome.io.pfs_read_requests,
                 outcome.work.elements_scanned,
             ));
+            if let Some(line) = format_spill_report(&odms, &opts) {
+                out.push_str(&line);
+            }
             if !outcome.failed_servers.is_empty() {
                 if outcome.breakdown.failover > SimDuration::ZERO
                     || (opts.replicas > 1 && outcome.breakdown.recovery == SimDuration::ZERO)
@@ -841,6 +932,10 @@ pub fn run(cmd: Command) -> Result<String, String> {
                 Ok(odms)
             };
             let odms = build_at(initial)?;
+            // Only the streamed-into world runs under the budget; the
+            // sealed rerun worlds stay fully resident, so the ingest gate
+            // doubles as a spill-on/off consistency check.
+            configure_spill(&odms, &opts);
             let engine = build_engine(&odms, &opts);
             let query = parse_query(&expr, &odms).map_err(|e| e.to_string())?;
             let energy = odms.meta().lookup_name("Energy").map_err(|e| e.to_string())?.id;
@@ -910,6 +1005,9 @@ pub fn run(cmd: Command) -> Result<String, String> {
             let sealed_final = sealed_engine.run(&sealed_q).map_err(|e| e.to_string())?;
             checked += 1;
             consistent += (final_out.selection == sealed_final.selection) as u32;
+            if let Some(line) = format_spill_report(&odms, &opts) {
+                out.push_str(&line);
+            }
             out.push_str(&format!(
                 "ingest gate: {} ({consistent}/{checked} extents sealed-consistent)\n",
                 if consistent == checked { "PASS" } else { "FAIL" },
@@ -927,6 +1025,10 @@ pub fn run(cmd: Command) -> Result<String, String> {
                 opts.region_bytes >> 10,
                 opts.servers,
             ));
+            if let Some(line) = format_spill_report(&odms, &opts) {
+                out.push_str(&line);
+                out.push('\n');
+            }
             let queries = [
                 "2.1 < Energy < 2.2",
                 "3.5 < Energy < 3.6",
@@ -965,6 +1067,109 @@ mod tests {
 
     fn argv(s: &str) -> Vec<String> {
         s.split_whitespace().map(|w| w.to_string()).collect()
+    }
+
+    #[test]
+    fn spill_flags_parse() {
+        let cmd = parse_args(argv(
+            "query Energy>2 --memory-budget 4M --spill-dir /tmp/pdc_cli_spill",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Query { opts, .. } => {
+                assert_eq!(opts.memory_budget, Some(4 << 20));
+                assert_eq!(opts.spill_dir.as_deref(), Some("/tmp/pdc_cli_spill"));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Suffix forms and the plain-bytes form.
+        assert_eq!(parse_size("512").unwrap(), 512);
+        assert_eq!(parse_size("64K").unwrap(), 64 << 10);
+        assert_eq!(parse_size("2g").unwrap(), 2 << 30);
+        assert!(parse_size("nope").is_err());
+        assert!(parse_args(argv("query E>1 --memory-budget 0")).is_err());
+        assert_eq!(CommonOpts::default().memory_budget, None);
+    }
+
+    #[test]
+    fn budgeted_query_matches_unbounded_and_reports() {
+        let base = CommonOpts { particles: 60_000, servers: 4, ..CommonOpts::default() };
+        let query = |opts: CommonOpts| {
+            run(Command::Query {
+                expr: "2.1 < Energy < 2.2".to_string(),
+                opts,
+                get_data: None,
+                queries: 1,
+                batch_file: None,
+                joint: None,
+                join_server: false,
+                leave_server: None,
+            })
+            .unwrap()
+        };
+        let unbounded = query(base.clone());
+        // 7 variables x 60k f32 = ~1.6 MiB of data; 256 KiB forces most
+        // sealed regions (and their index blobs) out of core.
+        let bounded = query(CommonOpts { memory_budget: Some(256 << 10), ..base });
+        let hits = |s: &str| {
+            s.lines().find(|l| l.contains(" hits (")).unwrap().split(':').nth(1).unwrap()
+                .trim().split(' ').next().unwrap().to_string()
+        };
+        assert_eq!(hits(&unbounded), hits(&bounded), "{unbounded}\n{bounded}");
+        assert!(bounded.contains("out-of-core: resident high-water"), "{bounded}");
+        assert!(bounded.contains("region(s) spilled"), "{bounded}");
+        assert!(!unbounded.contains("out-of-core:"), "{unbounded}");
+    }
+
+    #[test]
+    fn explain_marks_cold_regions() {
+        let out = run(Command::Query {
+            expr: "Energy > 2.0".to_string(),
+            opts: CommonOpts {
+                particles: 40_000,
+                servers: 4,
+                explain: true,
+                memory_budget: Some(128 << 10),
+                ..CommonOpts::default()
+            },
+            get_data: None,
+            queries: 1,
+            batch_file: None,
+            joint: None,
+            join_server: false,
+            leave_server: None,
+        })
+        .unwrap();
+        let header = out.lines().find(|l| l.contains("pruned")).expect("explain table header");
+        assert!(header.contains("cold"), "{out}");
+        let cold_rows = out
+            .lines()
+            .skip_while(|l| !l.contains("pruned"))
+            .skip(1)
+            .filter(|l| l.split_whitespace().nth(5) == Some("yes"))
+            .count();
+        assert!(cold_rows > 0, "a 128 KiB budget must leave some region cold:\n{out}");
+    }
+
+    #[test]
+    fn ingest_gate_passes_under_memory_budget() {
+        let out = run(Command::Ingest {
+            expr: "2.1 < Energy < 2.2".to_string(),
+            opts: CommonOpts {
+                particles: 40_000,
+                servers: 4,
+                memory_budget: Some(256 << 10),
+                ..CommonOpts::default()
+            },
+            append_batches: 3,
+            append_fraction: 0.1,
+        })
+        .unwrap();
+        // The sealed reruns are fully resident, so the gate is itself a
+        // spill-on/off bit-identity check.
+        assert!(out.contains("ingest gate: PASS (5/5"), "{out}");
+        assert!(out.contains("out-of-core: resident high-water"), "{out}");
+        assert!(!out.contains("MISMATCH"), "{out}");
     }
 
     #[test]

@@ -118,6 +118,20 @@ pub struct EngineConfig {
     /// Seed of the deterministic rendezvous placement layout (same seed ⇒
     /// same replica sets on every host). Ignored when `replicas == 1`.
     pub placement_seed: u64,
+    /// Out-of-core mode: when `Some`, the object store demotes sealed
+    /// least-recently-used regions to block-compressed spill files
+    /// whenever its resident footprint exceeds this many bytes. Spilling
+    /// is physically real but simulation-invisible — selections and
+    /// simulated costs are bit-identical to an unbounded run. `None`
+    /// (the default) keeps every payload resident.
+    pub memory_budget: Option<u64>,
+    /// Directory for spill files. Defaults to a per-process directory
+    /// under the system temp dir when unset. Ignored without
+    /// `memory_budget`.
+    pub spill_dir: Option<std::path::PathBuf>,
+    /// Byte budget of the shared decoded-block cache serving reads of
+    /// spilled regions. Only meaningful with `memory_budget`.
+    pub block_cache_bytes: u64,
 }
 
 impl Default for EngineConfig {
@@ -136,6 +150,9 @@ impl Default for EngineConfig {
             use_directory: true,
             replicas: 1,
             placement_seed: 0x5EED,
+            memory_budget: None,
+            spill_dir: None,
+            block_cache_bytes: 32 << 20,
         }
     }
 }
@@ -367,6 +384,19 @@ impl QueryEngine {
     /// deterministically up front — queries then detect, repair, and
     /// charge the recovery work to the breakdown's `integrity` lane.
     pub fn new(odms: Arc<Odms>, cfg: EngineConfig) -> Self {
+        // Out-of-core mode: enable spill on the store before anything
+        // reads it (idempotent when the importer already configured it —
+        // reconfiguring would reset the high-water mark).
+        if let Some(budget) = cfg.memory_budget {
+            if !odms.store().spill_enabled() {
+                let dir = cfg.spill_dir.clone().unwrap_or_else(|| {
+                    std::env::temp_dir().join(format!("pdc_spill_{}", std::process::id()))
+                });
+                odms.store()
+                    .configure_spill(&dir, budget, cfg.block_cache_bytes)
+                    .expect("configure out-of-core spill directory");
+            }
+        }
         let cache = cfg.cache_bytes_per_server;
         let plan = cfg.fault_plan.clone();
         let pool = ServerPool::new(cfg.num_servers, |id| {
@@ -1182,6 +1212,54 @@ impl QueryEngine {
                     if pending.is_empty() {
                         continue;
                     }
+                    // Spilled region: fuse the multi-interval scan with
+                    // block decompression — one decoded block (through
+                    // the shared block cache) scanned against every
+                    // pending interval, never the whole region at once.
+                    // Per-interval runs re-canonicalize identically to a
+                    // whole-region pass. Any unreadable block skips the
+                    // region; the per-query path handles it with full
+                    // accounting.
+                    if let Some(cold) = odms.store().cold_region(RegionId::new(*obj, r)) {
+                        if cold.len() < span.len {
+                            continue;
+                        }
+                        let mut runs: Vec<Vec<pdc_types::Run>> =
+                            vec![Vec::new(); pending.len()];
+                        let mut ok = true;
+                        for b in 0..cold.n_blocks() {
+                            let (bs, be) = cold.block_span(b);
+                            if bs >= span.len {
+                                break;
+                            }
+                            let Ok(block) = cold.read_block(b) else {
+                                ok = false;
+                                break;
+                            };
+                            let block = if be > span.len {
+                                Arc::new(block.slice(0, (span.len - bs) as usize))
+                            } else {
+                                block
+                            };
+                            let sels = pdc_types::kernels::scan_intervals(
+                                &block,
+                                &pending,
+                                span.offset + bs,
+                            );
+                            for (acc, sel) in runs.iter_mut().zip(&sels) {
+                                acc.extend_from_slice(sel.runs());
+                            }
+                        }
+                        if !ok {
+                            continue;
+                        }
+                        for (iv, acc) in pending.iter().zip(runs) {
+                            let sel = pdc_types::Selection::from_runs(acc);
+                            st.qcache.put_scan(*obj, r, span.len, iv, sel);
+                        }
+                        count += 1;
+                        continue;
+                    }
                     // Advisory read straight from the store: no server
                     // clocks, no fault probes, and no checksum re-derive
                     // (every artifact is epoch-keyed, and any mutation —
@@ -1278,12 +1356,17 @@ impl QueryEngine {
                         if r % n_slots != slot {
                             continue;
                         }
-                        st.read_data_region(
+                        // Charges identically to a materializing read,
+                        // but a spilled region stays cold (the pre-load
+                        // seeds a cold cache slot instead of pinning the
+                        // decoded payload).
+                        st.read_data_source(
                             &odms,
                             &cost,
                             pdc_types::RegionId::new(obj, r),
                             n,
                             meta.region_span(r).len,
+                            true,
                         )?;
                     }
                 }

@@ -323,6 +323,9 @@ fn eval_primary_sorted(
                     span_len: rspan.len,
                     est: Some(pdc_histogram::HitBounds { lower: overlap, upper: overlap }),
                     actual_hits: Some(sel.count()),
+                    // Sorted replicas are in-memory structures, never
+                    // spilled.
+                    cold: false,
                 },
             );
         }

@@ -50,11 +50,11 @@ use crate::engine::Strategy;
 use crate::exec::EvalCtx;
 use crate::qcache::IntervalKey;
 use crate::snapshot::MetaSnapshot;
-use crate::state::ServerState;
+use crate::state::{RegionData, ServerState};
 use pdc_directory::JointGrid;
 use pdc_histogram::{HitBounds, Histogram};
 use pdc_sorted::SortedReplica;
-use pdc_storage::{CostModel, SimDuration, WorkCounters};
+use pdc_storage::{ColdRegion, CostModel, Fnv1a, SimDuration, WorkCounters};
 use pdc_types::{
     kernels, Interval, ObjectId, PdcError, PdcResult, RegionId, RegionSpec, Run, Selection,
 };
@@ -156,35 +156,6 @@ pub struct JointContext {
     pub ctx_hash: u64,
 }
 
-/// Minimal FNV-1a over explicit words (deterministic across runs —
-/// verdict-cache keys and EXPLAIN output must not depend on hasher
-/// seeding).
-struct Fnv(u64);
-
-impl Fnv {
-    fn new() -> Self {
-        Fnv(0xcbf2_9ce4_8422_2325)
-    }
-    fn word(&mut self, w: u64) {
-        for byte in w.to_le_bytes() {
-            self.0 ^= u64::from(byte);
-            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-    }
-}
-
-impl std::hash::Hasher for Fnv {
-    fn finish(&self) -> u64 {
-        self.0
-    }
-    fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 ^= u64::from(b);
-            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-    }
-}
-
 impl JointContext {
     /// The joint context of `object` inside a conjunction constraining
     /// `(object, interval)` pairs, from the snapshot's pinned grids.
@@ -196,7 +167,10 @@ impl JointContext {
         constraints: &[(ObjectId, Interval)],
     ) -> Option<Arc<JointContext>> {
         let mut pairs = Vec::new();
-        let mut fnv = Fnv::new();
+        // Shared streaming FNV-1a (deterministic across runs —
+        // verdict-cache keys and EXPLAIN output must not depend on
+        // hasher seeding).
+        let mut fnv = Fnv1a::new();
         // Snapshot grids are pinned in sorted pair order, so the context
         // (and its hash) is a pure function of the conjunction.
         for grid in snap.joint_grids() {
@@ -213,9 +187,9 @@ impl JointContext {
             else {
                 continue;
             };
-            fnv.word(a.raw());
-            fnv.word(b.raw());
-            fnv.word(u64::from(self_is_a));
+            fnv.write_u64(a.raw());
+            fnv.write_u64(b.raw());
+            fnv.write_u64(u64::from(self_is_a));
             {
                 use std::hash::Hash;
                 IntervalKey::of(other_iv).hash(&mut fnv);
@@ -225,7 +199,6 @@ impl JointContext {
         if pairs.is_empty() {
             return None;
         }
-        use std::hash::Hasher;
         Some(Arc::new(JointContext { pairs, ctx_hash: fnv.finish() | 1 }))
     }
 
@@ -420,10 +393,77 @@ impl PhysicalOp for PruneOp {
 /// `candidates: None` scans the whole region; `Some(runs)` is the
 /// point-check mode — the region is still read wholly (regions are the
 /// unit of I/O) but only the candidate runs are scanned and charged.
+///
+/// A spilled region is scanned **block-fused**: each compressed block is
+/// decoded (through the budgeted block cache) and scanned in one pass,
+/// so the whole region is never materialized — while the simulated
+/// charges and the resulting selection are bit-identical to the resident
+/// path (per-block runs are re-canonicalized by [`Selection::from_runs`],
+/// which is chunk-boundary independent).
 pub struct ScanExactOp {
     /// Candidate runs to restrict the scan to (global coordinates,
     /// clipped to the region), or `None` for a whole-region scan.
     pub candidates: Option<Vec<Run>>,
+}
+
+/// Block-fused whole-extent scan of a spilled region: decode + scan one
+/// block at a time, emitting runs in global coordinates. `scan_elems`
+/// clips to the plan-time snapshot's extent.
+fn scan_cold_whole(
+    cold: &ColdRegion,
+    interval: &Interval,
+    global_offset: u64,
+    scan_elems: u64,
+) -> PdcResult<Selection> {
+    let mut out: Vec<Run> = Vec::new();
+    for b in 0..cold.n_blocks() {
+        let (start, end) = cold.block_span(b);
+        if start >= scan_elems {
+            break;
+        }
+        let hi = end.min(scan_elems);
+        let block = cold.read_block(b)?;
+        kernels::scan_range(
+            &block,
+            interval,
+            0,
+            (hi - start) as usize,
+            global_offset + start,
+            &mut out,
+        );
+    }
+    Ok(Selection::from_runs(out))
+}
+
+/// Block-fused scan of one candidate run (global coordinates) inside a
+/// spilled region: touches only the blocks the run overlaps.
+fn scan_cold_run(
+    cold: &ColdRegion,
+    interval: &Interval,
+    global_offset: u64,
+    run: &Run,
+    out: &mut Vec<Run>,
+) -> PdcResult<()> {
+    let lo = run.start - global_offset;
+    let hi = (run.end() - global_offset).min(cold.len());
+    for b in cold.blocks_overlapping(lo, hi) {
+        let (bs, be) = cold.block_span(b);
+        let s = lo.max(bs);
+        let e = hi.min(be);
+        if s >= e {
+            continue;
+        }
+        let block = cold.read_block(b)?;
+        kernels::scan_range(
+            &block,
+            interval,
+            (s - bs) as usize,
+            (e - bs) as usize,
+            global_offset + s,
+            out,
+        );
+    }
+    Ok(())
 }
 
 impl PhysicalOp for ScanExactOp {
@@ -439,25 +479,28 @@ impl PhysicalOp for ScanExactOp {
     ) -> PdcResult<OpOutput> {
         let RegionTask { object, region, span, interval } = task;
         let before = st.work;
-        let payload = st.read_data_region(
+        let src = st.read_data_source(
             ctx.odms,
             ctx.cost,
             RegionId::new(*object, *region),
             ctx.n_servers,
             span.len,
+            true,
         )?;
         // An in-flight append can grow the stored payload past the span
         // this query's snapshot planned against; scan exactly the
         // snapshot's extent so the result is bit-identical to a store
         // sealed at plan time.
-        let payload = if (payload.len() as u64) > span.len {
-            Arc::new(payload.slice(0, span.len as usize))
-        } else {
-            payload
+        let payload = match &src {
+            RegionData::Mem(p) if (p.len() as u64) > span.len => {
+                Some(Arc::new(p.slice(0, span.len as usize)))
+            }
+            RegionData::Mem(p) => Some(Arc::clone(p)),
+            RegionData::Cold(_) => None,
         };
         let sel = match &self.candidates {
             None => {
-                st.work.elements_scanned += payload.len() as u64;
+                st.work.elements_scanned += src.len().min(span.len);
                 // The read and the scan charge above are unconditional;
                 // only the kernel invocation itself is served from the
                 // cache, so the simulated accounting of a hit equals a
@@ -470,15 +513,23 @@ impl PhysicalOp for ScanExactOp {
                 match cached {
                     Some(sel) => sel,
                     None => {
-                        let sel = if ctx.scan_kernels {
-                            kernels::scan_interval_threaded(
-                                &payload,
-                                interval,
-                                span.offset,
-                                ctx.scan_threads,
-                            )
-                        } else {
-                            kernels::scan_interval_scalar(&payload, interval, span.offset)
+                        let sel = match (&payload, &src) {
+                            (Some(payload), _) => {
+                                if ctx.scan_kernels {
+                                    kernels::scan_interval_threaded(
+                                        payload,
+                                        interval,
+                                        span.offset,
+                                        ctx.scan_threads,
+                                    )
+                                } else {
+                                    kernels::scan_interval_scalar(payload, interval, span.offset)
+                                }
+                            }
+                            (None, RegionData::Cold(cold)) => {
+                                scan_cold_whole(cold, interval, span.offset, span.len)?
+                            }
+                            (None, RegionData::Mem(_)) => unreachable!("payload set for Mem"),
                         };
                         if ctx.use_cache {
                             st.qcache.put_scan(*object, *region, span.len, interval, sel.clone());
@@ -504,30 +555,34 @@ impl PhysicalOp for ScanExactOp {
                     st.work.elements_scanned += run.len;
                     if let Some(full) = &cached_full {
                         out.extend_from_slice(full.restrict_to_span(run.start, run.len).runs());
-                    } else if ctx.scan_kernels {
-                        kernels::scan_range(
-                            &payload,
-                            interval,
-                            (run.start - span.offset) as usize,
-                            (run.end() - span.offset) as usize,
-                            run.start,
-                            &mut out,
-                        );
-                    } else {
-                        let mut open: Option<Run> = None;
-                        for c in run.start..run.end() {
-                            let v = payload.get_f64((c - span.offset) as usize);
-                            if interval.contains(v) {
-                                match &mut open {
-                                    Some(r) => r.len += 1,
-                                    None => open = Some(Run::new(c, 1)),
+                    } else if let RegionData::Cold(cold) = &src {
+                        scan_cold_run(cold, interval, span.offset, run, &mut out)?;
+                    } else if let Some(payload) = &payload {
+                        if ctx.scan_kernels {
+                            kernels::scan_range(
+                                payload,
+                                interval,
+                                (run.start - span.offset) as usize,
+                                (run.end() - span.offset) as usize,
+                                run.start,
+                                &mut out,
+                            );
+                        } else {
+                            let mut open: Option<Run> = None;
+                            for c in run.start..run.end() {
+                                let v = payload.get_f64((c - span.offset) as usize);
+                                if interval.contains(v) {
+                                    match &mut open {
+                                        Some(r) => r.len += 1,
+                                        None => open = Some(Run::new(c, 1)),
+                                    }
+                                } else if let Some(r) = open.take() {
+                                    out.push(r);
                                 }
-                            } else if let Some(r) = open.take() {
+                            }
+                            if let Some(r) = open {
                                 out.push(r);
                             }
-                        }
-                        if let Some(r) = open {
-                            out.push(r);
                         }
                     }
                 }
@@ -597,12 +652,15 @@ impl PhysicalOp for IndexProbeOp {
         };
         if let Some(entry) = cached {
             if entry.needs_data_read {
-                st.read_data_region(
+                // Replayed candidate read: only the charges matter, so a
+                // spilled region stays cold (no materialization).
+                st.read_data_source(
                     ctx.odms,
                     ctx.cost,
                     RegionId::new(*object, *region),
                     ctx.n_servers,
                     span.len,
+                    true,
                 )?;
                 st.work.elements_scanned += entry.candidates_count;
             }
@@ -1030,6 +1088,10 @@ pub struct RegionExplain {
     pub est: Option<HitBounds>,
     /// Matching elements actually found (`None` when pruned).
     pub actual_hits: Option<u64>,
+    /// Whether the region's payload was spilled to the out-of-core block
+    /// store when this row was recorded (host observation; always `false`
+    /// with spill disabled).
+    pub cold: bool,
 }
 
 /// The explained plan of one query: per-region operator choices with
@@ -1098,6 +1160,7 @@ pub fn execute_region(
                         span_len: task.span.len,
                         est,
                         actual_hits: None,
+                        cold: task_cold(ctx, task),
                     },
                 );
             }
@@ -1134,6 +1197,7 @@ pub fn execute_region(
                 span_len: task.span.len,
                 est,
                 actual_hits: actual,
+                cold: task_cold(ctx, task),
             },
         );
     }
@@ -1173,9 +1237,15 @@ pub fn execute_region_skipped(
                 span_len: task.span.len,
                 est,
                 actual_hits: None,
+                cold: task_cold(ctx, task),
             },
         );
     }
+}
+
+/// Whether a task's data region is currently spilled (EXPLAIN metadata).
+fn task_cold(ctx: &EvalCtx, task: &RegionTask) -> bool {
+    ctx.odms.store().is_spilled(RegionId::new(task.object, task.region))
 }
 
 fn access_kind(choice: AccessChoice) -> OpKind {

@@ -5,12 +5,44 @@ use pdc_bitmap::BinnedBitmapIndex;
 use pdc_odms::Odms;
 use pdc_server::FaultProbe;
 use pdc_storage::{
-    CostModel, IntegrityCounters, IoCounters, ReadPattern, RegionCache, SimClock, SimDuration,
-    WorkCounters,
+    CacheSlot, ColdRegion, CostModel, IntegrityCounters, IoCounters, ReadPattern, RegionCache,
+    SimClock, SimDuration, StorageTier, StoredPayload, WorkCounters,
 };
 use pdc_types::{ObjectId, PdcResult, RegionId, TypedVec};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
+
+/// A readable view of one data region: either the whole decoded payload
+/// pinned in memory, or a block-granular handle onto a spilled region's
+/// compressed file. Operators that can stream (interval scans) consume
+/// `Cold` block by block through the budgeted block cache; everything
+/// else materializes.
+///
+/// The simulated accounting is identical for both variants — which one a
+/// read returns depends only on physical residency, which the cost model
+/// deliberately cannot see.
+#[derive(Debug, Clone)]
+pub enum RegionData {
+    /// Whole payload resident in memory.
+    Mem(Arc<TypedVec>),
+    /// Spilled region served block-wise from the out-of-core store.
+    Cold(ColdRegion),
+}
+
+impl RegionData {
+    /// Element count of the region's payload.
+    pub fn len(&self) -> u64 {
+        match self {
+            RegionData::Mem(p) => p.len() as u64,
+            RegionData::Cold(c) => c.len(),
+        }
+    }
+
+    /// Whether the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
 
 /// The persistent state of one logical PDC server.
 ///
@@ -143,19 +175,122 @@ impl ServerState {
         min_elems: u64,
     ) -> PdcResult<Arc<TypedVec>> {
         self.fault_check()?;
-        if let Some(payload) = self.cache.get(rid) {
-            if payload.len() as u64 >= min_elems {
-                let bytes = payload.size_bytes();
+        if let Some(slot) = self.cache.get(rid) {
+            if slot.elems() >= min_elems {
+                let bytes = slot.size_bytes();
                 self.io.cache_bytes_read += bytes;
                 self.io.cache_hits += 1;
                 self.clock.advance(cost.dram.read_cost(bytes));
-                return Ok(payload);
+                match slot {
+                    CacheSlot::Hot(p) => return Ok(p),
+                    CacheSlot::Cold { .. } => {
+                        // The hit was charged identically to a hot one;
+                        // the caller needs the whole payload, so decode it
+                        // transiently (host-side — the store copy stays
+                        // spilled and no further simulated time accrues).
+                        return Self::materialize_whole(odms, rid);
+                    }
+                }
             }
         }
         self.io.cache_misses += 1;
         let payload = self.read_from_tier(odms, cost, rid, concurrency)?;
-        self.cache.put(rid, Arc::clone(&payload));
+        self.cache_payload(odms, rid, &payload);
         Ok(payload)
+    }
+
+    /// Insert a just-read payload into the region cache: a hot slot when
+    /// the store copy is resident, a cold slot of the same byte footprint
+    /// when it is spilled — so admission and eviction decisions are
+    /// bit-identical either way while a spilled region's decoded bytes
+    /// are not pinned.
+    fn cache_payload(&mut self, odms: &Odms, rid: RegionId, payload: &Arc<TypedVec>) {
+        if odms.store().is_spilled(rid) {
+            self.cache.put_cold(rid, payload.size_bytes(), payload.len() as u64);
+        } else {
+            self.cache.put(rid, Arc::clone(payload));
+        }
+    }
+
+    /// Decode a region's full payload host-side with no simulated
+    /// charges (the caller already charged the access).
+    fn materialize_whole(odms: &Odms, rid: RegionId) -> PdcResult<Arc<TypedVec>> {
+        let (payload, _) = odms.store().get(rid)?;
+        match payload {
+            StoredPayload::Typed(v) => Ok(v),
+            StoredPayload::Raw(_) => Err(pdc_types::PdcError::Storage(format!(
+                "region {rid} holds raw bytes, not typed data"
+            ))),
+        }
+    }
+
+    /// Read a data region as a [`RegionData`] source, charging exactly
+    /// what [`Self::read_data_region`] charges: DRAM on a cache hit, the
+    /// tier-appropriate read on a miss. The difference is purely
+    /// physical — a clean spilled region comes back as a block-granular
+    /// [`RegionData::Cold`] handle instead of a materialized payload, so
+    /// streaming consumers (interval scans, prewarm) decode one block at
+    /// a time through the budgeted block cache and never pin the whole
+    /// region.
+    ///
+    /// A quarantined spilled region takes the materializing path so its
+    /// corruption is detected and repaired with the same integrity-lane
+    /// charges as a resident one.
+    pub fn read_data_source(
+        &mut self,
+        odms: &Odms,
+        cost: &CostModel,
+        rid: RegionId,
+        concurrency: u32,
+        min_elems: u64,
+        cache_on_miss: bool,
+    ) -> PdcResult<RegionData> {
+        self.fault_check()?;
+        if let Some(slot) = self.cache.get(rid) {
+            if slot.elems() >= min_elems {
+                let bytes = slot.size_bytes();
+                self.io.cache_bytes_read += bytes;
+                self.io.cache_hits += 1;
+                self.clock.advance(cost.dram.read_cost(bytes));
+                match slot {
+                    CacheSlot::Hot(p) => return Ok(RegionData::Mem(p)),
+                    CacheSlot::Cold { .. } => {
+                        if let Some(cold) = odms.store().cold_region(rid) {
+                            return Ok(RegionData::Cold(cold));
+                        }
+                        // Slot outlived the spill (the region was
+                        // rewritten resident): serve the store copy. The
+                        // hit is already charged, as it would be for a
+                        // stale hot slot.
+                        return Self::materialize_whole(odms, rid).map(RegionData::Mem);
+                    }
+                }
+            }
+        }
+        self.io.cache_misses += 1;
+        if !odms.store().is_quarantined(rid) {
+            if let Some(cold) = odms.store().cold_region(rid) {
+                if cold.len() >= min_elems {
+                    // Clean spilled typed region: charge the identical
+                    // tier read the materializing path would charge
+                    // (regions are the unit of simulated I/O; compression
+                    // is physical only), then hand back the streaming
+                    // handle.
+                    let bytes = cold.size_bytes();
+                    let tier = odms.store().tier_of(rid)?;
+                    self.charge_tier_read(cost, tier, bytes, concurrency);
+                    if cache_on_miss {
+                        self.cache.put_cold(rid, bytes, cold.len());
+                    }
+                    return Ok(RegionData::Cold(cold));
+                }
+            }
+        }
+        let payload = self.read_from_tier(odms, cost, rid, concurrency)?;
+        if cache_on_miss {
+            self.cache_payload(odms, rid, &payload);
+        }
+        Ok(RegionData::Mem(payload))
     }
 
     /// Fetch a region's payload from wherever it resides in the storage
@@ -189,23 +324,39 @@ impl ServerState {
             Err(e) => return Err(e),
         };
         let payload = match payload {
-            pdc_storage::StoredPayload::Typed(v) => v,
-            pdc_storage::StoredPayload::Raw(_) => {
+            StoredPayload::Typed(v) => v,
+            StoredPayload::Raw(_) => {
                 return Err(pdc_types::PdcError::Storage(format!(
                     "region {rid} holds raw bytes, not typed data"
                 )))
             }
         };
-        let bytes = payload.size_bytes();
+        self.charge_tier_read(cost, tier, payload.size_bytes(), concurrency);
+        Ok(payload)
+    }
+
+    /// Charge the tier-appropriate simulated read for `bytes` fetched
+    /// from `tier`, then consume the fault probe's injected transient
+    /// corrupt read when armed (the checksum catches it on arrival; one
+    /// re-read, charged to the integrity lane, satisfies the request).
+    /// Shared by the materializing and block-streaming miss paths so
+    /// their simulated accounting is bit-identical.
+    fn charge_tier_read(
+        &mut self,
+        cost: &CostModel,
+        tier: StorageTier,
+        bytes: u64,
+        concurrency: u32,
+    ) {
         match tier {
-            pdc_storage::StorageTier::Dram => {
+            StorageTier::Dram => {
                 self.clock.advance(cost.dram.read_cost(bytes));
             }
-            pdc_storage::StorageTier::BurstBuffer => {
+            StorageTier::BurstBuffer => {
                 self.io.pfs_read_requests += 1;
                 self.clock.advance(cost.bb.read_cost(bytes, 1));
             }
-            pdc_storage::StorageTier::Pfs => {
+            StorageTier::Pfs => {
                 self.io.pfs_bytes_read += bytes;
                 self.io.pfs_read_requests += 1;
                 self.clock.advance(cost.pfs.read_cost(
@@ -216,16 +367,12 @@ impl ServerState {
                 ));
             }
         }
-        // Transient corrupt read injected by the fault probe: the checksum
-        // catches it on arrival and one re-read satisfies the request
-        // (charged to the integrity lane only).
         if self.fault.as_mut().is_some_and(|p| p.take_corrupt_read()) {
             self.integrity.checksum_failures += 1;
             let t = cost.pfs.read_cost(bytes, 1, concurrency, ReadPattern::Aggregated);
             self.clock.advance(t);
             self.integrity_time += t;
         }
-        Ok(payload)
     }
 
     /// Like [`Self::read_data_region`], but without inserting into the
@@ -242,13 +389,16 @@ impl ServerState {
         min_elems: u64,
     ) -> PdcResult<Arc<TypedVec>> {
         self.fault_check()?;
-        if let Some(payload) = self.cache.get(rid) {
-            if payload.len() as u64 >= min_elems {
-                let bytes = payload.size_bytes();
+        if let Some(slot) = self.cache.get(rid) {
+            if slot.elems() >= min_elems {
+                let bytes = slot.size_bytes();
                 self.io.cache_bytes_read += bytes;
                 self.io.cache_hits += 1;
                 self.clock.advance(cost.dram.read_cost(bytes));
-                return Ok(payload);
+                match slot {
+                    CacheSlot::Hot(p) => return Ok(p),
+                    CacheSlot::Cold { .. } => return Self::materialize_whole(odms, rid),
+                }
             }
         }
         self.io.cache_misses += 1;

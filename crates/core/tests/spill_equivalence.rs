@@ -1,0 +1,361 @@
+//! The tentpole invariant of the out-of-core region store: spilling
+//! sealed regions to block-compressed disk files under a memory budget
+//! is a pure **physical** change. Every query outcome — selection,
+//! counters, per-lane cost breakdown, per-server simulated times,
+//! integrity reports — must be bit-identical with spill on or off, for
+//! all five strategies, under seeded server faults, under at-rest
+//! corruption, and across streaming appends. The simulated machine
+//! never learns where the bytes physically live.
+
+use pdc_odms::{ImportOptions, Odms};
+use pdc_query::{EngineConfig, PdcQuery, QueryEngine, QueryOutcome, Strategy};
+use pdc_server::{CorruptionSpec, FaultPlan};
+use pdc_types::{NdRegion, ObjectId, QueryOp, TypedVec};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// All five strategies — the per-region adaptive planner included, since
+/// its band decisions must also be residency-blind.
+const STRATEGIES: [Strategy; 5] = [
+    Strategy::FullScan,
+    Strategy::Histogram,
+    Strategy::HistogramIndex,
+    Strategy::SortedHistogram,
+    Strategy::Adaptive,
+];
+
+/// Memory budget used by the bounded engines: far below the dataset so
+/// demotions are guaranteed, comfortably above any single region.
+const BUDGET: u64 = 96 * 1024;
+
+struct TestWorld {
+    odms: Arc<Odms>,
+    energy: ObjectId,
+    x: ObjectId,
+    raw_energy: Vec<f32>,
+}
+
+fn energy_at(i: usize) -> f32 {
+    let base = ((i as f32 * 0.37).sin() + 1.0) * 0.9;
+    if (3000..3400).contains(&(i % 8000)) {
+        2.0 + ((i * 31) % 160) as f32 / 100.0
+    } else {
+        base
+    }
+}
+
+/// Same VPIC-flavoured shape the strategy-agreement suite uses. Spill
+/// mutates the store physically, so A/B comparisons each build their own
+/// world; generation is seed-free and exact, so two builds are
+/// logically identical.
+fn build_world(n: usize, region_bytes: u64) -> TestWorld {
+    let odms = Arc::new(Odms::new(8));
+    let c = odms.create_container("vpic");
+    let energy: Vec<f32> = (0..n).map(energy_at).collect();
+    let x: Vec<f32> = (0..n).map(|i| ((i as f32 * 0.011).cos() + 1.0) * 166.0).collect();
+    let opts = ImportOptions {
+        region_bytes,
+        build_index: true,
+        build_sorted: true,
+        ..Default::default()
+    };
+    let e = odms.import_array(c, "energy", TypedVec::Float(energy.clone()), &opts).unwrap().object;
+    let xo = odms.import_array(c, "x", TypedVec::Float(x), &opts).unwrap().object;
+    TestWorld { odms, energy: e, x: xo, raw_energy: energy }
+}
+
+fn spill_dir(tag: &str) -> PathBuf {
+    let thread = std::thread::current()
+        .name()
+        .unwrap_or("t")
+        .replace(|c: char| !c.is_ascii_alphanumeric(), "_");
+    std::env::temp_dir().join(format!("pdc_spilleq_{tag}_{}_{thread}", std::process::id()))
+}
+
+fn unbounded_engine(world: &TestWorld, strategy: Strategy, plan: Option<FaultPlan>) -> QueryEngine {
+    QueryEngine::new(
+        Arc::clone(&world.odms),
+        EngineConfig { strategy, num_servers: 4, fault_plan: plan, ..Default::default() },
+    )
+}
+
+fn bounded_engine(
+    world: &TestWorld,
+    strategy: Strategy,
+    plan: Option<FaultPlan>,
+    dir: &Path,
+    block_cache_bytes: u64,
+) -> QueryEngine {
+    QueryEngine::new(
+        Arc::clone(&world.odms),
+        EngineConfig {
+            strategy,
+            num_servers: 4,
+            fault_plan: plan,
+            memory_budget: Some(BUDGET),
+            spill_dir: Some(dir.to_path_buf()),
+            block_cache_bytes,
+            ..Default::default()
+        },
+    )
+}
+
+/// The same evaluator-coverage series the batch suite runs: repeats,
+/// shifted ranges, a conjunction (candidate point checks), a
+/// disjunction, and a spatial constraint.
+fn series(world: &TestWorld) -> Vec<PdcQuery> {
+    vec![
+        PdcQuery::range_open(world.energy, 2.1f32, 2.2f32),
+        PdcQuery::range_open(world.energy, 2.1f32, 2.2f32),
+        PdcQuery::range_open(world.energy, 2.15f32, 2.3f32),
+        PdcQuery::create(world.energy, QueryOp::Gt, 2.0f32)
+            .and(PdcQuery::range_open(world.x, 100.0f32, 200.0f32)),
+        PdcQuery::create(world.energy, QueryOp::Lt, 0.1f32)
+            .or(PdcQuery::create(world.energy, QueryOp::Gt, 3.0f32)),
+        PdcQuery::range_open(world.energy, 2.1f32, 2.2f32)
+            .set_region(NdRegion::one_d(5_000, 9_000)),
+    ]
+}
+
+/// Field-by-field equality of two outcomes (everything simulated).
+fn assert_outcomes_identical(a: &QueryOutcome, b: &QueryOutcome, ctx: &str) {
+    assert_eq!(a.nhits, b.nhits, "{ctx}: nhits");
+    assert_eq!(a.selection, b.selection, "{ctx}: selection");
+    assert_eq!(a.elapsed, b.elapsed, "{ctx}: elapsed");
+    assert_eq!(a.per_server, b.per_server, "{ctx}: per-server times");
+    assert_eq!(a.io, b.io, "{ctx}: io counters");
+    assert_eq!(a.work, b.work, "{ctx}: work counters");
+    assert_eq!(a.breakdown, b.breakdown, "{ctx}: cost breakdown");
+    assert_eq!(a.sorted_hint, b.sorted_hint, "{ctx}: sorted hint");
+    assert_eq!(a.failed_servers, b.failed_servers, "{ctx}: failed servers");
+    assert_eq!(a.retry_rounds, b.retry_rounds, "{ctx}: retry rounds");
+    assert_eq!(a.integrity, b.integrity, "{ctx}: integrity counters");
+}
+
+/// The bounded world must actually spill and must honour its budget —
+/// otherwise the equivalence assertions are vacuous.
+fn assert_spill_engaged(world: &TestWorld, ctx: &str) {
+    let stats = world.odms.store().spill_stats().expect("spill configured");
+    assert!(stats.demotions > 0, "{ctx}: no region was ever demoted: {stats:?}");
+    assert!(stats.spilled_regions > 0, "{ctx}: nothing is spilled after the run: {stats:?}");
+    assert!(
+        stats.resident_high_water <= BUDGET,
+        "{ctx}: settled resident high-water {} exceeds budget {BUDGET}",
+        stats.resident_high_water
+    );
+    assert!(stats.resident_bytes <= BUDGET, "{ctx}: resident {} over budget", stats.resident_bytes);
+}
+
+/// Run the series on an unbounded world and on a budgeted world and
+/// demand bit-identical per-query outcomes.
+fn check_equivalence(
+    n: usize,
+    strategy: Strategy,
+    plan: Option<FaultPlan>,
+    tag: &str,
+    block_cache_bytes: u64,
+) {
+    let world_a = build_world(n, 8192);
+    let world_b = build_world(n, 8192);
+    let dir = spill_dir(tag);
+    let qs = series(&world_a);
+
+    let unbounded = unbounded_engine(&world_a, strategy, plan.clone());
+    let base: Vec<QueryOutcome> = qs.iter().map(|q| unbounded.run(q).unwrap()).collect();
+
+    let bounded = bounded_engine(&world_b, strategy, plan, &dir, block_cache_bytes);
+    for (i, q) in series(&world_b).iter().enumerate() {
+        let out = bounded.run(q).unwrap();
+        assert_outcomes_identical(&base[i], &out, &format!("{strategy}, query {i}"));
+    }
+    assert_spill_engaged(&world_b, &format!("{strategy}"));
+    drop(bounded);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn spill_matches_unbounded_all_strategies() {
+    for strategy in STRATEGIES {
+        check_equivalence(40_000, strategy, None, "clean", 32 << 20);
+    }
+}
+
+#[test]
+fn spill_matches_unbounded_with_tiny_block_cache() {
+    // A block cache far smaller than the spilled set forces evictions on
+    // every scan; decisions stay bit-identical because the cache is a
+    // host-side artifact the simulated machine never observes.
+    for strategy in [Strategy::FullScan, Strategy::HistogramIndex] {
+        check_equivalence(40_000, strategy, None, "tinycache", 16 * 1024);
+    }
+}
+
+#[test]
+fn spill_matches_unbounded_under_seeded_faults() {
+    for (i, strategy) in [Strategy::Histogram, Strategy::SortedHistogram, Strategy::Adaptive]
+        .into_iter()
+        .enumerate()
+    {
+        let plan = FaultPlan::seeded(0xFA11 + i as u64, 4);
+        check_equivalence(30_000, strategy, Some(plan), "faults", 32 << 20);
+    }
+}
+
+#[test]
+fn spill_matches_unbounded_under_corruption() {
+    for strategy in STRATEGIES {
+        let plan = FaultPlan::new().with_corruption(CorruptionSpec::new(0.2, 0.2, 0xBAD5EED));
+        let world_a = build_world(25_000, 8192);
+        let world_b = build_world(25_000, 8192);
+        let dir = spill_dir("corrupt");
+        let qs = series(&world_a);
+
+        let unbounded = unbounded_engine(&world_a, strategy, Some(plan.clone()));
+        let base: Vec<QueryOutcome> = qs.iter().map(|q| unbounded.run(q).unwrap()).collect();
+        assert!(
+            base.iter().any(|o| o.integrity.any()),
+            "{strategy}: the corruption spec must actually damage something"
+        );
+
+        let bounded = bounded_engine(&world_b, strategy, Some(plan), &dir, 32 << 20);
+        for (i, q) in series(&world_b).iter().enumerate() {
+            let out = bounded.run(q).unwrap();
+            assert_outcomes_identical(&base[i], &out, &format!("{strategy} + corruption, query {i}"));
+        }
+        assert_spill_engaged(&world_b, &format!("{strategy} + corruption"));
+        drop(bounded);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn spill_batch_matches_unbounded_sequential() {
+    // `run_batch` adds the prewarm pass, which streams cold regions
+    // block-by-block into the artifact cache. Its per-query outcomes
+    // must still match a sequential unbounded run exactly.
+    for strategy in [Strategy::Histogram, Strategy::HistogramIndex, Strategy::Adaptive] {
+        let world_a = build_world(40_000, 8192);
+        let world_b = build_world(40_000, 8192);
+        let dir = spill_dir("batch");
+        let qs = series(&world_a);
+
+        let unbounded = unbounded_engine(&world_a, strategy, None);
+        let base: Vec<QueryOutcome> = qs.iter().map(|q| unbounded.run(q).unwrap()).collect();
+
+        let bounded = bounded_engine(&world_b, strategy, None, &dir, 32 << 20);
+        let batch = bounded.run_batch(&series(&world_b)).unwrap();
+        assert_eq!(batch.outcomes.len(), base.len());
+        for (i, (a, b)) in base.iter().zip(&batch.outcomes).enumerate() {
+            assert_outcomes_identical(a, b, &format!("{strategy} batch, query {i}"));
+        }
+        assert_spill_engaged(&world_b, &format!("{strategy} batch"));
+        drop(bounded);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn spill_matches_unbounded_across_streaming_appends() {
+    // Interleave queries with streaming appends: appends land in the
+    // unsealed tail (never demoted), sealing by growth triggers fresh
+    // demotions, and every engine plans against its epoch snapshot.
+    let n = 24_000;
+    let world_a = build_world(n, 8192);
+    let world_b = build_world(n, 8192);
+    let dir = spill_dir("append");
+
+    let unbounded = unbounded_engine(&world_a, Strategy::Histogram, None);
+    let bounded = bounded_engine(&world_b, Strategy::Histogram, None, &dir, 32 << 20);
+
+    let mut next = n;
+    for round in 0..3 {
+        let delta: Vec<f32> = (next..next + 6_000).map(energy_at).collect();
+        next += 6_000;
+        world_a.odms.append_array(world_a.energy, &TypedVec::Float(delta.clone())).unwrap();
+        world_b.odms.append_array(world_b.energy, &TypedVec::Float(delta)).unwrap();
+
+        for (i, (qa, qb)) in
+            [PdcQuery::range_open(world_a.energy, 2.1f32, 2.2f32),
+             PdcQuery::create(world_a.energy, QueryOp::Gt, 3.0f32)]
+            .iter()
+            .zip(&[
+                PdcQuery::range_open(world_b.energy, 2.1f32, 2.2f32),
+                PdcQuery::create(world_b.energy, QueryOp::Gt, 3.0f32),
+            ])
+            .enumerate()
+        {
+            let a = unbounded.run(qa).unwrap();
+            let b = bounded.run(qb).unwrap();
+            assert_outcomes_identical(&a, &b, &format!("append round {round}, query {i}"));
+        }
+    }
+    assert_spill_engaged(&world_b, "streaming appends");
+    drop(bounded);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A corrupt **spilled** bitmap-index region must take the same road as
+/// a corrupt resident one: the probe detects the damage, answers by the
+/// verified exact scan, rebuilds the index in place (charging
+/// `aux_rebuilds`), and the repair sticks — with outcomes bit-identical
+/// to an unbounded world corrupted at the same site.
+#[test]
+fn corrupt_spilled_index_region_rebuilds_identically() {
+    let world_a = build_world(30_000, 8192);
+    let world_b = build_world(30_000, 8192);
+    let dir = spill_dir("auxrebuild");
+
+    let unbounded = unbounded_engine(&world_a, Strategy::HistogramIndex, None);
+    let bounded = bounded_engine(&world_b, Strategy::HistogramIndex, None, &dir, 32 << 20);
+
+    // Pick an index region the budgeted store actually spilled, and
+    // corrupt the same site in both worlds.
+    let idx_obj = world_b.odms.meta().get(world_b.energy).unwrap().index_object.unwrap();
+    let victim = (0..64)
+        .map(|r| pdc_types::RegionId::new(idx_obj, r))
+        .find(|rid| world_b.odms.store().is_spilled(*rid))
+        .expect("a spilled index region under a 96 KiB budget");
+    assert!(world_b.odms.store().corrupt(victim, 0xD1CE).unwrap());
+    assert!(world_a.odms.store().corrupt(victim, 0xD1CE).unwrap());
+
+    // Match-everything query: every region is a candidate, so the probe
+    // must visit the corrupted index.
+    let q = PdcQuery::create(world_a.energy, QueryOp::Gt, -1.0e9f32);
+    let a = unbounded.run(&q).unwrap();
+    let b = bounded.run(&q).unwrap();
+    assert_outcomes_identical(&a, &b, "spilled index rebuild");
+    assert!(b.integrity.aux_rebuilds >= 1, "probe must rebuild the corrupt index: {:?}", b.integrity);
+    assert_eq!(a.nhits, world_a.raw_energy.len() as u64);
+
+    // The rebuild is durable: a second pass probes cleanly.
+    let b2 = bounded.run(&q).unwrap();
+    assert_eq!(b2.integrity.aux_rebuilds, 0, "rebuilt index must persist: {:?}", b2.integrity);
+    assert_eq!(b2.nhits, a.nhits);
+
+    assert_spill_engaged(&world_b, "spilled index rebuild");
+    drop(bounded);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Sanity anchor: the budgeted engine doesn't just agree with the
+/// unbounded one — both agree with a naive filter over the raw data.
+#[test]
+fn spill_results_match_naive_filter() {
+    let world = build_world(30_000, 8192);
+    let dir = spill_dir("naive");
+    let expect: Vec<u64> = (0..world.raw_energy.len() as u64)
+        .filter(|&i| {
+            let v = world.raw_energy[i as usize];
+            v > 2.1 && v < 2.2
+        })
+        .collect();
+    assert!(!expect.is_empty());
+    for strategy in STRATEGIES {
+        let eng = bounded_engine(&world, strategy, None, &dir, 32 << 20);
+        let out = eng.run(&PdcQuery::range_open(world.energy, 2.1f32, 2.2f32)).unwrap();
+        assert_eq!(out.selection.iter_coords().collect::<Vec<_>>(), expect, "{strategy}");
+        assert_eq!(out.nhits, expect.len() as u64);
+    }
+    assert_spill_engaged(&world, "naive anchor");
+    let _ = std::fs::remove_dir_all(&dir);
+}

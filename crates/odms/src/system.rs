@@ -246,11 +246,12 @@ impl Odms {
                 let bytes = index.to_bytes();
                 index_sizes.push(bytes.len() as u64);
                 report.index_bytes += bytes.len() as u64;
-                self.store.put(
-                    RegionId::new(idx_obj, i as u32),
-                    StoredPayload::Raw(bytes),
-                    StorageTier::Pfs,
-                );
+                let idx_rid = RegionId::new(idx_obj, i as u32);
+                self.store.put(idx_rid, StoredPayload::Raw(bytes), StorageTier::Pfs);
+                // Index regions are immutable blobs — replaced whole on
+                // rebuild, dropped on append — so they are sealed (and
+                // thereby demotable) from birth.
+                self.store.seal(idx_rid)?;
             }
 
             self.store.put(rid, StoredPayload::Typed(Arc::new(payload)), StorageTier::Pfs);
@@ -525,7 +526,11 @@ impl Odms {
             })?;
         let bytes = index.to_bytes();
         let size = bytes.len() as u64;
-        self.store.put(RegionId::new(idx_obj, region), StoredPayload::Raw(bytes), StorageTier::Pfs);
+        let idx_rid = RegionId::new(idx_obj, region);
+        self.store.put(idx_rid, StoredPayload::Raw(bytes), StorageTier::Pfs);
+        // `put` unseals its target; restore the immutable-blob seal so
+        // the rebuilt index stays demotable under a memory budget.
+        self.store.seal(idx_rid)?;
         self.meta.update_index_size(data_object, region, size)?;
         Ok(size)
     }

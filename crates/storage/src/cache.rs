@@ -10,6 +10,46 @@ use pdc_types::{RegionId, TypedVec};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
+/// What the cache holds for a region.
+///
+/// A `Hot` slot pins the decoded payload. A `Cold` slot records that the
+/// region is "cached" for capacity and hit/miss purposes while its bytes
+/// actually live in the out-of-core block store — the slot charges the
+/// same byte footprint as the payload would, so every admission,
+/// eviction, and hit/miss decision is **bit-identical** between spill-on
+/// and spill-off runs (decisions depend only on region id, size, and
+/// recency, never on physical residency).
+#[derive(Debug, Clone)]
+pub enum CacheSlot {
+    /// Decoded payload held in memory.
+    Hot(Arc<TypedVec>),
+    /// Spilled region: logical footprint only, bytes served block-wise.
+    Cold {
+        /// Uncompressed payload bytes the slot charges against capacity.
+        bytes: u64,
+        /// Element count of the payload at insert time.
+        elems: u64,
+    },
+}
+
+impl CacheSlot {
+    /// Bytes this slot charges against the cache budget.
+    pub fn size_bytes(&self) -> u64 {
+        match self {
+            CacheSlot::Hot(p) => p.size_bytes(),
+            CacheSlot::Cold { bytes, .. } => *bytes,
+        }
+    }
+
+    /// Element count of the cached payload.
+    pub fn elems(&self) -> u64 {
+        match self {
+            CacheSlot::Hot(p) => p.len() as u64,
+            CacheSlot::Cold { elems, .. } => *elems,
+        }
+    }
+}
+
 /// An LRU region cache with a byte budget.
 ///
 /// Recency is tracked with a `BTreeMap` keyed by a monotonically
@@ -20,8 +60,8 @@ use std::sync::Arc;
 pub struct RegionCache {
     capacity_bytes: u64,
     used_bytes: u64,
-    entries: HashMap<RegionId, (Arc<TypedVec>, u64)>, // payload, last-use tick
-    recency: BTreeMap<u64, RegionId>,                 // last-use tick -> region
+    entries: HashMap<RegionId, (CacheSlot, u64)>, // slot, last-use tick
+    recency: BTreeMap<u64, RegionId>,             // last-use tick -> region
     tick: u64,
     hits: u64,
     misses: u64,
@@ -72,16 +112,16 @@ impl RegionCache {
     }
 
     /// Look up a region, refreshing its recency on hit.
-    pub fn get(&mut self, id: RegionId) -> Option<Arc<TypedVec>> {
+    pub fn get(&mut self, id: RegionId) -> Option<CacheSlot> {
         self.tick += 1;
         let tick = self.tick;
         match self.entries.get_mut(&id) {
-            Some((payload, last)) => {
+            Some((slot, last)) => {
                 self.recency.remove(last);
                 self.recency.insert(tick, id);
                 *last = tick;
                 self.hits += 1;
-                Some(Arc::clone(payload))
+                Some(slot.clone())
             }
             None => {
                 self.misses += 1;
@@ -95,10 +135,21 @@ impl RegionCache {
         self.entries.contains_key(&id)
     }
 
-    /// Insert a region, evicting least-recently-used entries as needed.
-    /// Payloads larger than the whole budget are not cached.
+    /// Insert a hot (decoded, pinned) region.
     pub fn put(&mut self, id: RegionId, payload: Arc<TypedVec>) {
-        let size = payload.size_bytes();
+        self.put_slot(id, CacheSlot::Hot(payload));
+    }
+
+    /// Insert a cold slot for a spilled region: same capacity charge and
+    /// LRU behavior as a hot entry of `bytes`, no pinned payload.
+    pub fn put_cold(&mut self, id: RegionId, bytes: u64, elems: u64) {
+        self.put_slot(id, CacheSlot::Cold { bytes, elems });
+    }
+
+    /// Insert a slot, evicting least-recently-used entries as needed.
+    /// Slots larger than the whole budget are not cached.
+    pub fn put_slot(&mut self, id: RegionId, slot: CacheSlot) {
+        let size = slot.size_bytes();
         if size > self.capacity_bytes {
             return;
         }
@@ -114,7 +165,7 @@ impl RegionCache {
             self.used_bytes -= evicted.size_bytes();
         }
         self.tick += 1;
-        self.entries.insert(id, (payload, self.tick));
+        self.entries.insert(id, (slot, self.tick));
         self.recency.insert(self.tick, id);
         self.used_bytes += size;
     }
@@ -222,6 +273,32 @@ mod tests {
                 assert!(c.contains(rid(x)));
             }
         }
+    }
+
+    #[test]
+    fn cold_slots_charge_like_hot_and_interchange_in_lru() {
+        // A cold slot must be indistinguishable from a hot one for every
+        // capacity/eviction decision: same byte charge, same LRU order.
+        let mut hot = RegionCache::new(120);
+        let mut cold = RegionCache::new(120);
+        for i in 0..3 {
+            hot.put(rid(i), payload(10)); // 40 bytes each
+            cold.put_cold(rid(i), 40, 10);
+        }
+        assert_eq!(hot.used_bytes(), cold.used_bytes());
+        assert!(matches!(cold.get(rid(0)), Some(CacheSlot::Cold { bytes: 40, elems: 10 })));
+        assert!(hot.get(rid(0)).is_some());
+        hot.put(rid(3), payload(10)); // evicts 1 in both
+        cold.put_cold(rid(3), 40, 10);
+        for i in 0..4 {
+            assert_eq!(hot.contains(rid(i)), cold.contains(rid(i)), "slot {i}");
+        }
+        assert!(!cold.contains(rid(1)));
+        // Slot accessors.
+        assert_eq!(CacheSlot::Hot(payload(10)).size_bytes(), 40);
+        assert_eq!(CacheSlot::Hot(payload(10)).elems(), 10);
+        assert_eq!(CacheSlot::Cold { bytes: 7, elems: 3 }.size_bytes(), 7);
+        assert_eq!(CacheSlot::Cold { bytes: 7, elems: 3 }.elems(), 3);
     }
 
     #[test]

@@ -36,10 +36,13 @@ pub mod counters;
 pub mod sim;
 pub mod store;
 
-pub use cache::RegionCache;
+pub use cache::{CacheSlot, RegionCache};
 pub use cost::{BurstBufferModel, CostModel, CpuModel, NetworkModel, PfsModel, ReadPattern};
 pub use counters::{CostBreakdown, IntegrityCounters, IoCounters, NetCounters, WorkCounters};
 pub use sim::{SimClock, SimDuration};
-pub use store::{fnv1a64, payload_checksum, ObjectStore, StorageTier, StoredPayload};
+pub use store::{
+    fnv1a64, payload_checksum, ColdRegion, ObjectStore, SpillStats, StorageTier, StoredPayload,
+};
 
 pub use bytes;
+pub use pdc_blockstore::{BlockCacheStats, Fnv1a};

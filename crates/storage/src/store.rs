@@ -9,9 +9,11 @@
 //! of the reader, not of the store.
 
 use bytes::Bytes;
-use parking_lot::RwLock;
-use pdc_types::{with_slice, PdcError, PdcResult, RegionId, TypedVec};
+use parking_lot::{Mutex, RwLock};
+use pdc_blockstore::{blockfile, BlockCache, BlockCacheStats, BlockReader, Fnv1a};
+use pdc_types::{with_slice, PdcError, PdcResult, PdcType, RegionId, TypedVec};
 use std::collections::{HashMap, HashSet};
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 /// Storage tier a region resides on.
@@ -37,42 +39,29 @@ impl StorageTier {
 }
 
 /// FNV-1a 64-bit over a byte slice — the checksum primitive shared by
-/// payload verification and the metadata snapshot frame.
+/// payload verification, block-frame checksums, and the metadata
+/// snapshot frame. Delegates to the one streaming implementation in
+/// `pdc-blockstore` so every checksum in the system agrees.
 pub fn fnv1a64(bytes: &[u8]) -> u64 {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x0000_0100_0000_01b3;
-    let mut h = OFFSET;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(PRIME);
-    }
-    h
+    pdc_blockstore::fnv1a64(bytes)
 }
 
 /// FNV-1a 64-bit over a payload's typed bytes (little-endian element
 /// encoding for typed arrays, the bytes themselves for raw payloads).
 /// Cheap, dependency-free, and plenty for detecting injected bit flips.
 pub fn payload_checksum(payload: &StoredPayload) -> u64 {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x0000_0100_0000_01b3;
-    let mut h = OFFSET;
-    let mut step = |b: u8| {
-        h ^= b as u64;
-        h = h.wrapping_mul(PRIME);
-    };
     match payload {
         StoredPayload::Typed(v) => {
+            let mut h = Fnv1a::new();
             with_slice!(&**v, xs => {
                 for x in xs {
-                    for b in x.to_le_bytes() {
-                        step(b);
-                    }
+                    h.update(&x.to_le_bytes());
                 }
             });
+            h.finish()
         }
-        StoredPayload::Raw(bytes) => return fnv1a64(bytes),
+        StoredPayload::Raw(bytes) => fnv1a64(bytes),
     }
-    h
 }
 
 /// SplitMix64 step used to derive deterministic corruption sites.
@@ -122,6 +111,29 @@ fn flipped_payload(payload: &StoredPayload, seed: u64) -> Option<StoredPayload> 
     }
 }
 
+/// Deterministically flip one bit of a spilled region's block file,
+/// stashing a pristine sibling copy first (the on-disk analogue of the
+/// in-memory `pristine` stash). The flip site can land anywhere in the
+/// file — payload, frame header, index, or footer — and every one of
+/// those is covered by a checksum, so the next fault-in detects it.
+fn corrupt_block_file(path: &Path, seed: u64) -> PdcResult<()> {
+    let io = |e: std::io::Error| PdcError::Storage(format!("spill corrupt {}: {e}", path.display()));
+    let mut bytes = std::fs::read(path).map_err(io)?;
+    if bytes.is_empty() {
+        return Err(PdcError::Storage(format!("spill file {} is empty", path.display())));
+    }
+    let orig = orig_path(path);
+    if !orig.exists() {
+        std::fs::copy(path, &orig).map_err(io)?;
+    }
+    let r0 = mix64(seed);
+    let r1 = mix64(r0);
+    let idx = (r0 % bytes.len() as u64) as usize;
+    bytes[idx] ^= 1 << (r1 % 8);
+    std::fs::write(path, &bytes).map_err(io)?;
+    Ok(())
+}
+
 /// A region's payload.
 #[derive(Debug, Clone)]
 pub enum StoredPayload {
@@ -141,17 +153,283 @@ impl StoredPayload {
     }
 }
 
+/// Where a region's payload physically lives.
+///
+/// Residency is invisible to simulated time: a region's tier, checksum,
+/// and every cost charge are identical whether its payload is held in
+/// memory or demoted to a block-compressed spill file. Only host-side
+/// spill statistics observe the difference.
+#[derive(Debug, Clone)]
+enum Residency {
+    /// Payload held in memory.
+    Resident(StoredPayload),
+    /// Payload demoted to a block-compressed file on disk.
+    Spilled(ColdHandle),
+}
+
+/// Element shape of a spilled payload.
+#[derive(Debug, Clone, Copy)]
+enum ColdKind {
+    Typed { ty: PdcType, elems: u64, block_elems: u32 },
+    Raw,
+}
+
+/// Durable location + shape of a spilled payload.
+#[derive(Debug, Clone)]
+struct ColdHandle {
+    path: PathBuf,
+    kind: ColdKind,
+    /// Uncompressed payload bytes — the size every simulated charge and
+    /// capacity decision keeps using after demotion.
+    raw_bytes: u64,
+    /// Compressed on-disk bytes (host-side accounting only).
+    comp_bytes: u64,
+}
+
 #[derive(Debug, Clone)]
 struct StoredRegion {
-    payload: StoredPayload,
+    res: Residency,
     tier: StorageTier,
     ost: u32,
     /// FNV-1a over the payload bytes, computed at `put` time.
     checksum: u64,
     /// The last-known-good payload, stashed when corruption is injected.
     /// Models the durable PFS copy a real deployment re-reads to repair a
-    /// bad replica; `None` means no verified fallback exists.
+    /// bad replica; `None` means no verified fallback exists. Spilled
+    /// regions keep their pristine copy as a sibling `.orig` file instead.
     pristine: Option<StoredPayload>,
+}
+
+impl StoredRegion {
+    /// Logical (uncompressed) payload size, independent of residency.
+    fn size_bytes(&self) -> u64 {
+        match &self.res {
+            Residency::Resident(p) => p.size_bytes(),
+            Residency::Spilled(h) => h.raw_bytes,
+        }
+    }
+}
+
+/// The sibling path holding a spilled region's pristine copy while its
+/// primary block file carries injected corruption.
+fn orig_path(path: &Path) -> PathBuf {
+    path.with_extension("pbf.orig")
+}
+
+/// The `(object token, region index)` pair used as the block-cache
+/// region prefix for `id`.
+fn cache_token(id: RegionId) -> (u64, u32) {
+    (id.object.raw(), id.index)
+}
+
+/// Host-side accounting for the spill subsystem.
+#[derive(Debug, Default, Clone, Copy)]
+struct SpillAcct {
+    resident_bytes: u64,
+    high_water: u64,
+    demotions: u64,
+    fault_ins: u64,
+    spilled_regions: u64,
+    spilled_raw_bytes: u64,
+    spilled_comp_bytes: u64,
+}
+
+#[derive(Debug, Default)]
+struct SpillTicks {
+    tick: u64,
+    last_use: HashMap<RegionId, u64>,
+}
+
+/// Spill configuration + accounting, present once out-of-core mode is
+/// enabled via [`ObjectStore::configure_spill`].
+#[derive(Debug)]
+struct SpillState {
+    dir: PathBuf,
+    memory_budget: u64,
+    block_cache: Arc<BlockCache>,
+    acct: Mutex<SpillAcct>,
+    /// Access recency driving LRU demotion order (separate from the
+    /// region map so reads only take this one small lock).
+    ticks: Mutex<SpillTicks>,
+}
+
+impl SpillState {
+    fn add_resident(&self, bytes: u64) {
+        self.acct.lock().resident_bytes += bytes;
+    }
+
+    fn sub_resident(&self, bytes: u64) {
+        let mut a = self.acct.lock();
+        a.resident_bytes = a.resident_bytes.saturating_sub(bytes);
+    }
+
+    /// Record the settled resident footprint (called after budget
+    /// enforcement, so the high-water mark reflects steady state rather
+    /// than the unavoidable transient while a payload is being demoted).
+    fn note_high_water(&self) {
+        let mut a = self.acct.lock();
+        if a.resident_bytes > a.high_water {
+            a.high_water = a.resident_bytes;
+        }
+    }
+
+    /// Forget a spilled region: delete its files, drop its cached blocks,
+    /// and roll its bytes out of the spill accounting.
+    fn drop_spilled(&self, h: &ColdHandle, token: (u64, u32)) {
+        let _ = std::fs::remove_file(&h.path);
+        let _ = std::fs::remove_file(orig_path(&h.path));
+        self.block_cache.invalidate_region(token);
+        let mut a = self.acct.lock();
+        a.spilled_regions = a.spilled_regions.saturating_sub(1);
+        a.spilled_raw_bytes = a.spilled_raw_bytes.saturating_sub(h.raw_bytes);
+        a.spilled_comp_bytes = a.spilled_comp_bytes.saturating_sub(h.comp_bytes);
+    }
+}
+
+/// Snapshot of the spill subsystem's host-side statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SpillStats {
+    /// Uncompressed bytes currently held in memory.
+    pub resident_bytes: u64,
+    /// Settled high-water mark of `resident_bytes`.
+    pub resident_high_water: u64,
+    /// Regions demoted to disk since spill was configured.
+    pub demotions: u64,
+    /// Whole-region materializations of spilled payloads.
+    pub fault_ins: u64,
+    /// Regions currently spilled.
+    pub spilled_regions: u64,
+    /// Uncompressed bytes of currently spilled regions.
+    pub spilled_raw_bytes: u64,
+    /// On-disk (compressed) bytes of currently spilled regions.
+    pub spilled_comp_bytes: u64,
+    /// Decoded-block cache statistics.
+    pub block_cache: BlockCacheStats,
+    /// Decoded-block cache residency in bytes.
+    pub block_cache_bytes: u64,
+}
+
+impl SpillStats {
+    /// Compression ratio over currently spilled regions (uncompressed /
+    /// on-disk); 1.0 when nothing is spilled.
+    pub fn compression_ratio(&self) -> f64 {
+        if self.spilled_comp_bytes == 0 {
+            1.0
+        } else {
+            self.spilled_raw_bytes as f64 / self.spilled_comp_bytes as f64
+        }
+    }
+}
+
+/// A read handle over a spilled region's block file: per-block decode
+/// through the shared budgeted block cache, so an interval scan touches
+/// only the blocks its intervals overlap and never materializes the
+/// whole region.
+#[derive(Clone)]
+pub struct ColdRegion {
+    id: RegionId,
+    path: PathBuf,
+    ty: PdcType,
+    elems: u64,
+    block_elems: u32,
+    raw_bytes: u64,
+    cache: Arc<BlockCache>,
+    /// Lazily opened, shared across clones so repeated block reads pay
+    /// the open+index-verify cost once.
+    reader: Arc<Mutex<Option<Arc<BlockReader>>>>,
+}
+
+impl std::fmt::Debug for ColdRegion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ColdRegion")
+            .field("id", &self.id)
+            .field("path", &self.path)
+            .field("ty", &self.ty)
+            .field("elems", &self.elems)
+            .field("block_elems", &self.block_elems)
+            .finish()
+    }
+}
+
+impl ColdRegion {
+    /// The region this handle reads.
+    pub fn id(&self) -> RegionId {
+        self.id
+    }
+
+    /// Element count.
+    pub fn len(&self) -> u64 {
+        self.elems
+    }
+
+    /// Whether the region is empty.
+    pub fn is_empty(&self) -> bool {
+        self.elems == 0
+    }
+
+    /// Element type.
+    pub fn pdc_type(&self) -> PdcType {
+        self.ty
+    }
+
+    /// Uncompressed payload size in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.raw_bytes
+    }
+
+    /// Elements per block (last block may be short).
+    pub fn block_elems(&self) -> u32 {
+        self.block_elems
+    }
+
+    /// Number of blocks.
+    pub fn n_blocks(&self) -> u32 {
+        if self.elems == 0 {
+            0
+        } else {
+            self.elems.div_ceil(self.block_elems as u64) as u32
+        }
+    }
+
+    /// Element span `[start, end)` of block `b`.
+    pub fn block_span(&self, b: u32) -> (u64, u64) {
+        let start = b as u64 * self.block_elems as u64;
+        let end = (start + self.block_elems as u64).min(self.elems);
+        (start, end)
+    }
+
+    /// Blocks whose element spans intersect `[lo, hi)`.
+    pub fn blocks_overlapping(&self, lo: u64, hi: u64) -> std::ops::Range<u32> {
+        let hi = hi.min(self.elems);
+        if lo >= hi {
+            return 0..0;
+        }
+        let first = (lo / self.block_elems as u64) as u32;
+        let last = ((hi - 1) / self.block_elems as u64) as u32;
+        first..last + 1
+    }
+
+    fn reader(&self) -> PdcResult<Arc<BlockReader>> {
+        let mut g = self.reader.lock();
+        if let Some(r) = &*g {
+            return Ok(Arc::clone(r));
+        }
+        let r = Arc::new(BlockReader::open(&self.path)?);
+        *g = Some(Arc::clone(&r));
+        Ok(r)
+    }
+
+    /// Decode block `b`, serving from the shared block cache when hot.
+    /// Every decoded frame is checksum-verified by the block reader.
+    pub fn read_block(&self, b: u32) -> PdcResult<Arc<TypedVec>> {
+        let key = (self.id.object.raw(), self.id.index, b);
+        if let Some(hit) = self.cache.get(key) {
+            return Ok(hit);
+        }
+        let block = Arc::new(self.reader()?.read_typed_block(b)?);
+        self.cache.put(key, Arc::clone(&block));
+        Ok(block)
+    }
 }
 
 /// The shared object store.
@@ -178,6 +456,9 @@ pub struct ObjectStore {
     /// entries to the epoch they were computed at and drop them when it
     /// moves.
     epoch: std::sync::atomic::AtomicU64,
+    /// Out-of-core spill state; `None` until
+    /// [`ObjectStore::configure_spill`] enables demotion.
+    spill: RwLock<Option<Arc<SpillState>>>,
 }
 
 impl ObjectStore {
@@ -189,6 +470,22 @@ impl ObjectStore {
             sealed: RwLock::new(HashSet::new()),
             num_osts: num_osts.max(1),
             epoch: std::sync::atomic::AtomicU64::new(0),
+            spill: RwLock::new(None),
+        }
+    }
+
+    fn spill_state(&self) -> Option<Arc<SpillState>> {
+        self.spill.read().clone()
+    }
+
+    /// Bump the access tick used for LRU demotion ordering (no-op when
+    /// spill is disabled).
+    fn touch(&self, id: RegionId) {
+        if let Some(s) = self.spill_state() {
+            let mut t = s.ticks.lock();
+            t.tick += 1;
+            let tick = t.tick;
+            t.last_use.insert(id, tick);
         }
     }
 
@@ -216,12 +513,25 @@ impl ObjectStore {
     pub fn put(&self, id: RegionId, payload: StoredPayload, tier: StorageTier) {
         let ost = (id.index + id.object.raw() as u32) % self.num_osts;
         let checksum = payload_checksum(&payload);
-        self.regions
-            .write()
-            .insert(id, StoredRegion { payload, tier, ost, checksum, pristine: None });
+        let new_bytes = payload.size_bytes();
+        let old = self.regions.write().insert(
+            id,
+            StoredRegion { res: Residency::Resident(payload), tier, ost, checksum, pristine: None },
+        );
         self.quarantine.write().remove(&id);
         self.sealed.write().remove(&id);
+        if let Some(s) = self.spill_state() {
+            match old.map(|r| r.res) {
+                Some(Residency::Resident(p)) => s.sub_resident(p.size_bytes()),
+                Some(Residency::Spilled(h)) => s.drop_spilled(&h, cache_token(id)),
+                None => {}
+            }
+            s.add_resident(new_bytes);
+            self.touch(id);
+        }
         self.bump_epoch();
+        // Best-effort: writes stay within budget as sealed regions demote.
+        let _ = self.enforce_budget();
     }
 
     /// Extend a typed region's payload with `delta` (streaming ingest).
@@ -240,8 +550,9 @@ impl ObjectStore {
         }
         let mut map = self.regions.write();
         let r = map.get_mut(&id).ok_or(PdcError::NoSuchRegion(id))?;
-        let grown = match &r.payload {
-            StoredPayload::Typed(v) => {
+        let old_bytes = r.size_bytes();
+        let grown = match &r.res {
+            Residency::Resident(StoredPayload::Typed(v)) => {
                 if v.pdc_type() != delta.pdc_type() {
                     return Err(PdcError::Storage(format!(
                         "append type mismatch on {id}: region holds {:?}, delta is {:?}",
@@ -249,7 +560,7 @@ impl ObjectStore {
                         delta.pdc_type()
                     )));
                 }
-                if payload_checksum(&r.payload) != r.checksum {
+                if payload_checksum(&StoredPayload::Typed(Arc::clone(v))) != r.checksum {
                     let found_on = r.tier;
                     drop(map);
                     self.quarantine.write().insert(id);
@@ -262,21 +573,36 @@ impl ObjectStore {
                 grown.extend_from_range(delta, 0..delta.len())?;
                 grown
             }
-            StoredPayload::Raw(_) => {
+            Residency::Resident(StoredPayload::Raw(_)) => {
                 return Err(PdcError::Storage(format!(
                     "region {id} holds raw bytes; append requires typed data"
                 )))
             }
+            // Only sealed regions ever demote, and sealed regions were
+            // refused above — defend anyway so the invariant is local.
+            Residency::Spilled(_) => {
+                return Err(PdcError::Storage(format!(
+                    "region {id} is spilled (sealed) and cannot accept appends"
+                )))
+            }
         };
         let new_len = grown.len() as u64;
-        r.payload = StoredPayload::Typed(Arc::new(grown));
-        r.checksum = payload_checksum(&r.payload);
+        let payload = StoredPayload::Typed(Arc::new(grown));
+        r.checksum = payload_checksum(&payload);
+        let new_bytes = payload.size_bytes();
+        r.res = Residency::Resident(payload);
         // Any stashed pristine copy predates the append and no longer
         // matches the recorded checksum; drop it rather than let a later
         // repair "restore" a truncated payload.
         r.pristine = None;
         drop(map);
+        if let Some(s) = self.spill_state() {
+            s.sub_resident(old_bytes);
+            s.add_resident(new_bytes);
+            self.touch(id);
+        }
         self.bump_epoch();
+        let _ = self.enforce_budget();
         Ok(new_len)
     }
 
@@ -288,6 +614,15 @@ impl ObjectStore {
             return Err(PdcError::NoSuchRegion(id));
         }
         self.sealed.write().insert(id);
+        // Sealing makes the region demotable; spill immediately if the
+        // resident footprint is over budget. The high-water mark samples
+        // resident bytes here — seal boundaries are the points where the
+        // budget is enforceable (an open region is pinned by ingest
+        // itself, so its transient footprint is charged to the writer).
+        self.enforce_budget()?;
+        if let Some(s) = self.spill_state() {
+            s.note_high_water();
+        }
         Ok(())
     }
 
@@ -300,17 +635,52 @@ impl ObjectStore {
     /// recorded at `put`. A mismatch quarantines the region and reports
     /// the tier the corrupt copy was found on.
     pub fn get(&self, id: RegionId) -> PdcResult<(StoredPayload, StorageTier)> {
-        let (payload, tier, checksum) = self
+        self.touch(id);
+        let (res, tier, checksum) = self
             .regions
             .read()
             .get(&id)
-            .map(|r| (r.payload.clone(), r.tier, r.checksum))
+            .map(|r| (r.res.clone(), r.tier, r.checksum))
             .ok_or(PdcError::NoSuchRegion(id))?;
+        let payload = match res {
+            Residency::Resident(p) => p,
+            Residency::Spilled(h) => self.fault_in(id, &h, tier)?,
+        };
         if payload_checksum(&payload) != checksum {
             self.quarantine.write().insert(id);
             return Err(PdcError::CorruptRegion { region: id, tier: tier.name().into() });
         }
         Ok((payload, tier))
+    }
+
+    /// Materialize a spilled payload from its block file. Any failure —
+    /// torn file, bad frame checksum, hostile index — quarantines the
+    /// region and surfaces as [`PdcError::CorruptRegion`], exactly like a
+    /// resident checksum mismatch, so the verify-and-fallback repair lane
+    /// handles both identically.
+    fn fault_in(&self, id: RegionId, h: &ColdHandle, tier: StorageTier) -> PdcResult<StoredPayload> {
+        match Self::materialize(h) {
+            Ok(p) => {
+                if let Some(s) = self.spill_state() {
+                    s.acct.lock().fault_ins += 1;
+                }
+                Ok(p)
+            }
+            Err(_) => {
+                self.quarantine.write().insert(id);
+                Err(PdcError::CorruptRegion { region: id, tier: tier.name().into() })
+            }
+        }
+    }
+
+    /// Decode a spilled payload in full (transient — the store copy stays
+    /// cold and the block cache is not populated by whole-region reads).
+    fn materialize(h: &ColdHandle) -> PdcResult<StoredPayload> {
+        let reader = BlockReader::open(&h.path)?;
+        match h.kind {
+            ColdKind::Typed { .. } => Ok(StoredPayload::Typed(Arc::new(reader.read_all_typed()?))),
+            ColdKind::Raw => Ok(StoredPayload::Raw(Bytes::from(reader.read_all_raw()?))),
+        }
     }
 
     /// Fetch a region's payload and tier WITHOUT re-deriving its checksum.
@@ -320,18 +690,26 @@ impl ObjectStore {
     /// invalidates whatever the advisory reader derived. Anything that
     /// feeds query results or durability must use [`Self::get`].
     pub fn get_unverified(&self, id: RegionId) -> PdcResult<(StoredPayload, StorageTier)> {
-        self.regions
+        self.touch(id);
+        let (res, tier) = self
+            .regions
             .read()
             .get(&id)
-            .map(|r| (r.payload.clone(), r.tier))
-            .ok_or(PdcError::NoSuchRegion(id))
+            .map(|r| (r.res.clone(), r.tier))
+            .ok_or(PdcError::NoSuchRegion(id))?;
+        match res {
+            Residency::Resident(p) => Ok((p, tier)),
+            // Spilled reads are implicitly verified: every decoded frame
+            // carries its own checksum.
+            Residency::Spilled(h) => Ok((self.fault_in(id, &h, tier)?, tier)),
+        }
     }
 
     /// Size in bytes of a region's payload, without any verification,
     /// tier charge, or access bookkeeping — a host-side metadata peek for
     /// planners ranking operators before deciding what to read.
     pub fn payload_size(&self, id: RegionId) -> Option<u64> {
-        self.regions.read().get(&id).map(|r| r.payload.size_bytes())
+        self.regions.read().get(&id).map(|r| r.size_bytes())
     }
 
     /// Fetch a typed-array region (most callers).
@@ -369,7 +747,15 @@ impl ObjectStore {
     pub fn remove(&self, id: RegionId) -> bool {
         self.quarantine.write().remove(&id);
         self.sealed.write().remove(&id);
-        let existed = self.regions.write().remove(&id).is_some();
+        let old = self.regions.write().remove(&id);
+        let existed = old.is_some();
+        if let (Some(r), Some(s)) = (old, self.spill_state()) {
+            match r.res {
+                Residency::Resident(p) => s.sub_resident(p.size_bytes()),
+                Residency::Spilled(h) => s.drop_spilled(&h, cache_token(id)),
+            }
+            s.ticks.lock().last_use.remove(&id);
+        }
         if existed {
             self.bump_epoch();
         }
@@ -382,14 +768,20 @@ impl ObjectStore {
     pub fn migrate(&self, id: RegionId, tier: StorageTier) -> PdcResult<u64> {
         let mut map = self.regions.write();
         let r = map.get_mut(&id).ok_or(PdcError::NoSuchRegion(id))?;
-        if payload_checksum(&r.payload) != r.checksum {
+        let verified = match &r.res {
+            Residency::Resident(p) => payload_checksum(p) == r.checksum,
+            Residency::Spilled(h) => Self::materialize(h)
+                .map(|p| payload_checksum(&p) == r.checksum)
+                .unwrap_or(false),
+        };
+        if !verified {
             let found_on = r.tier;
             drop(map);
             self.quarantine.write().insert(id);
             return Err(PdcError::CorruptRegion { region: id, tier: found_on.name().into() });
         }
         r.tier = tier;
-        let bytes = r.payload.size_bytes();
+        let bytes = r.size_bytes();
         drop(map);
         self.bump_epoch();
         Ok(bytes)
@@ -403,17 +795,35 @@ impl ObjectStore {
         let mut map = self.regions.write();
         let r = map.get_mut(&id).ok_or(PdcError::NoSuchRegion(id))?;
         let site_seed = seed ^ id.object.raw().rotate_left(32) ^ id.index as u64;
-        match flipped_payload(&r.payload, site_seed) {
-            Some(bad) => {
-                if r.pristine.is_none() {
-                    r.pristine = Some(r.payload.clone());
+        match &r.res {
+            Residency::Resident(p) => match flipped_payload(p, site_seed) {
+                Some(bad) => {
+                    if r.pristine.is_none() {
+                        r.pristine = Some(p.clone());
+                    }
+                    r.res = Residency::Resident(bad);
+                    drop(map);
+                    self.bump_epoch();
+                    Ok(true)
                 }
-                r.payload = bad;
+                None => Ok(false),
+            },
+            Residency::Spilled(h) => {
+                // Empty payloads cannot be corrupted — parity with the
+                // resident path (the block file's framing bytes are not
+                // payload).
+                if h.raw_bytes == 0 {
+                    return Ok(false);
+                }
+                let path = h.path.clone();
+                corrupt_block_file(&path, site_seed)?;
                 drop(map);
+                if let Some(s) = self.spill_state() {
+                    s.block_cache.invalidate_region(cache_token(id));
+                }
                 self.bump_epoch();
                 Ok(true)
             }
-            None => Ok(false),
         }
     }
 
@@ -424,18 +834,52 @@ impl ObjectStore {
     pub fn repair(&self, id: RegionId) -> PdcResult<u64> {
         let mut map = self.regions.write();
         let r = map.get_mut(&id).ok_or(PdcError::NoSuchRegion(id))?;
-        let Some(pristine) = r.pristine.take() else {
-            return Err(PdcError::CorruptRegion { region: id, tier: r.tier.name().into() });
+        let tier = r.tier;
+        let bytes = match &r.res {
+            Residency::Resident(_) => {
+                let Some(pristine) = r.pristine.take() else {
+                    return Err(PdcError::CorruptRegion { region: id, tier: tier.name().into() });
+                };
+                if payload_checksum(&pristine) != r.checksum {
+                    // The "durable" copy is bad too: keep the region quarantined.
+                    r.pristine = Some(pristine);
+                    drop(map);
+                    return Err(PdcError::CorruptRegion { region: id, tier: tier.name().into() });
+                }
+                let bytes = pristine.size_bytes();
+                r.res = Residency::Resident(pristine);
+                bytes
+            }
+            Residency::Spilled(h) => {
+                // The pristine copy lives in the sibling `.orig` file.
+                let orig = orig_path(&h.path);
+                if !orig.exists() {
+                    return Err(PdcError::CorruptRegion { region: id, tier: tier.name().into() });
+                }
+                std::fs::copy(&orig, &h.path).map_err(|e| {
+                    PdcError::Storage(format!("spill repair {}: {e}", h.path.display()))
+                })?;
+                // Verify the restored file decodes to the recorded
+                // checksum; if not, leave the `.orig` marker in place and
+                // stay quarantined.
+                let ok = Self::materialize(h)
+                    .map(|p| payload_checksum(&p) == r.checksum)
+                    .unwrap_or(false);
+                if !ok {
+                    drop(map);
+                    return Err(PdcError::CorruptRegion { region: id, tier: tier.name().into() });
+                }
+                let _ = std::fs::remove_file(&orig);
+                let bytes = h.raw_bytes;
+                drop(map);
+                if let Some(s) = self.spill_state() {
+                    s.block_cache.invalidate_region(cache_token(id));
+                }
+                self.quarantine.write().remove(&id);
+                self.bump_epoch();
+                return Ok(bytes);
+            }
         };
-        if payload_checksum(&pristine) != r.checksum {
-            // The "durable" copy is bad too: keep the region quarantined.
-            let tier = r.tier;
-            r.pristine = Some(pristine);
-            drop(map);
-            return Err(PdcError::CorruptRegion { region: id, tier: tier.name().into() });
-        }
-        r.payload = pristine;
-        let bytes = r.payload.size_bytes();
         drop(map);
         self.quarantine.write().remove(&id);
         self.bump_epoch();
@@ -461,11 +905,17 @@ impl ObjectStore {
         self.get(id).map(|_| ())
     }
 
+    /// The storage tier a region is placed on. Pure metadata — residency
+    /// (resident vs spilled) never changes a region's tier.
+    pub fn tier_of(&self, id: RegionId) -> PdcResult<StorageTier> {
+        self.regions.read().get(&id).map(|r| r.tier).ok_or(PdcError::NoSuchRegion(id))
+    }
+
     /// Total stored bytes per tier.
     pub fn bytes_by_tier(&self) -> HashMap<StorageTier, u64> {
         let mut out = HashMap::new();
         for r in self.regions.read().values() {
-            *out.entry(r.tier).or_insert(0) += r.payload.size_bytes();
+            *out.entry(r.tier).or_insert(0) += r.size_bytes();
         }
         out
     }
@@ -473,6 +923,222 @@ impl ObjectStore {
     /// Number of stored regions.
     pub fn num_regions(&self) -> usize {
         self.regions.read().len()
+    }
+
+    // ------------------------------------------------------------------
+    // Out-of-core spill: demotion under a byte budget, block-level reads.
+    // ------------------------------------------------------------------
+
+    /// Enable out-of-core mode: sealed regions demote to block-compressed
+    /// files under `dir` whenever the resident footprint exceeds
+    /// `memory_budget` bytes; decoded blocks of spilled regions are served
+    /// through a shared cache of at most `block_cache_bytes`.
+    ///
+    /// Spilling is physically real but simulation-invisible: tiers,
+    /// checksums, and cost charges never depend on residency.
+    pub fn configure_spill(
+        &self,
+        dir: &Path,
+        memory_budget: u64,
+        block_cache_bytes: u64,
+    ) -> PdcResult<()> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| PdcError::Storage(format!("spill dir {}: {e}", dir.display())))?;
+        let resident: u64 = self
+            .regions
+            .read()
+            .values()
+            .map(|r| match &r.res {
+                Residency::Resident(p) => p.size_bytes(),
+                Residency::Spilled(_) => 0,
+            })
+            .sum();
+        // Reconfiguring keeps cumulative counters and access recency;
+        // only the budget, directory, and (fresh) block cache change.
+        let prev = self.spill_state();
+        let mut acct = prev.as_ref().map(|p| *p.acct.lock()).unwrap_or_default();
+        acct.resident_bytes = resident;
+        acct.high_water = 0;
+        let ticks = prev
+            .as_ref()
+            .map(|p| std::mem::take(&mut *p.ticks.lock()))
+            .unwrap_or_default();
+        let state = SpillState {
+            dir: dir.to_path_buf(),
+            memory_budget,
+            block_cache: Arc::new(BlockCache::new(block_cache_bytes)),
+            acct: Mutex::new(acct),
+            ticks: Mutex::new(ticks),
+        };
+        *self.spill.write() = Some(Arc::new(state));
+        self.enforce_budget()?;
+        if let Some(s) = self.spill_state() {
+            s.note_high_water();
+        }
+        Ok(())
+    }
+
+    /// Whether out-of-core mode is enabled.
+    pub fn spill_enabled(&self) -> bool {
+        self.spill.read().is_some()
+    }
+
+    /// The configured memory budget, if spill is enabled.
+    pub fn memory_budget(&self) -> Option<u64> {
+        self.spill_state().map(|s| s.memory_budget)
+    }
+
+    /// Whether a region's payload currently lives on disk.
+    pub fn is_spilled(&self, id: RegionId) -> bool {
+        self.regions
+            .read()
+            .get(&id)
+            .map(|r| matches!(r.res, Residency::Spilled(_)))
+            .unwrap_or(false)
+    }
+
+    /// Host-side spill statistics (None when spill is disabled).
+    pub fn spill_stats(&self) -> Option<SpillStats> {
+        let s = self.spill_state()?;
+        let a = *s.acct.lock();
+        Some(SpillStats {
+            resident_bytes: a.resident_bytes,
+            resident_high_water: a.high_water,
+            demotions: a.demotions,
+            fault_ins: a.fault_ins,
+            spilled_regions: a.spilled_regions,
+            spilled_raw_bytes: a.spilled_raw_bytes,
+            spilled_comp_bytes: a.spilled_comp_bytes,
+            block_cache: s.block_cache.stats(),
+            block_cache_bytes: s.block_cache.used_bytes(),
+        })
+    }
+
+    /// A block-granular read handle for a spilled typed region, or `None`
+    /// when the region is resident, raw, missing, or spill is disabled.
+    /// Readers that can stream (interval scans) use this to touch only
+    /// the blocks they need; everything else faults the region in whole.
+    pub fn cold_region(&self, id: RegionId) -> Option<ColdRegion> {
+        let s = self.spill_state()?;
+        let handle = {
+            let map = self.regions.read();
+            match &map.get(&id)?.res {
+                Residency::Spilled(h) => h.clone(),
+                Residency::Resident(_) => return None,
+            }
+        };
+        let ColdKind::Typed { ty, elems, block_elems } = handle.kind else {
+            return None;
+        };
+        self.touch(id);
+        Some(ColdRegion {
+            id,
+            path: handle.path,
+            ty,
+            elems,
+            block_elems,
+            raw_bytes: handle.raw_bytes,
+            cache: Arc::clone(&s.block_cache),
+            reader: Arc::new(Mutex::new(None)),
+        })
+    }
+
+    /// Demote resident sealed regions (least-recently-used first) until
+    /// the resident footprint fits the budget or nothing more is
+    /// demotable. Returns the number of regions demoted. No epoch bump:
+    /// demotion is physically real but changes no readable bytes.
+    pub fn enforce_budget(&self) -> PdcResult<u64> {
+        let Some(s) = self.spill_state() else {
+            return Ok(0);
+        };
+        let mut demoted = 0u64;
+        loop {
+            if s.acct.lock().resident_bytes <= s.memory_budget {
+                break;
+            }
+            let victim = {
+                let map = self.regions.read();
+                let sealed = self.sealed.read();
+                let quar = self.quarantine.read();
+                let ticks = s.ticks.lock();
+                let mut best: Option<(u64, RegionId)> = None;
+                for (id, r) in map.iter() {
+                    if !matches!(r.res, Residency::Resident(_))
+                        || r.pristine.is_some()
+                        || r.size_bytes() == 0
+                        || !sealed.contains(id)
+                        || quar.contains(id)
+                    {
+                        continue;
+                    }
+                    let t = ticks.last_use.get(id).copied().unwrap_or(0);
+                    if best.is_none_or(|b| (t, *id) < b) {
+                        best = Some((t, *id));
+                    }
+                }
+                best.map(|(_, id)| id)
+            };
+            let Some(victim) = victim else { break };
+            if self.demote(victim, &s)? {
+                demoted += 1;
+            } else {
+                break; // raced away; don't spin
+            }
+        }
+        Ok(demoted)
+    }
+
+    /// Demote one region to its block-compressed spill file. Only sealed,
+    /// unquarantined, pristine-free resident regions are eligible.
+    fn demote(&self, id: RegionId, s: &SpillState) -> PdcResult<bool> {
+        // Snapshot without holding the write lock across file IO.
+        let (payload, checksum) = {
+            let map = self.regions.read();
+            let Some(r) = map.get(&id) else { return Ok(false) };
+            match &r.res {
+                Residency::Resident(p) if r.pristine.is_none() => (p.clone(), r.checksum),
+                _ => return Ok(false),
+            }
+        };
+        if !self.is_sealed(id) || self.is_quarantined(id) || payload.size_bytes() == 0 {
+            return Ok(false);
+        }
+        let path = s.dir.join(format!("r_{:016x}_{:08x}.pbf", id.object.raw(), id.index));
+        let (meta, kind) = match &payload {
+            StoredPayload::Typed(v) => (
+                blockfile::write_typed(&path, v, blockfile::DEFAULT_BLOCK_ELEMS)?,
+                ColdKind::Typed {
+                    ty: v.pdc_type(),
+                    elems: v.len() as u64,
+                    block_elems: blockfile::DEFAULT_BLOCK_ELEMS,
+                },
+            ),
+            StoredPayload::Raw(b) => {
+                (blockfile::write_raw(&path, b, blockfile::DEFAULT_BLOCK_ELEMS)?, ColdKind::Raw)
+            }
+        };
+        let handle = ColdHandle { path, kind, raw_bytes: meta.raw_bytes, comp_bytes: meta.comp_bytes };
+        let mut map = self.regions.write();
+        let still_clean = map.get(&id).is_some_and(|r| {
+            matches!(r.res, Residency::Resident(_)) && r.pristine.is_none() && r.checksum == checksum
+        });
+        if !still_clean {
+            drop(map);
+            let _ = std::fs::remove_file(&handle.path);
+            return Ok(false);
+        }
+        let r = map.get_mut(&id).expect("checked above");
+        let freed = r.size_bytes();
+        let (raw, comp) = (handle.raw_bytes, handle.comp_bytes);
+        r.res = Residency::Spilled(handle);
+        drop(map);
+        s.sub_resident(freed);
+        let mut a = s.acct.lock();
+        a.demotions += 1;
+        a.spilled_regions += 1;
+        a.spilled_raw_bytes += raw;
+        a.spilled_comp_bytes += comp;
+        Ok(true)
     }
 }
 
@@ -627,7 +1293,10 @@ mod tests {
             store.put(rid(8, 0), StoredPayload::Typed(Arc::new(v)), StorageTier::Pfs);
             store.corrupt(rid(8, 0), seed).unwrap();
             let map = store.regions.read();
-            payload_checksum(&map[&rid(8, 0)].payload)
+            match &map[&rid(8, 0)].res {
+                Residency::Resident(p) => payload_checksum(p),
+                Residency::Spilled(_) => unreachable!("spill is not enabled"),
+            }
         };
         assert_eq!(make(42), make(42));
         assert_ne!(make(42), make(43));
@@ -765,5 +1434,230 @@ mod tests {
         store.put(rid(10, 0), StoredPayload::Raw(Bytes::new()), StorageTier::Pfs);
         assert!(!store.corrupt(rid(10, 0), 5).unwrap());
         assert!(store.get_raw(rid(10, 0)).is_ok());
+    }
+
+    // ------------------------------------------------------------------
+    // Out-of-core spill
+    // ------------------------------------------------------------------
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let thread = std::thread::current()
+            .name()
+            .unwrap_or("t")
+            .replace(|c: char| !c.is_ascii_alphanumeric(), "_");
+        let d = std::env::temp_dir().join(format!("pdc_store_{tag}_{}_{thread}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn seeded_floats(n: usize) -> TypedVec {
+        (0..n).map(|i| (i as f32 * 0.25).sin()).collect::<Vec<f32>>().into()
+    }
+
+    #[test]
+    fn sealed_regions_demote_under_budget_and_fault_back_in() {
+        let dir = tmp_dir("demote");
+        let store = ObjectStore::new(4);
+        store.configure_spill(&dir, 10_000, 1 << 20).unwrap();
+        // Four sealed 40 KB regions against a 10 KB budget.
+        let mut originals = Vec::new();
+        for i in 0..4 {
+            let v = seeded_floats(10_000);
+            originals.push(v.clone());
+            store.put(rid(1, i), StoredPayload::Typed(Arc::new(v)), StorageTier::Pfs);
+            store.seal(rid(1, i)).unwrap();
+        }
+        let stats = store.spill_stats().unwrap();
+        assert!(stats.resident_bytes <= 10_000, "resident {} > budget", stats.resident_bytes);
+        assert!(stats.resident_high_water <= 10_000);
+        assert!(stats.demotions >= 3, "expected ≥3 demotions, got {}", stats.demotions);
+        assert_eq!(stats.spilled_regions, stats.demotions);
+        assert!(stats.spilled_comp_bytes > 0);
+        // Reads still verify and return the exact payload.
+        for i in 0..4 {
+            let got = store.get_typed(rid(1, i)).unwrap();
+            assert_eq!(&*got, &originals[i as usize]);
+        }
+        assert!(store.spill_stats().unwrap().fault_ins >= 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unsealed_regions_never_demote() {
+        let dir = tmp_dir("unsealed");
+        let store = ObjectStore::new(2);
+        store.configure_spill(&dir, 100, 1 << 20).unwrap();
+        store.put(rid(2, 0), StoredPayload::Typed(Arc::new(seeded_floats(1000))), StorageTier::Pfs);
+        assert!(!store.is_spilled(rid(2, 0)));
+        // Over budget, but the only region is unsealed: nothing to demote.
+        assert!(store.spill_stats().unwrap().resident_bytes > 100);
+        assert_eq!(store.spill_stats().unwrap().demotions, 0);
+        // Appends still work (spilled regions would refuse).
+        let delta: TypedVec = vec![1.0f32].into();
+        store.append_typed(rid(2, 0), &delta).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lru_order_picks_least_recently_used_victim() {
+        let dir = tmp_dir("lru");
+        let store = ObjectStore::new(2);
+        // Budget fits exactly three 400-byte regions.
+        store.configure_spill(&dir, 1200, 1 << 20).unwrap();
+        for i in 0..3 {
+            store.put(rid(3, i), StoredPayload::Typed(Arc::new(seeded_floats(100))), StorageTier::Pfs);
+            store.seal(rid(3, i)).unwrap();
+        }
+        // Touch 0 so region 1 becomes the LRU.
+        store.get(rid(3, 0)).unwrap();
+        // A fourth region pushes resident to 1600: exactly one demotion.
+        store.put(rid(3, 3), StoredPayload::Typed(Arc::new(seeded_floats(100))), StorageTier::Pfs);
+        store.seal(rid(3, 3)).unwrap();
+        assert!(store.is_spilled(rid(3, 1)), "LRU region must spill first");
+        assert!(!store.is_spilled(rid(3, 0)));
+        assert!(!store.is_spilled(rid(3, 2)));
+        assert!(!store.is_spilled(rid(3, 3)));
+        assert_eq!(store.spill_stats().unwrap().demotions, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn spilled_corrupt_detects_quarantines_and_repairs() {
+        let dir = tmp_dir("corrupt");
+        let store = ObjectStore::new(2);
+        store.configure_spill(&dir, 0, 1 << 20).unwrap();
+        let v = seeded_floats(5_000);
+        store.put(rid(4, 0), StoredPayload::Typed(Arc::new(v.clone())), StorageTier::Pfs);
+        store.seal(rid(4, 0)).unwrap();
+        assert!(store.is_spilled(rid(4, 0)));
+        assert!(store.corrupt(rid(4, 0), 77).unwrap());
+        match store.get(rid(4, 0)) {
+            Err(PdcError::CorruptRegion { region, .. }) => assert_eq!(region, rid(4, 0)),
+            other => panic!("expected CorruptRegion, got {other:?}"),
+        }
+        assert!(store.is_quarantined(rid(4, 0)));
+        // Repair restores from the sibling file and reports the
+        // uncompressed byte count, exactly like the resident path.
+        let bytes = store.repair(rid(4, 0)).unwrap();
+        assert_eq!(bytes, v.size_bytes());
+        assert!(!store.is_quarantined(rid(4, 0)));
+        assert!(store.is_spilled(rid(4, 0)), "repair keeps the region cold");
+        assert_eq!(&*store.get_typed(rid(4, 0)).unwrap(), &v);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn spilled_corrupt_site_is_seed_deterministic_and_repair_without_corruption_errors() {
+        let dir = tmp_dir("corrupt_det");
+        let store = ObjectStore::new(2);
+        store.configure_spill(&dir, 0, 1 << 20).unwrap();
+        store.put(rid(5, 0), StoredPayload::Typed(Arc::new(seeded_floats(1000))), StorageTier::Pfs);
+        store.seal(rid(5, 0)).unwrap();
+        // repair with no corruption marker is a typed error
+        assert!(matches!(store.repair(rid(5, 0)), Err(PdcError::CorruptRegion { .. })));
+        assert!(store.corrupt(rid(5, 0), 42).unwrap());
+        assert!(store.get(rid(5, 0)).is_err());
+        store.repair(rid(5, 0)).unwrap();
+        assert!(store.get(rid(5, 0)).is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn spilled_raw_region_roundtrips_and_repairs() {
+        let dir = tmp_dir("raw");
+        let store = ObjectStore::new(2);
+        store.configure_spill(&dir, 0, 1 << 20).unwrap();
+        let bytes: Vec<u8> = (0..4096u32).map(|i| (i % 7) as u8).collect();
+        store.put(rid(6, 0), StoredPayload::Raw(Bytes::from(bytes.clone())), StorageTier::Pfs);
+        store.seal(rid(6, 0)).unwrap();
+        assert!(store.is_spilled(rid(6, 0)));
+        assert_eq!(store.get_raw(rid(6, 0)).unwrap(), Bytes::from(bytes.clone()));
+        assert!(store.corrupt(rid(6, 0), 9).unwrap());
+        assert!(matches!(store.get_raw(rid(6, 0)), Err(PdcError::CorruptRegion { .. })));
+        store.repair(rid(6, 0)).unwrap();
+        assert_eq!(store.get_raw(rid(6, 0)).unwrap(), Bytes::from(bytes));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cold_region_streams_blocks_through_cache() {
+        let dir = tmp_dir("cold");
+        let store = ObjectStore::new(2);
+        store.configure_spill(&dir, 0, 1 << 20).unwrap();
+        let n = blockfile::DEFAULT_BLOCK_ELEMS as usize * 2 + 100; // 3 blocks
+        let v = seeded_floats(n);
+        store.put(rid(7, 0), StoredPayload::Typed(Arc::new(v.clone())), StorageTier::Pfs);
+        store.seal(rid(7, 0)).unwrap();
+        let cold = store.cold_region(rid(7, 0)).expect("spilled typed region");
+        assert_eq!(cold.len(), n as u64);
+        assert_eq!(cold.n_blocks(), 3);
+        assert_eq!(cold.pdc_type(), PdcType::Float);
+        // Interval → block mapping.
+        assert_eq!(cold.blocks_overlapping(0, 10), 0..1);
+        let be = blockfile::DEFAULT_BLOCK_ELEMS as u64;
+        assert_eq!(cold.blocks_overlapping(be - 1, be + 1), 0..2);
+        assert_eq!(cold.blocks_overlapping(2 * be, n as u64), 2..3);
+        assert_eq!(cold.blocks_overlapping(5, 5), 0..0);
+        // Block contents match the original slice; second read hits cache.
+        let b1 = cold.read_block(1).unwrap();
+        let (s1, e1) = cold.block_span(1);
+        assert_eq!(b1.len() as u64, e1 - s1);
+        assert_eq!(b1.to_f64_vec(), v.slice(s1 as usize, (e1 - s1) as usize).to_f64_vec());
+        let before = store.spill_stats().unwrap().block_cache.hits;
+        let _ = cold.read_block(1).unwrap();
+        assert_eq!(store.spill_stats().unwrap().block_cache.hits, before + 1);
+        // Resident / raw / missing regions have no cold handle.
+        store.put(rid(7, 1), StoredPayload::Raw(Bytes::from_static(b"idx")), StorageTier::Pfs);
+        assert!(store.cold_region(rid(7, 1)).is_none());
+        assert!(store.cold_region(rid(9, 9)).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn put_and_remove_clean_up_spill_files() {
+        let dir = tmp_dir("cleanup");
+        let store = ObjectStore::new(2);
+        store.configure_spill(&dir, 0, 1 << 20).unwrap();
+        let v = seeded_floats(1000);
+        store.put(rid(8, 0), StoredPayload::Typed(Arc::new(v.clone())), StorageTier::Pfs);
+        store.seal(rid(8, 0)).unwrap();
+        assert!(store.is_spilled(rid(8, 0)));
+        let files = || std::fs::read_dir(&dir).map(|d| d.count()).unwrap_or(0);
+        assert_eq!(files(), 1);
+        // Rewrite: spill file deleted, region resident again, then respills on seal.
+        store.put(rid(8, 0), StoredPayload::Typed(Arc::new(v.clone())), StorageTier::Pfs);
+        assert!(!store.is_spilled(rid(8, 0)));
+        assert_eq!(files(), 0);
+        store.seal(rid(8, 0)).unwrap();
+        assert_eq!(files(), 1);
+        // Remove: file and accounting gone.
+        assert!(store.remove(rid(8, 0)));
+        assert_eq!(files(), 0);
+        let stats = store.spill_stats().unwrap();
+        assert_eq!(stats.spilled_regions, 0);
+        assert_eq!(stats.spilled_raw_bytes, 0);
+        assert_eq!(stats.resident_bytes, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn spill_compresses_and_migrate_verifies_cold_payloads() {
+        let dir = tmp_dir("ratio");
+        let store = ObjectStore::new(2);
+        store.configure_spill(&dir, 0, 1 << 20).unwrap();
+        // Monotone ints delta-pack far below raw size.
+        let v: TypedVec = (0..100_000i64).collect::<Vec<i64>>().into();
+        store.put(rid(9, 0), StoredPayload::Typed(Arc::new(v)), StorageTier::Pfs);
+        store.seal(rid(9, 0)).unwrap();
+        let stats = store.spill_stats().unwrap();
+        assert!(
+            stats.compression_ratio() > 4.0,
+            "monotone i64 should compress well, got {:.2}",
+            stats.compression_ratio()
+        );
+        let moved = store.migrate(rid(9, 0), StorageTier::Dram).unwrap();
+        assert_eq!(moved, 800_000);
+        assert_eq!(store.get(rid(9, 0)).unwrap().1, StorageTier::Dram);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
