@@ -193,6 +193,32 @@ echo "$spill_out" | grep -q '^out-of-core: resident high-water' || {
 }
 echo "out-of-core smoke: '$spill_hits' identical under a 256K budget"
 
+echo "== service gate =="
+# Multi-tenant service loop: the equivalence suite (every admitted
+# query bit-identical to a solo run under faults, corruption,
+# replication, and spill), the bench bin's own gates (dispatch-order
+# replay identical, late shared-scan joins observed, flood mix degrades
+# well-behaved p99 <= 1.25x the uniform mix), and a CLI smoke replaying
+# the committed 3-tenant trace through `pdc serve`.
+cargo test -q $OFFLINE -p pdc-query --test service_equivalence
+target/release/service /tmp/ci_service.json
+serve_out=$($PDC serve --trace-file examples/service_trace.txt --particles 50000 --servers 4)
+echo "$serve_out" | grep -q 'service equivalence: PASS' || {
+    echo "ci: service smoke FAILED: no equivalence PASS in serve run:" >&2
+    echo "$serve_out" >&2
+    exit 1
+}
+echo "$serve_out" | grep -q 'late join(s)' || {
+    echo "ci: service smoke FAILED: no shared-scan-group report in serve run" >&2
+    exit 1
+}
+echo "$serve_out" | grep -Eq 'tenant +flood: .*\([1-9][0-9]* rejected' || {
+    echo "ci: service smoke FAILED: flood tenant was never rejected:" >&2
+    echo "$serve_out" >&2
+    exit 1
+}
+echo "$serve_out" | tail -n 1
+
 echo "== clippy gate =="
 cargo clippy --release $OFFLINE --workspace --all-targets -- -D warnings
 

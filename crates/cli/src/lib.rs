@@ -11,7 +11,9 @@
 //! ```
 
 use pdc_odms::{ImportOptions, Odms};
-use pdc_query::{parse_query, EngineConfig, ExplainPlan, QueryEngine, Strategy};
+use pdc_query::{
+    parse_query, Arrival, EngineConfig, ExplainPlan, QueryEngine, ServiceConfig, Strategy,
+};
 use pdc_server::{CorruptionSpec, FaultPlan};
 use pdc_storage::{CostModel, SimDuration};
 use pdc_workloads::{VpicConfig, VpicData};
@@ -60,6 +62,18 @@ pub enum Command {
         append_batches: u32,
         /// Fraction of the dataset held back and appended mid-series.
         append_fraction: f64,
+    },
+    /// Replay a timestamped open-loop arrival trace through the
+    /// multi-tenant admission-controlled service loop.
+    Serve {
+        /// Path of the trace file (tenant declarations + arrivals).
+        trace_file: String,
+        /// Common options.
+        opts: CommonOpts,
+        /// Deficit-round-robin quantum in simulated milliseconds.
+        quantum_ms: f64,
+        /// Disable continuous batching (the open shared-scan group).
+        no_batching: bool,
     },
     /// Print usage.
     Help,
@@ -136,6 +150,7 @@ USAGE:
   pdc query \"<expr>\" [options] [--get-data <var>]
   pdc demo [options]
   pdc ingest [\"<expr>\"] [options]
+  pdc serve --trace-file <P> [options]
   pdc help
 
 The dataset is a calibrated synthetic VPIC plasma: variables Energy, x,
@@ -212,6 +227,31 @@ OPTIONS:
   --append-fraction <F>
                      (ingest only) fraction of the dataset held back from
                      the initial import and appended mid-series (default 0.1)
+  --trace-file <P>   (serve only; required) timestamped open-loop arrival
+                     trace. '#' comments and blank lines are skipped.
+                     'tenant <name> weight=<W> budget-ms=<F> cap=<N>' lines
+                     register tenants (weight = fair-share weight, budget-ms
+                     = admission budget of in-flight estimated simulated
+                     cost, cap = deferral-queue length before rejection).
+                     Every other line is an arrival:
+                     '<t_ms> <tenant> <expr>' — a query submitted at
+                     simulated time t_ms milliseconds. Unknown tenants
+                     auto-register with weight=1 budget-ms=1000 cap=64
+  --quantum-ms <F>   (serve only) deficit-round-robin quantum in simulated
+                     milliseconds (default 5)
+  --no-batching      (serve only) disable continuous batching: dispatches
+                     are not folded into an open shared-scan group
+                     (results and per-query charges are identical either
+                     way; only host work changes)
+
+The serve subcommand replays the trace through the multi-tenant service
+loop: per-tenant FIFO queues, weighted-fair deficit-round-robin dispatch,
+cost-budget admission control (deferrals and rejections are typed, never
+silent), and continuous batching into open shared-scan groups. It prints
+per-tenant p50/p95/p99 simulated latency and throughput, then replays
+the dispatch order sequentially on a twin world — the last gate line is
+'service equivalence: PASS' only if every served outcome is bit-identical
+to its solo run.
 
 The ingest subcommand imports Energy at a reduced initial extent, runs
 the query, appends the held-back elements in batches (re-running the
@@ -280,8 +320,63 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, St
                 append_fraction: ingest.append_fraction,
             })
         }
+        "serve" => {
+            let mut opts = CommonOpts::default();
+            let mut serve = ServeOpts::default();
+            parse_serve_options(args, &mut opts, &mut serve)?;
+            let trace_file =
+                serve.trace_file.ok_or("serve requires --trace-file <path>".to_string())?;
+            if !serve.quantum_ms.is_finite() || serve.quantum_ms <= 0.0 {
+                return Err(format!("--quantum-ms {} must be positive", serve.quantum_ms));
+            }
+            Ok(Command::Serve {
+                trace_file,
+                opts,
+                quantum_ms: serve.quantum_ms,
+                no_batching: serve.no_batching,
+            })
+        }
         other => Err(format!("unknown subcommand '{other}' (try 'pdc help')")),
     }
+}
+
+/// Options valid only for `pdc serve`.
+struct ServeOpts {
+    trace_file: Option<String>,
+    quantum_ms: f64,
+    no_batching: bool,
+}
+
+impl Default for ServeOpts {
+    fn default() -> Self {
+        Self { trace_file: None, quantum_ms: 5.0, no_batching: false }
+    }
+}
+
+/// Parse serve flags, deferring everything else to [`parse_options`].
+fn parse_serve_options<I: Iterator<Item = String>>(
+    args: std::iter::Peekable<I>,
+    opts: &mut CommonOpts,
+    serve: &mut ServeOpts,
+) -> Result<(), String> {
+    let mut rest = Vec::new();
+    let mut args = args;
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next().ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--trace-file" => serve.trace_file = Some(value("--trace-file")?),
+            "--quantum-ms" => {
+                serve.quantum_ms = value("--quantum-ms")?
+                    .parse()
+                    .map_err(|e| format!("--quantum-ms: {e}"))?;
+            }
+            "--no-batching" => serve.no_batching = true,
+            other => rest.push(other.to_string()),
+        }
+    }
+    parse_options(rest.into_iter().peekable(), opts, None)
 }
 
 /// Options valid only for `pdc ingest`.
@@ -1058,6 +1153,189 @@ pub fn run(cmd: Command) -> Result<String, String> {
             }
             Ok(out)
         }
+        Command::Serve { trace_file, opts, quantum_ms, no_batching } => {
+            fault_plan(&opts)?; // validate before the expensive import
+            let text = std::fs::read_to_string(&trace_file)
+                .map_err(|e| format!("--trace-file {trace_file}: {e}"))?;
+            let (odms, _data) = build_world(&opts);
+            configure_spill(&odms, &opts);
+
+            // Trace grammar: '#' comments and blanks are skipped; 'tenant'
+            // lines register policies; everything else is an arrival of the
+            // form '<t_ms> <tenant> <expr>'.
+            struct RawArrival {
+                at_ms: f64,
+                tenant: String,
+                expr: String,
+            }
+            let mut raw: Vec<RawArrival> = Vec::new();
+            for (idx, line) in text.lines().enumerate() {
+                let lineno = idx + 1;
+                let line = line.trim();
+                if line.is_empty() || line.starts_with('#') {
+                    continue;
+                }
+                let mut it = line.split_whitespace();
+                let first = it.next().expect("non-empty trimmed line");
+                if first == "tenant" {
+                    let name = it
+                        .next()
+                        .ok_or_else(|| format!("trace line {lineno}: tenant requires a name"))?;
+                    let mut weight = 1u32;
+                    let mut budget_ms = 1000.0f64;
+                    let mut cap = 64usize;
+                    for kv in it {
+                        let (k, v) = kv.split_once('=').ok_or_else(|| {
+                            format!("trace line {lineno}: expected key=value, got '{kv}'")
+                        })?;
+                        match k {
+                            "weight" => {
+                                weight = v
+                                    .parse()
+                                    .map_err(|e| format!("trace line {lineno}: weight: {e}"))?;
+                            }
+                            "budget-ms" => {
+                                budget_ms = v.parse().map_err(|e| {
+                                    format!("trace line {lineno}: budget-ms: {e}")
+                                })?;
+                            }
+                            "cap" => {
+                                cap = v
+                                    .parse()
+                                    .map_err(|e| format!("trace line {lineno}: cap: {e}"))?;
+                            }
+                            other => {
+                                return Err(format!(
+                                    "trace line {lineno}: unknown tenant attribute '{other}' \
+                                     (expected weight=, budget-ms=, cap=)"
+                                ));
+                            }
+                        }
+                    }
+                    if !budget_ms.is_finite() || budget_ms <= 0.0 {
+                        return Err(format!(
+                            "trace line {lineno}: budget-ms {budget_ms} must be positive"
+                        ));
+                    }
+                    odms.register_tenant(name, weight, (budget_ms * 1e6) as u64, cap);
+                } else {
+                    let at_ms: f64 = first
+                        .parse()
+                        .map_err(|e| format!("trace line {lineno}: arrival time: {e}"))?;
+                    if !at_ms.is_finite() || at_ms < 0.0 {
+                        return Err(format!(
+                            "trace line {lineno}: arrival time {at_ms} must be non-negative"
+                        ));
+                    }
+                    let tenant = it
+                        .next()
+                        .ok_or_else(|| {
+                            format!("trace line {lineno}: arrival requires a tenant name")
+                        })?
+                        .to_string();
+                    let expr = it.collect::<Vec<_>>().join(" ");
+                    if expr.is_empty() {
+                        return Err(format!(
+                            "trace line {lineno}: arrival requires a query expression"
+                        ));
+                    }
+                    raw.push(RawArrival { at_ms, tenant, expr });
+                }
+            }
+            if raw.is_empty() {
+                return Err(format!("--trace-file {trace_file}: no arrivals in trace"));
+            }
+            // Tenants referenced only by arrivals get the default policy.
+            for a in &raw {
+                if odms.tenant(&a.tenant).is_none() {
+                    odms.register_tenant(&a.tenant, 1, 1_000_000_000, 64);
+                }
+            }
+
+            let engine = build_engine(&odms, &opts);
+            let arrivals = raw
+                .iter()
+                .map(|a| {
+                    Ok(Arrival {
+                        at: SimDuration::from_secs_f64(a.at_ms / 1e3),
+                        tenant: a.tenant.clone(),
+                        query: parse_query(&a.expr, &odms)
+                            .map_err(|e| format!("'{}': {e}", a.expr))?,
+                    })
+                })
+                .collect::<Result<Vec<_>, String>>()?;
+            let mut cfg = ServiceConfig::from_odms(&odms);
+            cfg.quantum = SimDuration::from_secs_f64(quantum_ms / 1e3);
+            cfg.continuous_batching = !no_batching;
+            let report = engine.serve(&cfg, &arrivals).map_err(|e| e.to_string())?;
+
+            let mut out = String::new();
+            out.push_str(&format!(
+                "serve: {} arrival(s) from {} tenant(s), quantum {}, \
+                 continuous batching {}\n",
+                report.stats.submitted,
+                cfg.tenants.len(),
+                cfg.quantum,
+                if cfg.continuous_batching { "on" } else { "off" },
+            ));
+            out.push_str(&format!(
+                "outcomes: {} completed, {} deferral(s), {} rejected \
+                 (simulated span {})\n",
+                report.stats.completed,
+                report.stats.deferrals,
+                report.stats.rejected,
+                report.end_time,
+            ));
+            for t in report.tenant_summaries() {
+                out.push_str(&format!(
+                    "  tenant {:>10}: {:>3}/{} done ({} rejected, {} deferred), \
+                     p50 {} p95 {} p99 {}, {:.2} q/s simulated\n",
+                    t.name,
+                    t.completed,
+                    t.submitted,
+                    t.rejected,
+                    t.deferred,
+                    t.p50,
+                    t.p95,
+                    t.p99,
+                    t.throughput_qps,
+                ));
+            }
+            if let Some(g) = report.group {
+                out.push_str(&format!(
+                    "shared scan group: {} member(s) over {} admission(s), \
+                     {} late join(s), {} interval(s) admitted, \
+                     {} region(s) prewarmed\n",
+                    g.members, g.admissions, g.late_joins, g.admitted_intervals,
+                    g.prewarm_regions,
+                ));
+            }
+
+            // Equivalence gate: replay the dispatch order sequentially on a
+            // twin world; every served outcome must be bit-identical to its
+            // solo run (scheduling decides *when*, never *what*).
+            let (twin, _d2) = build_world(&opts);
+            configure_spill(&twin, &opts);
+            let twin_engine = build_engine(&twin, &opts);
+            let mut identical = 0usize;
+            for s in &report.served {
+                let q = parse_query(&raw[s.arrival_index].expr, &twin)
+                    .map_err(|e| e.to_string())?;
+                let solo = twin_engine.run(&q).map_err(|e| e.to_string())?;
+                identical += (solo.selection == s.outcome.selection
+                    && solo.nhits == s.outcome.nhits
+                    && solo.elapsed == s.outcome.elapsed
+                    && solo.breakdown == s.outcome.breakdown)
+                    as usize;
+            }
+            out.push_str(&format!(
+                "service equivalence: {} ({identical}/{} served outcome(s) \
+                 bit-identical to solo replay)\n",
+                if identical == report.served.len() { "PASS" } else { "FAIL" },
+                report.served.len(),
+            ));
+            Ok(out)
+        }
     }
 }
 
@@ -1741,5 +2019,120 @@ mod tests {
         .unwrap();
         assert!(out.contains("slot routes (slot\u{2192}chosen server):"), "{out}");
         assert!(out.contains("0\u{2192}0"), "healthy anchors serve their own slots: {out}");
+    }
+
+    #[test]
+    fn serve_flags_parse() {
+        let cmd = parse_args(argv(
+            "serve --trace-file /tmp/t.trace --quantum-ms 2.5 --no-batching --servers 8",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Serve { trace_file, opts, quantum_ms, no_batching } => {
+                assert_eq!(trace_file, "/tmp/t.trace");
+                assert_eq!(opts.servers, 8);
+                assert_eq!(quantum_ms, 2.5);
+                assert!(no_batching);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Defaults.
+        match parse_args(argv("serve --trace-file t")).unwrap() {
+            Command::Serve { quantum_ms, no_batching, .. } => {
+                assert_eq!(quantum_ms, 5.0);
+                assert!(!no_batching);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_args(argv("serve")).unwrap_err().contains("--trace-file"));
+        assert!(parse_args(argv("serve --trace-file t --quantum-ms 0"))
+            .unwrap_err()
+            .contains("--quantum-ms"));
+    }
+
+    #[test]
+    fn serve_replays_trace_and_passes_equivalence_gate() {
+        let path = std::env::temp_dir()
+            .join(format!("pdc_cli_serve_{}.trace", std::process::id()));
+        std::fs::write(
+            &path,
+            "# two declared tenants plus one auto-registered on first arrival\n\
+             tenant alice weight=2 budget-ms=50 cap=16\n\
+             tenant bob weight=1 budget-ms=50 cap=16\n\
+             0.0 alice 2.1 < Energy < 2.2\n\
+             0.1 bob 2.1 < Energy < 2.2\n\
+             0.2 carol 2.1 < Energy < 2.2\n\
+             5.0 alice 3.5 < Energy < 3.6\n\
+             9.0 bob Energy > 2.0 AND 100 < x < 200\n",
+        )
+        .unwrap();
+        let out = run(Command::Serve {
+            trace_file: path.to_string_lossy().into_owned(),
+            opts: CommonOpts { particles: 30_000, servers: 4, ..CommonOpts::default() },
+            quantum_ms: 5.0,
+            no_batching: false,
+        })
+        .unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(out.contains("serve: 5 arrival(s) from 3 tenant(s)"), "{out}");
+        assert!(out.contains("tenant      alice"), "{out}");
+        assert!(out.contains("tenant      carol"), "auto-registered tenant: {out}");
+        // The three identical t~0 arrivals must fold into one shared-scan
+        // group with late joins.
+        assert!(out.contains("shared scan group:"), "{out}");
+        let group_line =
+            out.lines().find(|l| l.contains("late join(s)")).expect("group line");
+        let late: u64 = group_line
+            .split_whitespace()
+            .zip(group_line.split_whitespace().skip(1))
+            .find(|(_, next)| next.starts_with("late"))
+            .and_then(|(n, _)| n.parse().ok())
+            .expect("late join count");
+        assert!(late >= 1, "{out}");
+        assert!(out.contains("service equivalence: PASS"), "{out}");
+        // Byte-identical across runs: the output is simulated-time only.
+        std::fs::write(
+            &path,
+            "tenant alice weight=2 budget-ms=50 cap=16\n\
+             0.0 alice 2.1 < Energy < 2.2\n",
+        )
+        .unwrap();
+        let a = run(Command::Serve {
+            trace_file: path.to_string_lossy().into_owned(),
+            opts: CommonOpts { particles: 20_000, servers: 4, ..CommonOpts::default() },
+            quantum_ms: 5.0,
+            no_batching: false,
+        })
+        .unwrap();
+        let b = run(Command::Serve {
+            trace_file: path.to_string_lossy().into_owned(),
+            opts: CommonOpts { particles: 20_000, servers: 4, ..CommonOpts::default() },
+            quantum_ms: 5.0,
+            no_batching: false,
+        })
+        .unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn serve_rejects_malformed_traces() {
+        let path = std::env::temp_dir()
+            .join(format!("pdc_cli_serve_bad_{}.trace", std::process::id()));
+        let serve = |body: &str| {
+            std::fs::write(&path, body).unwrap();
+            run(Command::Serve {
+                trace_file: path.to_string_lossy().into_owned(),
+                opts: CommonOpts { particles: 10_000, servers: 2, ..CommonOpts::default() },
+                quantum_ms: 5.0,
+                no_batching: false,
+            })
+        };
+        assert!(serve("tenant a weight=x\n").unwrap_err().contains("weight"));
+        assert!(serve("tenant a speed=9\n").unwrap_err().contains("unknown tenant attribute"));
+        assert!(serve("0.0 alice\n").unwrap_err().contains("query expression"));
+        assert!(serve("-1 alice Energy > 2\n").unwrap_err().contains("non-negative"));
+        assert!(serve("# only comments\n").unwrap_err().contains("no arrivals"));
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -4,7 +4,8 @@
 use crate::ast::PdcQuery;
 use crate::exec::{eval_plan, EvalCtx};
 use crate::plan::{PlanNode, QueryPlan};
-use crate::qcache::IntervalKey;
+use crate::qcache::SharedScanGroup;
+use crate::service::ScheduleClock;
 use crate::recover::{run_slots, RecoveryPolicy};
 use crate::snapshot::MetaSnapshot;
 use crate::state::ServerState;
@@ -315,6 +316,8 @@ pub struct QueryEngine {
     /// wholesale on membership changes so in-flight queries keep their
     /// own consistent snapshot.
     placement: Mutex<Option<Arc<Placement>>>,
+    /// Monotonic id source for [`SharedScanGroup`]s opened on this engine.
+    scan_group_seq: std::sync::atomic::AtomicU64,
 }
 
 /// What an elastic membership change did ([`QueryEngine::join_server`] /
@@ -421,6 +424,7 @@ impl QueryEngine {
             cfg,
             plans: Mutex::new(PlanCache { map: HashMap::new(), hits: 0, misses: 0 }),
             placement: Mutex::new(placement),
+            scan_group_seq: std::sync::atomic::AtomicU64::new(0),
         };
         engine.apply_planned_corruption();
         engine
@@ -653,6 +657,13 @@ impl QueryEngine {
         self.cfg.cost
     }
 
+    /// Whether an active fault plan injects corruption (crate-internal;
+    /// the service loop skips shared-scan prewarm under corruption for
+    /// the same reason [`Self::run_batch`] does).
+    pub(crate) fn corruption_active(&self) -> bool {
+        self.cfg.fault_plan.as_ref().and_then(|p| p.corruption()).is_some()
+    }
+
     /// The engine's host-scan settings `(scan_threads, scan_kernels)`
     /// (crate-internal; wall-clock only, never results or charges).
     pub(crate) fn scan_flags(&self) -> (u32, bool) {
@@ -728,7 +739,7 @@ impl QueryEngine {
     /// snapshot* for the same canonical tree at the same store epoch; a
     /// miss builds and admits both. Host-work only — planning carries no
     /// simulated charge either way.
-    fn plan_cached(&self, query: &PdcQuery) -> PdcResult<(QueryPlan, Arc<MetaSnapshot>)> {
+    pub(crate) fn plan_cached(&self, query: &PdcQuery) -> PdcResult<(QueryPlan, Arc<MetaSnapshot>)> {
         let key = query.canonical_key();
         let epoch = self.odms.store().epoch();
         {
@@ -797,7 +808,7 @@ impl QueryEngine {
     /// [`crate::ops::RegionExplain`] row per evaluated region (host-side
     /// only — accounting is unaffected) and the merged
     /// [`crate::ops::ExplainPlan`] is returned.
-    fn run_impl(
+    pub(crate) fn run_impl(
         &self,
         query: &PdcQuery,
         use_cache: bool,
@@ -1047,41 +1058,41 @@ impl QueryEngine {
     /// With an active corruption spec the prewarm pass is skipped (each
     /// query's preflight must observe the damaged state exactly as a
     /// sequential run would); caches still warm across the batch.
+    ///
+    /// An empty slice is a typed [`PdcError::InvalidQuery`]: a batch is
+    /// an admission decision, and admitting nothing is a caller bug that
+    /// should never be smoothed over into a zero-time no-op outcome.
     pub fn run_batch(&self, queries: &[PdcQuery]) -> PdcResult<BatchOutcome> {
+        if queries.is_empty() {
+            return Err(PdcError::InvalidQuery(
+                "run_batch requires at least one query (empty batch)".into(),
+            ));
+        }
         let corruption =
             self.cfg.fault_plan.as_ref().and_then(|p| p.corruption()).is_some();
         let (plan0, art0) = self.cache_counters();
 
-        let prewarm_regions = if corruption || queries.is_empty() {
+        let prewarm_regions = if corruption {
             0
         } else {
             let mut plans = Vec::with_capacity(queries.len());
             for q in queries {
                 plans.push(self.plan_cached(q)?.0);
             }
-            self.prewarm_batch(&plans)
+            // The closed-set batch is the degenerate continuous-batching
+            // case: open a group, admit the whole series at once (one
+            // fused pass per region), and never return to it.
+            let mut group = self.open_scan_group();
+            self.admit_to_scan_group(&mut group, &plans)
         };
 
         let mut outcomes = Vec::with_capacity(queries.len());
-        let mut client_overhead = SimDuration::ZERO;
-        // Sized per outcome, not from config: an elastic join mid-series
-        // can grow the pool between queries.
-        let mut per_server_total = vec![SimDuration::ZERO; self.cfg.num_servers as usize];
+        let mut clock = ScheduleClock::new(self.cfg.num_servers);
         for q in queries {
             let (outcome, eval_time, _) = self.run_impl(q, true, false)?;
-            // elapsed = overheads + eval_time; keep the overheads serial
-            // and fold eval into the per-server schedule below.
-            client_overhead += outcome.elapsed.saturating_sub(eval_time);
-            if outcome.per_server.len() > per_server_total.len() {
-                per_server_total.resize(outcome.per_server.len(), SimDuration::ZERO);
-            }
-            for (s, t) in outcome.per_server.iter().enumerate() {
-                per_server_total[s] += *t;
-            }
+            clock.charge(outcome.elapsed, eval_time, &outcome.per_server);
             outcomes.push(outcome);
         }
-        let makespan =
-            per_server_total.iter().copied().max().unwrap_or(SimDuration::ZERO);
 
         let (plan1, art1) = self.cache_counters();
         let mut stats = BatchStats {
@@ -1098,12 +1109,12 @@ impl QueryEngine {
             stats.resident_reads += o.io.cache_hits;
             stats.region_touches += o.io.cache_hits + o.io.cache_misses;
         }
-        Ok(BatchOutcome { outcomes, batch_elapsed: client_overhead + makespan, stats })
+        Ok(BatchOutcome { outcomes, batch_elapsed: clock.batch_elapsed(), stats })
     }
 
     /// Snapshot (plan-cache, artifact-cache) hit/miss totals:
     /// `((plan_hits, plan_misses), (artifact_hits, artifact_misses))`.
-    fn cache_counters(&self) -> ((u64, u64), (u64, u64)) {
+    pub(crate) fn cache_counters(&self) -> ((u64, u64), (u64, u64)) {
         let pc = self.plans.lock().unwrap();
         let plan = (pc.hits, pc.misses);
         drop(pc);
@@ -1114,21 +1125,48 @@ impl QueryEngine {
         (plan, art)
     }
 
-    /// The shared-scan prewarm pass: for each server slot, walk the
-    /// union of `(object, interval)` predicates the batch's plans touch,
-    /// seed histogram prune verdicts, and evaluate all still-pending
-    /// intervals of a region in **one fused kernel pass** over the typed
-    /// slice, caching each per-interval selection. Pure host work — no
+    /// Open a fresh [`SharedScanGroup`] stamped at the current store
+    /// epoch. The group is the client-side ledger of one continuous
+    /// batching window: admit any number of plans into it over time with
+    /// [`Self::admit_to_scan_group`]; each admission prewarms only the
+    /// predicates (and, at region granularity, only the regions) the
+    /// group has not already covered.
+    pub fn open_scan_group(&self) -> SharedScanGroup {
+        let id = self.scan_group_seq.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        SharedScanGroup::new(id, self.odms.store().epoch())
+    }
+
+    /// Admit `plans` into an open shared-scan group and prewarm their
+    /// *new* predicates: intervals the group has already admitted are
+    /// skipped outright, and for new intervals the per-region pass skips
+    /// every region whose scan artifact is already cached (the
+    /// `peek_scan` check inside [`Self::prewarm_intervals`]) — late
+    /// arrivals join the in-flight group at region granularity instead
+    /// of forcing a recompute over the closed set. A store-epoch bump
+    /// since the group opened reopens it (the artifacts it assumed
+    /// cached are invalidated anyway). Returns the number of region
+    /// passes this admission performed.
+    ///
+    /// Like the caches it feeds, admission is pure host work: no
     /// simulated clocks, counters, or fault probes are touched, so
-    /// per-query accounting is unaffected. Returns the number of region
-    /// passes performed on behalf of the whole batch.
-    fn prewarm_batch(&self, plans: &[QueryPlan]) -> u64 {
-        // Deduplicated predicate set, grouped by object.
-        let mut seen: HashSet<(ObjectId, IntervalKey)> = HashSet::new();
+    /// per-query accounting is unaffected by group membership.
+    pub fn admit_to_scan_group(&self, group: &mut SharedScanGroup, plans: &[QueryPlan]) -> u64 {
+        let epoch = self.odms.store().epoch();
+        if group.epoch() != epoch {
+            group.reopen(epoch);
+        }
+        let late = group.stats.admissions > 0;
+        group.stats.admissions += 1;
+        group.stats.members += plans.len() as u64;
+        if late {
+            group.stats.late_joins += plans.len() as u64;
+        }
+
+        // The admission's new predicates, grouped by object.
         let mut targets: Vec<(ObjectId, Vec<Interval>)> = Vec::new();
         fn collect(
             node: &PlanNode,
-            seen: &mut HashSet<(ObjectId, IntervalKey)>,
+            group: &mut SharedScanGroup,
             targets: &mut Vec<(ObjectId, Vec<Interval>)>,
         ) {
             match node {
@@ -1137,7 +1175,7 @@ impl QueryEngine {
                         if c.interval.is_empty() {
                             continue;
                         }
-                        if seen.insert((c.object, IntervalKey::of(&c.interval))) {
+                        if group.try_admit(c.object, &c.interval) {
                             match targets.iter_mut().find(|(o, _)| *o == c.object) {
                                 Some((_, ivs)) => ivs.push(c.interval),
                                 None => targets.push((c.object, vec![c.interval])),
@@ -1147,18 +1185,30 @@ impl QueryEngine {
                 }
                 PlanNode::And(children) | PlanNode::Or(children) => {
                     for c in children {
-                        collect(c, seen, targets);
+                        collect(c, group, targets);
                     }
                 }
             }
         }
         for p in plans {
-            collect(&p.root, &mut seen, &mut targets);
+            collect(&p.root, group, &mut targets);
         }
         if targets.is_empty() {
             return 0;
         }
+        let loaded = self.prewarm_intervals(&targets);
+        group.stats.prewarm_regions += loaded;
+        loaded
+    }
 
+    /// The shared-scan prewarm pass: for each server slot, walk the
+    /// given `(object, intervals)` predicates, seed histogram prune
+    /// verdicts, and evaluate all still-pending intervals of a region in
+    /// **one fused kernel pass** over the typed slice, caching each
+    /// per-interval selection. Pure host work — no simulated clocks,
+    /// counters, or fault probes are touched, so per-query accounting is
+    /// unaffected. Returns the number of region passes performed.
+    fn prewarm_intervals(&self, targets: &[(ObjectId, Vec<Interval>)]) -> u64 {
         let odms = Arc::clone(&self.odms);
         let n = self.cfg.num_servers;
         let epoch = self.odms.store().epoch();
@@ -1166,7 +1216,7 @@ impl QueryEngine {
         let loaded: Vec<u64> = self.pool.broadcast(|id, st| {
             st.qcache.validate(epoch);
             let mut count = 0u64;
-            for (obj, ivs) in &targets {
+            for (obj, ivs) in targets {
                 let Ok(meta) = odms.meta().get(*obj) else { continue };
                 let hists = odms.meta().region_histograms(*obj).ok();
                 // Directory candidate sets per interval: the prewarm pass

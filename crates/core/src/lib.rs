@@ -36,6 +36,13 @@
 //!   injection and the client-side verify-and-repair preflight sweep;
 //!   repair work is charged to the breakdown's dedicated `integrity`
 //!   lane.
+//! * [`service`] — the multi-tenant, admission-controlled **service
+//!   loop** ([`QueryEngine::serve`]): per-tenant FIFO queues with
+//!   deficit-round-robin weighted-fair dispatch, cost-budget admission
+//!   control (typed defer/reject outcomes), and continuous batching
+//!   that folds dispatched queries into an open shared-scan group —
+//!   scheduling affects *when*, never *what*: per-query results and
+//!   simulated charges stay bit-identical to solo execution.
 
 pub mod ast;
 pub mod engine;
@@ -47,6 +54,7 @@ pub mod parse;
 pub mod plan;
 pub mod qcache;
 pub(crate) mod recover;
+pub mod service;
 pub mod snapshot;
 pub mod state;
 
@@ -57,10 +65,15 @@ pub use engine::{
     QueryOutcome, Strategy,
 };
 pub use ops::{
-    directory_stats, DirectoryStats, ExplainPhase, ExplainPlan, JointContext, OpKind,
-    PhysicalOp, RegionExplain,
+    directory_stats, estimate_plan_cost, DirectoryStats, ExplainPhase, ExplainPlan,
+    JointContext, OpKind, PhysicalOp, RegionExplain,
 };
-pub use qcache::{CacheStats, QueryArtifactCache};
+pub use qcache::{CacheStats, GroupStats, QueryArtifactCache, SharedScanGroup};
+pub use service::{
+    percentile, poisson_times, splitmix64, Arrival, RejectedQuery, ScheduleClock,
+    ServedQuery, ServiceConfig, ServiceReport, ServiceStats, TenantSpec, TenantSummary,
+    TraceEvent,
+};
 pub use integrity::{apply_corruption, preflight, CorruptionReport};
 pub use multi::MetaDataQueryOutcome;
 pub use plan::QueryPlan;

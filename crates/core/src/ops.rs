@@ -1048,6 +1048,116 @@ pub fn adaptive_sorted_choice(
     Ok(sorted < per_region)
 }
 
+/// The modelled cold cost of answering one normalized constraint alone,
+/// composed from the same PDC-A operator estimates the adaptive planner
+/// uses ([`pdc_storage::CostModel::scan_op_estimate`] /
+/// [`CostModel::probe_op_estimate`] / [`CostModel::sorted_op_estimate`]).
+/// Pure host work on plan-time metadata and histograms — no simulated
+/// charge, no cache observation — so the admission controller's verdict
+/// for a query is a deterministic function of (snapshot, cost model,
+/// strategy) and never perturbs evaluation.
+fn estimate_constraint_cost(
+    snap: &MetaSnapshot,
+    cost: &CostModel,
+    strategy: Strategy,
+    n_servers: u32,
+    object: ObjectId,
+    interval: &Interval,
+) -> PdcResult<SimDuration> {
+    if interval.is_empty() {
+        return Ok(SimDuration::ZERO);
+    }
+    let meta = snap.meta(object)?;
+    let elem_bytes = meta.pdc_type.size_bytes();
+    // Sorted-band candidate: what SH pays outright and what A compares
+    // against the per-region alternative (mirrors adaptive_sorted_choice).
+    let sorted_est = if matches!(strategy, Strategy::SortedHistogram | Strategy::Adaptive)
+        && snap.sorted_available(object)
+    {
+        let replica = snap.sorted_replica(object)?;
+        let sspan = replica.matching_span(interval);
+        let band = replica.regions_of_span(&sspan);
+        let band_bytes: u64 =
+            band.iter().map(|&sr| replica.region_span(sr).len * (elem_bytes + 8)).sum();
+        Some(cost.sorted_op_estimate(band_bytes, band.len() as u64, sspan.len, n_servers))
+    } else {
+        None
+    };
+    let hists =
+        if strategy == Strategy::FullScan { None } else { snap.region_histograms_opt(object) };
+    let mut per_region = SimDuration::ZERO;
+    for r in 0..meta.num_regions() {
+        let span = meta.region_span(r);
+        let est = hists.as_ref().map(|hs| hs[r as usize].estimate_hits(interval));
+        if let Some(hs) = hists.as_ref() {
+            if prune_verdict(&hs[r as usize], interval) {
+                continue;
+            }
+        }
+        let data_bytes = span.len * elem_bytes;
+        let scan = cost.scan_op_estimate(data_bytes, span.len, n_servers);
+        let probe_eligible = meta.index_object.is_some()
+            && matches!(strategy, Strategy::HistogramIndex | Strategy::Adaptive);
+        per_region += if probe_eligible {
+            let index_bytes = (data_bytes as f64 * pdc_bitmap::TYPICAL_INDEX_RATIO) as u64;
+            let candidates =
+                est.map(|e| e.upper.saturating_sub(e.lower)).unwrap_or(span.len);
+            let candidate_bytes = if candidates > 0 { data_bytes } else { 0 };
+            let probe = cost.probe_op_estimate(index_bytes, candidate_bytes, candidates, n_servers);
+            if strategy == Strategy::Adaptive { probe.min(scan) } else { probe }
+        } else {
+            scan
+        };
+    }
+    Ok(match (strategy, sorted_est) {
+        (Strategy::SortedHistogram, Some(s)) => s,
+        (Strategy::Adaptive, Some(s)) => s.min(per_region),
+        _ => per_region,
+    })
+}
+
+/// Admission-control cost estimate for a whole plan: the modelled cold
+/// cost of running it alone, summed over every constraint the evaluator
+/// would touch (conjunction chaining makes later constraints cheaper in
+/// practice, so the sum is a conservative upper bound — exactly what a
+/// budget controller wants). Deterministic pure host work; see
+/// [`estimate_constraint_cost`].
+pub fn estimate_plan_cost(
+    snap: &MetaSnapshot,
+    cost: &CostModel,
+    strategy: Strategy,
+    n_servers: u32,
+    plan: &crate::plan::QueryPlan,
+) -> PdcResult<SimDuration> {
+    fn node_cost(
+        node: &crate::plan::PlanNode,
+        snap: &MetaSnapshot,
+        cost: &CostModel,
+        strategy: Strategy,
+        n_servers: u32,
+    ) -> PdcResult<SimDuration> {
+        match node {
+            crate::plan::PlanNode::Conj(cs) => {
+                let mut total = SimDuration::ZERO;
+                for c in cs {
+                    total += estimate_constraint_cost(
+                        snap, cost, strategy, n_servers, c.object, &c.interval,
+                    )?;
+                }
+                Ok(total)
+            }
+            crate::plan::PlanNode::And(children) | crate::plan::PlanNode::Or(children) => {
+                let mut total = SimDuration::ZERO;
+                for c in children {
+                    total += node_cost(c, snap, cost, strategy, n_servers)?;
+                }
+                Ok(total)
+            }
+        }
+    }
+    node_cost(&plan.root, snap, cost, strategy, n_servers)
+}
+
 /// Which evaluation lane produced an EXPLAIN entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum ExplainPhase {

@@ -23,7 +23,7 @@
 //! refill from the next batch pass).
 
 use pdc_types::{Interval, ObjectId, Selection};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Bit-exact hashable image of an [`Interval`]: raw endpoint bits plus
 /// presence/inclusivity flags. Two intervals map to the same key iff
@@ -63,6 +63,94 @@ type Key = (ObjectId, u32, u64, IntervalKey);
 /// but different joint contexts must never share a verdict; `0` encodes
 /// "no joint context" (no grids registered for the object's pairs).
 type PruneKey = (ObjectId, u32, u64, u64, IntervalKey);
+
+/// Membership statistics of one [`SharedScanGroup`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GroupStats {
+    /// Plans admitted into the group (over all admission calls).
+    pub members: u64,
+    /// Members admitted *after* the group's first admission — the open
+    /// continuous-batching case a closed batch can never produce.
+    pub late_joins: u64,
+    /// Admission calls the group absorbed.
+    pub admissions: u64,
+    /// Distinct `(object, interval)` predicates the group accumulated.
+    pub admitted_intervals: u64,
+    /// Region passes the prewarm broadcast performed on the group's
+    /// behalf (summed over admissions; late admissions only pay for
+    /// regions whose pending intervals are not already cached).
+    pub prewarm_regions: u64,
+    /// Times a store-epoch bump forced the group to drop its predicate
+    /// set and start over (the per-server artifact caches invalidate
+    /// on the same epoch, so a reopened group re-prewarms from scratch).
+    pub reopens: u64,
+}
+
+/// An **open** shared-scan group: the client-side membership ledger of
+/// one continuous-batching window. Where the closed `run_batch` path
+/// collects the whole series' deduplicated `(object, interval)` set up
+/// front and prewarms it once, a group stays open — each
+/// [`crate::engine::QueryEngine::admit_to_scan_group`] call folds a
+/// late arrival's *new* predicates into the set and prewarms only the
+/// regions those predicates still need (already-cached `(region,
+/// interval)` artifacts are skipped via
+/// [`QueryArtifactCache::peek_scan`], so late admission is incremental
+/// at region granularity). The group is epoch-stamped: any store
+/// mutation invalidates the per-server artifacts, so the group drops
+/// its ledger and rebuilds on the next admission.
+///
+/// Purely host-side, like the caches it feeds: group membership changes
+/// wall-clock sharing only, never a query's selection or simulated
+/// cost breakdown.
+#[derive(Debug)]
+pub struct SharedScanGroup {
+    id: u64,
+    epoch: u64,
+    seen: HashSet<(ObjectId, IntervalKey)>,
+    /// Membership counters (survive reopens).
+    pub stats: GroupStats,
+}
+
+impl SharedScanGroup {
+    /// An empty group stamped with the store epoch it opened at.
+    pub fn new(id: u64, epoch: u64) -> Self {
+        Self { id, epoch, seen: HashSet::new(), stats: GroupStats::default() }
+    }
+
+    /// The group's id (unique per engine).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The store epoch the current predicate ledger was built at.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Drop the predicate ledger and restamp: the artifacts the old
+    /// ledger assumed cached are gone (epoch bump), so every predicate
+    /// counts as new again.
+    pub fn reopen(&mut self, epoch: u64) {
+        self.seen.clear();
+        self.epoch = epoch;
+        self.stats.reopens += 1;
+    }
+
+    /// Admit one `(object, interval)` predicate; `true` when it is new
+    /// to the group (and therefore needs a prewarm pass).
+    pub fn try_admit(&mut self, object: ObjectId, interval: &Interval) -> bool {
+        let new = self.seen.insert((object, IntervalKey::of(interval)));
+        if new {
+            self.stats.admitted_intervals += 1;
+        }
+        new
+    }
+
+    /// Number of distinct predicates currently in the ledger.
+    pub fn num_predicates(&self) -> usize {
+        self.seen.len()
+    }
+}
 
 /// Replay record for a region answered from its bitmap index: enough to
 /// reproduce the simulated accounting of [`crate::exec`]'s indexed path

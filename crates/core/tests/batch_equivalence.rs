@@ -202,13 +202,36 @@ fn single_query_batch_matches_run() {
 }
 
 #[test]
-fn empty_batch_is_empty() {
+fn empty_batch_is_typed_error() {
     let world = build_world(10_000, 8192);
     let eng = engine_with(&world, Strategy::Histogram, None);
-    let batch = eng.run_batch(&[]).unwrap();
-    assert!(batch.outcomes.is_empty());
-    assert_eq!(batch.batch_elapsed, pdc_storage::SimDuration::ZERO);
-    assert_eq!(batch.stats.queries, 0);
+    match eng.run_batch(&[]) {
+        Err(pdc_types::PdcError::InvalidQuery(msg)) => {
+            assert!(msg.contains("empty batch"), "diagnostic should name the cause: {msg}")
+        }
+        other => panic!("empty batch must be a typed InvalidQuery error, got {other:?}"),
+    }
+}
+
+#[test]
+fn duplicate_query_batch_matches_sequential_run() {
+    // The same query three times over: every copy must produce the
+    // bit-identical outcome (the artifact caches replay exact charges),
+    // and the shared-scan group admits its predicates exactly once.
+    let world = build_world(20_000, 8192);
+    let q = PdcQuery::range_open(world.energy, 2.1f32, 2.2f32);
+    let queries = vec![q.clone(), q.clone(), q];
+
+    let seq_eng = engine_with(&world, Strategy::Histogram, None);
+    let solo: Vec<QueryOutcome> =
+        queries.iter().map(|q| seq_eng.run(q).unwrap()).collect();
+
+    let eng = engine_with(&world, Strategy::Histogram, None);
+    let batch = eng.run_batch(&queries).unwrap();
+    assert_eq!(batch.stats.queries, 3);
+    for (i, (a, b)) in solo.iter().zip(batch.outcomes.iter()).enumerate() {
+        assert_outcomes_identical(a, b, &format!("duplicate batch member {i}"));
+    }
 }
 
 /// The dedicated cache-invalidation regression test: poison one region

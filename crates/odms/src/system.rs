@@ -117,6 +117,26 @@ struct PendingAux {
     sorted_stale: bool,
 }
 
+/// One registered tenant of the multi-tenant query service: the durable
+/// identity + scheduling parameters the service loop reads when it is
+/// configured from an [`Odms`]. Budgets are stored in simulated
+/// nanoseconds (the unit of `pdc_storage::SimDuration`) so the record
+/// stays free of the storage crate's clock types.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantRecord {
+    /// Dense registry index, assigned at first registration.
+    pub id: u32,
+    /// Unique tenant name (the registry upserts by name).
+    pub name: String,
+    /// Weighted-fair share (deficit-round-robin weight, ≥ 1).
+    pub weight: u32,
+    /// Admission budget: max in-flight estimated simulated cost, ns.
+    pub cost_budget_ns: u64,
+    /// Deferral queue capacity; an arrival past a full deferral queue is
+    /// rejected.
+    pub queue_cap: usize,
+}
+
 /// The assembled object-centric data management system.
 #[derive(Debug)]
 pub struct Odms {
@@ -129,6 +149,8 @@ pub struct Odms {
     /// wrong-extent index regions and the planner treats a stale sorted
     /// replica as unavailable.
     pending: RwLock<BTreeMap<ObjectId, PendingAux>>,
+    /// The multi-tenant registry, ordered by registration (dense ids).
+    tenants: RwLock<Vec<TenantRecord>>,
 }
 
 impl Odms {
@@ -138,7 +160,47 @@ impl Odms {
             store: Arc::new(ObjectStore::new(num_osts)),
             meta: Arc::new(MetadataService::new()),
             pending: RwLock::new(BTreeMap::new()),
+            tenants: RwLock::new(Vec::new()),
         }
+    }
+
+    /// Register (or update) a tenant by name and return its dense id.
+    /// Re-registering an existing name updates the scheduling parameters
+    /// in place and keeps the original id — tenants are durable
+    /// identities, not per-connection state.
+    pub fn register_tenant(
+        &self,
+        name: &str,
+        weight: u32,
+        cost_budget_ns: u64,
+        queue_cap: usize,
+    ) -> u32 {
+        let mut ts = self.tenants.write();
+        if let Some(t) = ts.iter_mut().find(|t| t.name == name) {
+            t.weight = weight.max(1);
+            t.cost_budget_ns = cost_budget_ns;
+            t.queue_cap = queue_cap;
+            return t.id;
+        }
+        let id = ts.len() as u32;
+        ts.push(TenantRecord {
+            id,
+            name: name.to_string(),
+            weight: weight.max(1),
+            cost_budget_ns,
+            queue_cap,
+        });
+        id
+    }
+
+    /// Look up a tenant record by name.
+    pub fn tenant(&self, name: &str) -> Option<TenantRecord> {
+        self.tenants.read().iter().find(|t| t.name == name).cloned()
+    }
+
+    /// All registered tenants, in id order.
+    pub fn tenants(&self) -> Vec<TenantRecord> {
+        self.tenants.read().clone()
     }
 
     /// The object store.
